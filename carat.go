@@ -1,0 +1,664 @@
+// Package carat reproduces "A Queueing Network Model for a Distributed
+// Database Testbed System" (Jenq, Kohler, Towsley; ICDE 1987): an
+// analytical queueing network model of a distributed transaction
+// processing system — two-phase locking with distributed deadlock
+// detection, before-image write-ahead journaling, and centralized
+// two-phase commit — validated against a faithful discrete-event simulator
+// of the CARAT testbed the paper measured.
+//
+// The package offers three entry points:
+//
+//   - SolveModel analytically predicts throughput, utilizations, disk I/O
+//     rates and response times for a workload (the paper's contribution).
+//   - Simulate runs the CARAT testbed simulator on the same workload (the
+//     paper's "measurement" side).
+//   - Compare does both and lays the results side by side, which is how
+//     every table and figure of the paper's evaluation is regenerated.
+//
+// Standard workloads are the paper's LB8, MB4, MB8 and UB6; NewWorkload
+// builds custom mixes. All times are milliseconds unless a field name says
+// otherwise.
+package carat
+
+import (
+	"fmt"
+
+	"carat/internal/core"
+	"carat/internal/disk"
+	"carat/internal/experiment"
+	"carat/internal/storage"
+	"carat/internal/testbed"
+	"carat/internal/workload"
+)
+
+// TxnType identifies a workload transaction type.
+type TxnType string
+
+// The four synthetic transaction types of the paper's workload (Section 2).
+const (
+	LocalReadOnly     TxnType = "LRO"
+	LocalUpdate       TxnType = "LU"
+	DistributedRead   TxnType = "DRO"
+	DistributedUpdate TxnType = "DU"
+)
+
+func (t TxnType) kind() (testbed.TxnKind, error) {
+	switch t {
+	case LocalReadOnly:
+		return testbed.LRO, nil
+	case LocalUpdate:
+		return testbed.LU, nil
+	case DistributedRead:
+		return testbed.DRO, nil
+	case DistributedUpdate:
+		return testbed.DU, nil
+	default:
+		return 0, fmt.Errorf("carat: unknown transaction type %q", string(t))
+	}
+}
+
+// Workload describes one experiment: a transaction mix over a set of
+// nodes at a given transaction size. Construct with WorkloadLB8/MB4/MB8/
+// UB6 or NewWorkload, then adjust with the With* methods (which return
+// modified copies).
+type Workload struct {
+	w workload.Workload
+}
+
+// WorkloadLB8 returns the paper's local-only workload (4 LRO + 4 LU users
+// per node) at transaction size n.
+func WorkloadLB8(n int) Workload { return Workload{workload.LB8(n)} }
+
+// WorkloadMB4 returns the paper's mixed distributed workload (one user of
+// each type per node) at transaction size n.
+func WorkloadMB4(n int) Workload { return Workload{workload.MB4(n)} }
+
+// WorkloadMB8 returns MB4 with doubled populations.
+func WorkloadMB8(n int) Workload { return Workload{workload.MB8(n)} }
+
+// WorkloadUB6 returns the paper's local-intensive distributed workload
+// (2 LRO + 2 LU + 1 DRO + 1 DU per node).
+func WorkloadUB6(n int) Workload { return Workload{workload.UB6(n)} }
+
+// WorkloadByName looks up a standard workload ("LB8", "MB4", "MB8", "UB6").
+func WorkloadByName(name string, n int) (Workload, error) {
+	w, err := workload.ByName(name, n)
+	return Workload{w}, err
+}
+
+// User places one closed-loop user of the given type at a home node; Remote
+// names the slave node for distributed types. Remotes optionally spreads a
+// distributed transaction's remote requests over several slave sites, with
+// two-phase commit coordinating all of them.
+type User struct {
+	Type    TxnType
+	Home    int
+	Remote  int
+	Remotes []int
+}
+
+// NewWorkload builds a custom two-or-more-node workload with the paper's
+// Table 2 service costs and disk profiles (node 0 gets the RM05, others
+// the RP06). Users place the transaction mix; n is the transaction size.
+func NewWorkload(name string, nodes int, users []User, n int) (Workload, error) {
+	if nodes < 1 {
+		return Workload{}, fmt.Errorf("carat: need at least one node")
+	}
+	var specs []testbed.UserSpec
+	for i, u := range users {
+		k, err := u.Type.kind()
+		if err != nil {
+			return Workload{}, fmt.Errorf("carat: user %d: %w", i, err)
+		}
+		spec := testbed.UserSpec{
+			Kind:   k,
+			Home:   testbed.NodeID(u.Home),
+			Remote: testbed.NodeID(u.Remote),
+		}
+		for _, r := range u.Remotes {
+			spec.Remotes = append(spec.Remotes, testbed.NodeID(r))
+		}
+		specs = append(specs, spec)
+	}
+	dbs := make([]disk.ServiceModel, nodes)
+	logs := make([]disk.ServiceModel, nodes)
+	for i := range dbs {
+		if i == 0 {
+			dbs[i] = disk.ProfileRM05()
+		} else {
+			dbs[i] = disk.ProfileRP06()
+		}
+	}
+	w := workload.Workload{
+		Name:              name,
+		NumNodes:          nodes,
+		Users:             specs,
+		RequestsPerTxn:    n,
+		RecordsPerRequest: 4,
+		RemoteFrac:        0.5,
+		Layout:            storage.DefaultLayout(),
+		Params:            testbed.DefaultParams(nodes),
+		DBDisks:           dbs,
+		LogDisks:          logs,
+	}
+	return Workload{w}, nil
+}
+
+// Name returns the workload's name.
+func (w Workload) Name() string { return w.w.Name }
+
+// TransactionSize returns n, the requests per transaction.
+func (w Workload) TransactionSize() int { return w.w.RequestsPerTxn }
+
+// WithTransactionSize returns a copy at a different transaction size.
+func (w Workload) WithTransactionSize(n int) Workload {
+	w.w.RequestsPerTxn = n
+	return w
+}
+
+// WithSeparateLogDisks gives every node a dedicated log device with the
+// same profile as its database disk — the configuration the paper says a
+// real deployment would use.
+func (w Workload) WithSeparateLogDisks() Workload {
+	logs := make([]disk.ServiceModel, w.w.NumNodes)
+	copy(logs, w.w.DBDisks)
+	w.w.LogDisks = logs
+	return w
+}
+
+// WithBufferHitRatio enables the shared database buffer extension: the
+// fraction h of granule reads hit memory and skip the disk.
+func (w Workload) WithBufferHitRatio(h float64) Workload {
+	w.w.BufferHitRatio = h
+	return w
+}
+
+// WithThinkTime sets the user think time R_UT for every transaction type
+// (the paper runs with zero).
+func (w Workload) WithThinkTime(ms float64) Workload {
+	p := testbed.DefaultParams(w.w.NumNodes)
+	for n := range p.Costs {
+		for k, c := range p.Costs[n] {
+			c.ThinkTime = ms
+			p.Costs[n][k] = c
+		}
+	}
+	w.w.Params = p
+	return w
+}
+
+// WithHotspot skews record access: frac of accesses target the first hot
+// fraction of each site's records (the nonuniform-access extension from
+// the paper's conclusions). It affects the simulator; the analytical model
+// keeps the paper's uniform-access assumption, so expect the two to
+// diverge — that divergence is the point of the extension.
+func (w Workload) WithHotspot(hot, frac float64) Workload {
+	w.w.Pattern = storage.Hotspot{Hot: hot, Frac: frac}
+	return w
+}
+
+// WithDatabaseSize overrides each site's database size (blocks at the
+// paper's six records per block). Smaller databases raise contention.
+func (w Workload) WithDatabaseSize(granules int) Workload {
+	w.w.Layout = storage.Layout{Granules: granules, RecordsPerGran: 6}
+	return w
+}
+
+// ConcurrencyControl names a concurrency control protocol for the
+// simulator. The analytical model covers only TwoPhaseLocking (the paper's
+// scheme); SolveModel returns an error for the baselines.
+type ConcurrencyControl string
+
+// The available protocols: the paper's dynamic 2PL with deadlock
+// detection, the two classical timestamp-prevention variants, and basic
+// timestamp ordering (the alternative Galler's study — cited by the
+// paper — favored).
+const (
+	TwoPhaseLocking   ConcurrencyControl = "2PL"
+	WaitDie           ConcurrencyControl = "wait-die"
+	WoundWait         ConcurrencyControl = "wound-wait"
+	TimestampOrdering ConcurrencyControl = "timestamp-ordering"
+)
+
+// WithConcurrencyControl selects the simulator's protocol.
+func (w Workload) WithConcurrencyControl(cc ConcurrencyControl) Workload {
+	switch cc {
+	case WaitDie:
+		w.w.Concurrency = testbed.CCWaitDie
+	case WoundWait:
+		w.w.Concurrency = testbed.CCWoundWait
+	case TimestampOrdering:
+		w.w.Concurrency = testbed.CCTimestamp
+	default:
+		w.w.Concurrency = testbed.CC2PL
+	}
+	return w
+}
+
+// WithDeadlockAdjust scales the model's two-cycle deadlock probability by
+// the given factor — the per-workload adjusting factor of Section 5.4.3.
+// Fit one with CalibrateDeadlockFactor.
+func (w Workload) WithDeadlockAdjust(factor float64) Workload {
+	w.w.DeadlockAdjust = factor
+	return w
+}
+
+// WithTMSerializationModel enables the analytical model's optional
+// TM-server serialization correction — the delay the paper deliberately
+// ignores (Section 5.5) and blames for its largest deviations at small
+// transaction sizes. The correction lowers predicted throughput slightly,
+// most at small n.
+func (w Workload) WithTMSerializationModel() Workload {
+	w.w.ModelTMSerialization = true
+	return w
+}
+
+// WithRemoteFraction sets the share of a distributed transaction's n
+// requests that execute at its slave sites (the paper's experiments use
+// 0.5: l = r = n/2). Both the simulator's request scheduler and the
+// model's l(t)/r(t) split follow it.
+func (w Workload) WithRemoteFraction(frac float64) Workload {
+	w.w.RemoteFrac = frac
+	return w
+}
+
+// WithCPUs gives every node k processors (the paper's nodes had one; two
+// models a VAX 11/782-class dual processor). The model's CPU center
+// becomes an m-server station solved with Seidmann's approximation.
+func (w Workload) WithCPUs(k int) Workload {
+	w.w.CPUs = k
+	return w
+}
+
+// WithDetailedDisks swaps the flat per-block disk times for positional
+// seek+rotation models calibrated to the same means. The analytical model
+// keeps using the means, so the comparison measures the robustness of that
+// assumption against realistic service-time variability.
+func (w Workload) WithDetailedDisks() Workload {
+	w.w.DetailedDisks = true
+	return w
+}
+
+// WithEthernet models the inter-site network as the testbed's 10 Mb/s
+// Ethernet under load ([ALME79], the paper's Communication Network Model)
+// instead of a fixed delay: the simulator estimates channel utilization
+// from bytes on the wire, and the analytical model feeds its own message
+// rate back into the network model each iteration. At the paper's two-node
+// message rates the resulting α is fractions of a millisecond — the
+// paper's justification for neglecting it.
+func (w Workload) WithEthernet() Workload {
+	w.w.EthernetAlpha = true
+	return w
+}
+
+// WithStripedDatabase spreads each site's database over k identical disks
+// (block g on disk g mod k) — the paper's "multiple DISK queueing centers"
+// option. Both the simulator and the model gain one disk queue per stripe;
+// the shared recovery log stays on the first stripe unless
+// WithSeparateLogDisks is also applied.
+func (w Workload) WithStripedDatabase(k int) Workload {
+	w.w.DiskStripes = k
+	return w
+}
+
+// WithNetworkDelay sets the mean one-way inter-site message delay α in ms.
+// The paper measured a negligible α on its two-node Ethernet and dropped
+// it; a non-zero value slows distributed transactions in both the model
+// (Eqs. 21–22 and the 2PC round trips) and the simulator.
+func (w Workload) WithNetworkDelay(alphaMS float64) Workload {
+	w.w.Alpha = alphaMS
+	return w
+}
+
+// SimOptions controls a simulation run.
+type SimOptions struct {
+	// Seed makes runs reproducible; equal seeds give identical results.
+	Seed uint64
+	// WarmupMS is discarded simulated time before measurement starts
+	// (default 2 minutes).
+	WarmupMS float64
+	// DurationMS is total simulated time including warmup (default 62
+	// minutes, giving a one-hour measurement window).
+	DurationMS float64
+}
+
+func (o SimOptions) fill() experiment.SimOptions {
+	e := experiment.DefaultSimOptions()
+	if o.Seed != 0 {
+		e.Seed = o.Seed
+	}
+	if o.WarmupMS > 0 {
+		e.Warmup = o.WarmupMS
+	}
+	if o.DurationMS > 0 {
+		e.Duration = o.DurationMS
+	}
+	return e
+}
+
+// NodeMetrics reports one node's performance, in the units the paper's
+// tables use.
+type NodeMetrics struct {
+	// TxnPerSec is TR-XPUT: committed transactions per second for users
+	// homed at this node.
+	TxnPerSec float64
+	// TxnPerSecByType breaks TR-XPUT down by transaction type.
+	TxnPerSecByType map[TxnType]float64
+	// RecordsPerSec is the normalized record throughput of Figures 5 and 8.
+	RecordsPerSec float64
+	// CPUUtilization is Total-CPU, a fraction.
+	CPUUtilization float64
+	// DiskIOPerSec is Total-DIO: block I/Os per second including the log.
+	DiskIOPerSec float64
+	// DiskUtilization is the database disk's busy fraction.
+	DiskUtilization float64
+	// MeanResponseMS maps transaction type to mean response time in ms,
+	// including aborted executions (simulation only; the model reports
+	// per-chain response times through Predict).
+	MeanResponseMS map[TxnType]float64
+	// Deadlocks counts deadlock victims (simulation only).
+	Deadlocks int64
+	// SubmissionsPerCommit is the measured N_s of Eq. 4: executions per
+	// commit, per type (simulation only; the model's N_s follows from its
+	// AbortProbability as 1/(1-Pa)).
+	SubmissionsPerCommit map[TxnType]float64
+	// TxnPerSecCI is the 95% batch-means confidence half-width around
+	// TxnPerSecByType, in transactions/second (simulation only; +Inf when
+	// the run is too short for two batch windows).
+	TxnPerSecCI map[TxnType]float64
+	// P95ResponseMS is the 95th-percentile response time per type in ms
+	// (simulation only).
+	P95ResponseMS map[TxnType]float64
+}
+
+// DemandBreakdown decomposes one transaction type's commit cycle into the
+// model's per-center demands (Eqs. 5–10), in milliseconds per cycle.
+type DemandBreakdown struct {
+	CPUMS        float64
+	DiskMS       float64
+	LockWaitMS   float64
+	RemoteWaitMS float64
+	CommitWaitMS float64
+}
+
+// Prediction is the analytical model's output.
+type Prediction struct {
+	Nodes []NodeMetrics
+	// Iterations is the fixed-point iteration count; Converged reports
+	// whether the tolerance was met.
+	Iterations int
+	Converged  bool
+	// AbortProbability maps node -> type -> the model's P_a (Eq. 3).
+	AbortProbability []map[TxnType]float64
+	// Demands maps node -> type -> the per-cycle demand decomposition of
+	// the type's home-side chain (coordinator chain for distributed
+	// types).
+	Demands []map[TxnType]DemandBreakdown
+}
+
+// Measurement is the simulator's output.
+type Measurement struct {
+	Nodes []NodeMetrics
+	// WindowMS is the measurement window length.
+	WindowMS float64
+}
+
+// Comparison pairs the two for one workload.
+type Comparison struct {
+	Workload  string
+	N         int
+	Predicted *Prediction
+	Measured  *Measurement
+}
+
+// SolveModel analytically solves the queueing network model for the
+// workload (Sections 3–6 of the paper).
+func SolveModel(w Workload) (*Prediction, error) {
+	m, err := w.w.Model()
+	if err != nil {
+		return nil, err
+	}
+	res, err := core.Solve(m)
+	if err != nil {
+		return nil, err
+	}
+	return predictionFrom(res), nil
+}
+
+func predictionFrom(res *core.Result) *Prediction {
+	p := &Prediction{Iterations: res.Iterations, Converged: res.Converged}
+	for _, s := range res.Sites {
+		nm := NodeMetrics{
+			TxnPerSec:       s.TotalTxnThroughput * 1000,
+			TxnPerSecByType: map[TxnType]float64{},
+			RecordsPerSec:   s.RecordThroughput * 1000,
+			CPUUtilization:  s.CPUUtilization,
+			DiskIOPerSec:    s.DiskIORate * 1000,
+			DiskUtilization: s.DiskUtilization,
+			MeanResponseMS:  map[TxnType]float64{},
+		}
+		pa := map[TxnType]float64{}
+		dem := map[TxnType]DemandBreakdown{}
+		for ty, cr := range s.Chains {
+			if ty.Slave() {
+				continue
+			}
+			tt := TxnType(ty.WorkloadName())
+			nm.TxnPerSecByType[tt] += cr.Throughput * 1000
+			nm.MeanResponseMS[tt] = cr.ResponseTime
+			pa[tt] = cr.Pa
+			dem[tt] = DemandBreakdown{
+				CPUMS:        cr.CPUDemand,
+				DiskMS:       cr.DiskDemand + cr.LogDemand,
+				LockWaitMS:   cr.LWDemand,
+				RemoteWaitMS: cr.RWDemand,
+				CommitWaitMS: cr.CWDemand,
+			}
+		}
+		p.Nodes = append(p.Nodes, nm)
+		p.AbortProbability = append(p.AbortProbability, pa)
+		p.Demands = append(p.Demands, dem)
+	}
+	return p
+}
+
+// Simulate runs the CARAT testbed simulator on the workload.
+func Simulate(w Workload, opts SimOptions) (*Measurement, error) {
+	e := opts.fill()
+	cfg := w.w.TestbedConfig(e.Seed, e.Warmup, e.Duration)
+	sys, err := testbed.New(cfg)
+	if err != nil {
+		return nil, err
+	}
+	res := sys.Run()
+	return measurementFrom(res), nil
+}
+
+func measurementFrom(res testbed.Results) *Measurement {
+	m := &Measurement{WindowMS: res.Window}
+	for _, n := range res.Nodes {
+		nm := NodeMetrics{
+			TxnPerSec:            n.TotalTxnThroughput,
+			TxnPerSecByType:      map[TxnType]float64{},
+			RecordsPerSec:        n.RecordThroughput,
+			CPUUtilization:       n.CPUUtilization,
+			DiskIOPerSec:         n.DiskIORate,
+			DiskUtilization:      n.DBDiskUtilization,
+			MeanResponseMS:       map[TxnType]float64{},
+			Deadlocks:            n.LocalDeadlocks + n.GlobalDeadlocks,
+			SubmissionsPerCommit: map[TxnType]float64{},
+			TxnPerSecCI:          map[TxnType]float64{},
+			P95ResponseMS:        map[TxnType]float64{},
+		}
+		for _, k := range []testbed.TxnKind{testbed.LRO, testbed.LU, testbed.DRO, testbed.DU} {
+			tt := TxnType(k.String())
+			if x := n.TxnThroughput[k]; x > 0 {
+				nm.TxnPerSecByType[tt] = x
+				nm.MeanResponseMS[tt] = n.MeanResponse[k]
+				nm.TxnPerSecCI[tt] = n.ThroughputCI[k]
+				nm.P95ResponseMS[tt] = n.P95Response[k]
+			}
+			if c := n.Commits[k]; c > 0 {
+				nm.SubmissionsPerCommit[tt] = float64(n.Submissions[k]) / float64(c)
+			}
+		}
+		m.Nodes = append(m.Nodes, nm)
+	}
+	return m
+}
+
+// Compare solves the model and runs the simulator for the workload.
+func Compare(w Workload, opts SimOptions) (*Comparison, error) {
+	c, err := experiment.Run(w.w, opts.fill())
+	if err != nil {
+		return nil, err
+	}
+	return &Comparison{
+		Workload:  c.Workload,
+		N:         c.N,
+		Predicted: predictionFrom(c.Model),
+		Measured:  measurementFrom(c.Measured),
+	}, nil
+}
+
+// Calibration reports a fitted deadlock adjusting factor (Section 5.4.3).
+type Calibration struct {
+	// Factor is the fitted multiplier for the model's two-cycle deadlock
+	// probability; pass it to WithDeadlockAdjust.
+	Factor float64
+	// FittedError and BaselineError are the mean relative TR-XPUT errors
+	// with the fitted factor and with the uncalibrated factor of 1.
+	FittedError   float64
+	BaselineError float64
+}
+
+// CalibrateDeadlockFactor implements the paper's calibration remark: it
+// simulates the named workload at each transaction size, then fits the
+// model's deadlock adjusting factor to the measurements. Use the sizes
+// where the model deviates (the paper's approximation degrades at large
+// n): e.g. CalibrateDeadlockFactor("MB8", []int{12, 16, 20}, opts).
+func CalibrateDeadlockFactor(name string, ns []int, opts SimOptions) (*Calibration, error) {
+	mk, err := workloadMaker(name)
+	if err != nil {
+		return nil, err
+	}
+	res, err := experiment.Calibrate(mk, ns, opts.fill())
+	if err != nil {
+		return nil, err
+	}
+	return &Calibration{
+		Factor:        res.Adjust,
+		FittedError:   res.Error,
+		BaselineError: res.BaselineError,
+	}, nil
+}
+
+func workloadMaker(name string) (func(int) workload.Workload, error) {
+	if _, err := workload.ByName(name, 4); err != nil {
+		return nil, err
+	}
+	return func(n int) workload.Workload {
+		wl, _ := workload.ByName(name, n)
+		return wl
+	}, nil
+}
+
+// ReproduceFigure regenerates one of the paper's figures (5–10) over the
+// paper's transaction-size sweep, returning an ASCII rendering with the
+// underlying numbers. Pass zero-value opts for defaults.
+func ReproduceFigure(id int, opts SimOptions) (string, error) {
+	f, err := buildFigure(id, opts)
+	if err != nil {
+		return "", err
+	}
+	return f.ASCII(), nil
+}
+
+// ReproduceFigureMarkdown is ReproduceFigure rendered as a Markdown table.
+func ReproduceFigureMarkdown(id int, opts SimOptions) (string, error) {
+	f, err := buildFigure(id, opts)
+	if err != nil {
+		return "", err
+	}
+	return f.Markdown(), nil
+}
+
+func buildFigure(id int, opts SimOptions) (*experiment.Figure, error) {
+	e := opts.fill()
+	ns := experiment.PaperNs()
+	switch id {
+	case 5:
+		return experiment.Figure5(ns, e)
+	case 6:
+		return experiment.Figure6(ns, e)
+	case 7:
+		return experiment.Figure7(ns, e)
+	case 8:
+		return experiment.Figure8(ns, e)
+	case 9:
+		return experiment.Figure9(ns, e)
+	case 10:
+		return experiment.Figure10(ns, e)
+	default:
+		return nil, fmt.Errorf("carat: the paper has figures 5 through 10, not %d", id)
+	}
+}
+
+// ReproduceExtensionFigure regenerates the repository's extension figure —
+// mean LU response time, model vs simulation, over the paper's sweep.
+func ReproduceExtensionFigure(opts SimOptions) (string, error) {
+	f, err := experiment.FigureResponseTimes(experiment.PaperNs(), opts.fill())
+	if err != nil {
+		return "", err
+	}
+	return f.ASCII(), nil
+}
+
+// ReproduceExtensionFigureMarkdown is ReproduceExtensionFigure as Markdown.
+func ReproduceExtensionFigureMarkdown(opts SimOptions) (string, error) {
+	f, err := experiment.FigureResponseTimes(experiment.PaperNs(), opts.fill())
+	if err != nil {
+		return "", err
+	}
+	return f.Markdown(), nil
+}
+
+// ReproduceTable regenerates one of the paper's result tables (3, 4 or 5)
+// over the paper's sweep; Table 1 (for given l, r and q it uses l=r=n/2,
+// q≈4 with mild contention) and Table 2 (the input parameters) are also
+// available for reference.
+func ReproduceTable(id int, opts SimOptions) (string, error) {
+	t, err := buildTable(id, opts)
+	if err != nil {
+		return "", err
+	}
+	return t.Render(), nil
+}
+
+// ReproduceTableMarkdown is ReproduceTable rendered as a Markdown table.
+func ReproduceTableMarkdown(id int, opts SimOptions) (string, error) {
+	t, err := buildTable(id, opts)
+	if err != nil {
+		return "", err
+	}
+	return t.Markdown(), nil
+}
+
+func buildTable(id int, opts SimOptions) (*experiment.Table, error) {
+	e := opts.fill()
+	ns := experiment.PaperNs()
+	switch id {
+	case 1:
+		return experiment.Table1(4, 4, 3.97, 0.05, 0.02, 0.01)
+	case 2:
+		return experiment.Table2(), nil
+	case 3:
+		return experiment.Table3(ns, e)
+	case 4:
+		return experiment.Table4(ns, e)
+	case 5:
+		return experiment.Table5(ns, e)
+	default:
+		return nil, fmt.Errorf("carat: no table %d (want 1-5)", id)
+	}
+}

@@ -1,0 +1,110 @@
+// Command caratsim runs the CARAT testbed simulator — the reproduction's
+// stand-in for the paper's two VAX 11/780s — and prints the measured
+// performance.
+//
+// Usage:
+//
+//	caratsim [-workload MB4] [-n 8] [-seed 1] [-minutes 60] [-logdisk] ...
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+
+	"carat"
+)
+
+func main() {
+	var (
+		name    = flag.String("workload", "MB4", "workload: LB8, MB4, MB8 or UB6")
+		n       = flag.Int("n", 8, "transaction size (requests per transaction)")
+		sweep   = flag.Bool("sweep", false, "sweep n over the paper's grid 4,8,12,16,20")
+		seed    = flag.Uint64("seed", 1, "random seed (equal seeds reproduce runs exactly)")
+		minutes = flag.Float64("minutes", 60, "simulated measurement window in minutes")
+		logdisk = flag.Bool("logdisk", false, "give each node a separate log disk")
+		buffer  = flag.Float64("buffer", 0, "database buffer hit ratio in [0,1)")
+		think   = flag.Float64("think", 0, "user think time in ms")
+		dbsize  = flag.Int("dbsize", 0, "database size in blocks per site (0 = paper's 3000)")
+		stripes = flag.Int("stripes", 1, "database disk stripes per site")
+		cpus    = flag.Int("cpus", 1, "processors per node")
+		hot     = flag.Float64("hot", 0, "hotspot: fraction of records that are hot (0 = uniform)")
+		hotfrac = flag.Float64("hotfrac", 0.8, "hotspot: fraction of accesses aimed at the hot set")
+		cc      = flag.String("cc", "2PL", "concurrency control: 2PL, wait-die, wound-wait, timestamp-ordering")
+		asJSON  = flag.Bool("json", false, "emit measurements as JSON")
+	)
+	flag.Parse()
+
+	ns := []int{*n}
+	if *sweep {
+		ns = []int{4, 8, 12, 16, 20}
+	}
+	warmup := 120_000.0
+	opts := carat.SimOptions{
+		Seed:       *seed,
+		WarmupMS:   warmup,
+		DurationMS: warmup + *minutes*60_000,
+	}
+	for _, size := range ns {
+		wl, err := carat.WorkloadByName(*name, size)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		if *logdisk {
+			wl = wl.WithSeparateLogDisks()
+		}
+		if *buffer > 0 {
+			wl = wl.WithBufferHitRatio(*buffer)
+		}
+		if *think > 0 {
+			wl = wl.WithThinkTime(*think)
+		}
+		if *dbsize > 0 {
+			wl = wl.WithDatabaseSize(*dbsize)
+		}
+		if *stripes > 1 {
+			wl = wl.WithStripedDatabase(*stripes)
+		}
+		if *cpus > 1 {
+			wl = wl.WithCPUs(*cpus)
+		}
+		if *hot > 0 {
+			wl = wl.WithHotspot(*hot, *hotfrac)
+		}
+		wl = wl.WithConcurrencyControl(carat.ConcurrencyControl(*cc))
+		meas, err := carat.Simulate(wl, opts)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		if *asJSON {
+			enc := json.NewEncoder(os.Stdout)
+			enc.SetIndent("", "  ")
+			if err := enc.Encode(struct {
+				Workload string
+				N        int
+				Seed     uint64
+				*carat.Measurement
+			}{wl.Name(), size, *seed, meas}); err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(1)
+			}
+			continue
+		}
+		fmt.Printf("%s  n=%d  seed=%d  window=%.0f min\n", wl.Name(), size, *seed, meas.WindowMS/60000)
+		for i, node := range meas.Nodes {
+			fmt.Printf("  Node %c: TR-XPUT %.3f txn/s  records %.1f/s  CPU %.3f  DIO %.1f/s  deadlocks %d\n",
+				'A'+i, node.TxnPerSec, node.RecordsPerSec, node.CPUUtilization,
+				node.DiskIOPerSec, node.Deadlocks)
+			for _, ty := range []carat.TxnType{carat.LocalReadOnly, carat.LocalUpdate, carat.DistributedRead, carat.DistributedUpdate} {
+				if x, ok := node.TxnPerSecByType[ty]; ok {
+					fmt.Printf("    %-4s X=%.3f±%.3f/s  R=%.0f ms  p95=%.0f ms\n",
+						ty, x, node.TxnPerSecCI[ty], node.MeanResponseMS[ty], node.P95ResponseMS[ty])
+				}
+			}
+		}
+		fmt.Println()
+	}
+}

@@ -1,0 +1,82 @@
+package carat_test
+
+import (
+	"fmt"
+	"log"
+
+	"carat"
+)
+
+// Solve the analytical model for the paper's MB4 workload and read off the
+// headline predictions.
+func ExampleSolveModel() {
+	pred, err := carat.SolveModel(carat.WorkloadMB4(8))
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("converged: %v\n", pred.Converged)
+	fmt.Printf("node A TR-XPUT: %.2f txn/s\n", pred.Nodes[0].TxnPerSec)
+	fmt.Printf("node A beats node B: %v\n", pred.Nodes[0].TxnPerSec > pred.Nodes[1].TxnPerSec)
+	// Output:
+	// converged: true
+	// node A TR-XPUT: 0.58 txn/s
+	// node A beats node B: true
+}
+
+// Run the testbed simulator deterministically: the same seed reproduces
+// the measurement exactly.
+func ExampleSimulate() {
+	opts := carat.SimOptions{Seed: 7, WarmupMS: 10_000, DurationMS: 310_000}
+	a, err := carat.Simulate(carat.WorkloadLB8(8), opts)
+	if err != nil {
+		log.Fatal(err)
+	}
+	b, err := carat.Simulate(carat.WorkloadLB8(8), opts)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("reproducible: %v\n", a.Nodes[0].TxnPerSec == b.Nodes[0].TxnPerSec)
+	fmt.Printf("measured some commits: %v\n", a.Nodes[0].TxnPerSec > 0)
+	// Output:
+	// reproducible: true
+	// measured some commits: true
+}
+
+// Ask a what-if question: how much does a dedicated log disk buy on the
+// paper's shared-disk configuration? The model answers in milliseconds.
+func ExampleWorkload_WithSeparateLogDisks() {
+	shared, err := carat.SolveModel(carat.WorkloadLB8(8))
+	if err != nil {
+		log.Fatal(err)
+	}
+	dedicated, err := carat.SolveModel(carat.WorkloadLB8(8).WithSeparateLogDisks())
+	if err != nil {
+		log.Fatal(err)
+	}
+	gain := dedicated.Nodes[0].TxnPerSec/shared.Nodes[0].TxnPerSec - 1
+	fmt.Printf("dedicated log disk gains more than 15%%: %v\n", gain > 0.15)
+	// Output:
+	// dedicated log disk gains more than 15%: true
+}
+
+// The paper's headline qualitative result: record throughput falls once
+// transactions grow past n ≈ 8, because deadlock probability rises rapidly
+// with transaction size.
+func ExampleWorkload_WithTransactionSize() {
+	wl := carat.WorkloadMB8(8)
+	at8, err := carat.SolveModel(wl)
+	if err != nil {
+		log.Fatal(err)
+	}
+	at20, err := carat.SolveModel(wl.WithTransactionSize(20))
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("records/s falls from n=8 to n=20: %v\n",
+		at20.Nodes[0].RecordsPerSec < at8.Nodes[0].RecordsPerSec)
+	fmt.Printf("abort probability rises: %v\n",
+		at20.AbortProbability[0][carat.LocalUpdate] > at8.AbortProbability[0][carat.LocalUpdate])
+	// Output:
+	// records/s falls from n=8 to n=20: true
+	// abort probability rises: true
+}

@@ -1,0 +1,78 @@
+// Capacity planning: the analytical model answers what-if questions in
+// milliseconds that would each take a measurement campaign on a real
+// testbed — exactly the use the paper envisions for it.
+//
+// Question: the paper's shared database/log disk was a known compromise
+// ("a single disk becomes a performance bottleneck"). How much throughput
+// does a dedicated log disk buy back, how does that compare with a
+// database buffer pool, and what does the combination achieve?
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"carat"
+)
+
+func solve(wl carat.Workload) *carat.Prediction {
+	pred, err := carat.SolveModel(wl)
+	if err != nil {
+		log.Fatal(err)
+	}
+	return pred
+}
+
+func main() {
+	base := carat.WorkloadLB8(8)
+
+	configs := []struct {
+		name string
+		wl   carat.Workload
+	}{
+		{"paper's configuration (shared DB+log disk)", base},
+		{"dedicated log disk per node", base.WithSeparateLogDisks()},
+		{"60% buffer pool hit ratio", base.WithBufferHitRatio(0.6)},
+		{"log disk + 60% buffer pool", base.WithSeparateLogDisks().WithBufferHitRatio(0.6)},
+		{"database striped over 2 disks", base.WithStripedDatabase(2)},
+		{"dual-processor nodes (VAX 11/782)", base.WithCPUs(2)},
+		{"all upgrades together", base.WithSeparateLogDisks().WithBufferHitRatio(0.6).WithStripedDatabase(2).WithCPUs(2)},
+	}
+
+	fmt.Println("LB8 workload, n=8, Node A — model predictions:")
+	fmt.Printf("%-46s %10s %10s %10s\n", "configuration", "TR-XPUT/s", "CPU util", "disk util")
+	baseline := 0.0
+	for i, cfg := range configs {
+		pred := solve(cfg.wl)
+		n := pred.Nodes[0]
+		if i == 0 {
+			baseline = n.TxnPerSec
+		}
+		fmt.Printf("%-46s %10.3f %10.3f %10.3f   (%+.0f%%)\n",
+			cfg.name, n.TxnPerSec, n.CPUUtilization, n.DiskUtilization,
+			100*(n.TxnPerSec-baseline)/baseline)
+	}
+
+	// Second question: how far does the upgraded configuration scale with
+	// multiprogramming level before lock contention bites? Scale the LB8
+	// mix per node and watch the abort probability.
+	fmt.Println("\nScaling the per-node population on the upgraded configuration:")
+	fmt.Printf("%8s %12s %14s %16s\n", "users", "TR-XPUT/s", "CPU util", "P(abort) for LU")
+	for _, mult := range []int{1, 2, 3, 4} {
+		var users []carat.User
+		for node := 0; node < 2; node++ {
+			for i := 0; i < 4*mult; i++ {
+				users = append(users, carat.User{Type: carat.LocalReadOnly, Home: node})
+				users = append(users, carat.User{Type: carat.LocalUpdate, Home: node})
+			}
+		}
+		wl, err := carat.NewWorkload(fmt.Sprintf("LB%d", 8*mult), 2, users, 8)
+		if err != nil {
+			log.Fatal(err)
+		}
+		pred := solve(wl.WithSeparateLogDisks().WithBufferHitRatio(0.6))
+		n := pred.Nodes[0]
+		fmt.Printf("%8d %12.3f %14.3f %16.4f\n",
+			8*mult, n.TxnPerSec, n.CPUUtilization, pred.AbortProbability[0][carat.LocalUpdate])
+	}
+}

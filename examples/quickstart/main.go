@@ -1,0 +1,41 @@
+// Quickstart: solve the analytical model for the paper's MB4 workload,
+// run the testbed simulator on the same workload, and compare — the
+// model-vs-measurement exercise at the heart of the paper.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"carat"
+)
+
+func main() {
+	// MB4: one user of each transaction type (local read-only, local
+	// update, distributed read-only, distributed update) at each of two
+	// nodes; each transaction issues 8 requests of 4 records.
+	wl := carat.WorkloadMB4(8)
+
+	cmp, err := carat.Compare(wl, carat.SimOptions{Seed: 42})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("Workload %s, transaction size n=%d\n\n", cmp.Workload, cmp.N)
+	fmt.Printf("%-8s %-12s %12s %12s %12s\n", "Node", "Source", "TR-XPUT/s", "CPU util", "DIO/s")
+	for i := range cmp.Predicted.Nodes {
+		p := cmp.Predicted.Nodes[i]
+		m := cmp.Measured.Nodes[i]
+		fmt.Printf("%-8c %-12s %12.3f %12.3f %12.1f\n", 'A'+i, "model", p.TxnPerSec, p.CPUUtilization, p.DiskIOPerSec)
+		fmt.Printf("%-8c %-12s %12.3f %12.3f %12.1f\n", 'A'+i, "simulation", m.TxnPerSec, m.CPUUtilization, m.DiskIOPerSec)
+	}
+
+	fmt.Println("\nPer-type throughput (transactions/second), node A:")
+	for _, ty := range []carat.TxnType{carat.LocalReadOnly, carat.LocalUpdate, carat.DistributedRead, carat.DistributedUpdate} {
+		fmt.Printf("  %-4s  model %.3f   simulation %.3f\n",
+			ty, cmp.Predicted.Nodes[0].TxnPerSecByType[ty], cmp.Measured.Nodes[0].TxnPerSecByType[ty])
+	}
+	fmt.Printf("\nModel converged: %v (%d iterations); simulated %d deadlock victims.\n",
+		cmp.Predicted.Converged, cmp.Predicted.Iterations,
+		cmp.Measured.Nodes[0].Deadlocks+cmp.Measured.Nodes[1].Deadlocks)
+}

@@ -1,0 +1,140 @@
+package carat
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestWorkloadUB6Facade(t *testing.T) {
+	pred, err := SolveModel(WorkloadUB6(8))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !pred.Converged || pred.Nodes[0].TxnPerSec <= 0 {
+		t.Fatalf("UB6 model broken: %+v", pred.Nodes[0])
+	}
+	// UB6 is local-intensive: LRO+LU throughput dominates DRO+DU.
+	n := pred.Nodes[0]
+	local := n.TxnPerSecByType[LocalReadOnly] + n.TxnPerSecByType[LocalUpdate]
+	dist := n.TxnPerSecByType[DistributedRead] + n.TxnPerSecByType[DistributedUpdate]
+	if local <= dist {
+		t.Fatalf("UB6 should be local-intensive: local %v vs distributed %v", local, dist)
+	}
+}
+
+func TestWithTMSerializationModelFacade(t *testing.T) {
+	off, err := SolveModel(WorkloadMB8(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	on, err := SolveModel(WorkloadMB8(4).WithTMSerializationModel())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if on.Nodes[0].TxnPerSec >= off.Nodes[0].TxnPerSec {
+		t.Fatalf("TM correction should lower throughput: %v vs %v",
+			on.Nodes[0].TxnPerSec, off.Nodes[0].TxnPerSec)
+	}
+}
+
+func TestWithNetworkDelayFacade(t *testing.T) {
+	fast, err := SolveModel(WorkloadMB4(8))
+	if err != nil {
+		t.Fatal(err)
+	}
+	slow, err := SolveModel(WorkloadMB4(8).WithNetworkDelay(100))
+	if err != nil {
+		t.Fatal(err)
+	}
+	fd := fast.Nodes[0].TxnPerSecByType[DistributedUpdate]
+	sd := slow.Nodes[0].TxnPerSecByType[DistributedUpdate]
+	if sd >= fd {
+		t.Fatalf("100 ms hops should slow DU: %v vs %v", sd, fd)
+	}
+}
+
+func TestWithRemoteFraction(t *testing.T) {
+	// Pushing more of each DU transaction to the (slower-disk) slave node
+	// must slow DU in both model and simulator; model and sim must agree
+	// on the direction.
+	base, err := SolveModel(WorkloadMB4(8))
+	if err != nil {
+		t.Fatal(err)
+	}
+	heavy, err := SolveModel(WorkloadMB4(8).WithRemoteFraction(0.75))
+	if err != nil {
+		t.Fatal(err)
+	}
+	bm := base.Nodes[0].TxnPerSecByType[DistributedUpdate]
+	hm := heavy.Nodes[0].TxnPerSecByType[DistributedUpdate]
+	if hm >= bm {
+		t.Fatalf("model: 75%% remote should slow node A's DU: %v vs %v", hm, bm)
+	}
+	meas, err := Simulate(WorkloadMB4(8).WithRemoteFraction(0.75), quick)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ms := meas.Nodes[0].TxnPerSecByType[DistributedUpdate]
+	rel := (hm - ms) / ms
+	if rel < -0.5 || rel > 0.8 {
+		t.Fatalf("remote-heavy model %v vs sim %v diverge", hm, ms)
+	}
+}
+
+func TestNewWorkloadMultiRemote(t *testing.T) {
+	users := []User{
+		{Type: LocalUpdate, Home: 0},
+		{Type: DistributedUpdate, Home: 0, Remotes: []int{1, 2}},
+		{Type: DistributedUpdate, Home: 1, Remotes: []int{0, 2}},
+		{Type: DistributedUpdate, Home: 2, Remotes: []int{0, 1}},
+	}
+	wl, err := NewWorkload("tri", 3, users, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cmp, err := Compare(wl, quick)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cmp.Predicted.Nodes) != 3 || len(cmp.Measured.Nodes) != 3 {
+		t.Fatal("expected three nodes on both sides")
+	}
+	for i := range cmp.Predicted.Nodes {
+		mo := cmp.Predicted.Nodes[i].TxnPerSecByType[DistributedUpdate]
+		me := cmp.Measured.Nodes[i].TxnPerSecByType[DistributedUpdate]
+		if mo <= 0 || me <= 0 {
+			t.Fatalf("node %d: DU stalled (model %v, sim %v)", i, mo, me)
+		}
+		rel := (mo - me) / me
+		if rel < -0.5 || rel > 0.8 {
+			t.Fatalf("node %d: model %v vs sim %v diverge", i, mo, me)
+		}
+	}
+}
+
+func TestReproduceMarkdown(t *testing.T) {
+	out, err := ReproduceTableMarkdown(2, quick)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "| Node | Type |") && !strings.Contains(out, "| --- |") {
+		t.Fatalf("not a markdown table:\n%s", out)
+	}
+	if _, err := ReproduceTableMarkdown(9, quick); err == nil {
+		t.Fatal("bad table id must fail")
+	}
+	if _, err := ReproduceFigureMarkdown(99, quick); err == nil {
+		t.Fatal("bad figure id must fail")
+	}
+}
+
+func TestReproduceFigureMarkdownQuick(t *testing.T) {
+	tiny := SimOptions{Seed: 1, WarmupMS: 5_000, DurationMS: 125_000}
+	out, err := ReproduceFigureMarkdown(6, tiny)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "Figure 6") || !strings.Contains(out, "|") {
+		t.Fatalf("markdown figure broken:\n%s", out)
+	}
+}

@@ -1,0 +1,57 @@
+package comm
+
+import (
+	"testing"
+
+	"carat/internal/sim"
+)
+
+func TestEthernetDelayMatchesMean(t *testing.T) {
+	e := DefaultEthernet()
+	for _, u := range []float64{0, 0.3, 0.7} {
+		if e.Delay(200, u) != e.MeanDelay(200, u) {
+			t.Fatalf("Ethernet Delay must be deterministic at u=%v", u)
+		}
+	}
+}
+
+func TestZeroAndFixedMeanDelay(t *testing.T) {
+	if (ZeroDelay{}).MeanDelay(100, 0.5) != 0 {
+		t.Fatal("ZeroDelay mean must be 0")
+	}
+	if (FixedDelay{D: 3}).MeanDelay(100, 0.9) != 3 {
+		t.Fatal("FixedDelay mean must be the constant")
+	}
+}
+
+func TestNetworkNodesAndUtilization(t *testing.T) {
+	e := sim.NewEnv()
+	nw := NewNetwork[int](e, 3, DefaultEthernet())
+	if nw.Nodes() != 3 {
+		t.Fatalf("Nodes = %d", nw.Nodes())
+	}
+	// Higher configured utilization must lengthen delivery.
+	var at []float64
+	recv := func(node NodeID) {
+		e.Spawn("r", func(p *sim.Proc) {
+			if _, err := nw.Inbox(node).Get(p); err == nil {
+				at = append(at, p.Now())
+			}
+		})
+	}
+	recv(1)
+	recv(2)
+	e.Spawn("send", func(p *sim.Proc) {
+		nw.SetUtilization(0)
+		nw.Send(0, 1, 1000, 1)
+		nw.SetUtilization(0.9)
+		nw.Send(0, 2, 1000, 2)
+	})
+	e.RunAll()
+	if len(at) != 2 {
+		t.Fatalf("deliveries = %d", len(at))
+	}
+	if at[1] <= at[0] {
+		t.Fatalf("loaded channel (%v) should deliver later than idle (%v)", at[1], at[0])
+	}
+}

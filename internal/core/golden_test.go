@@ -1,0 +1,105 @@
+package core_test
+
+import (
+	"encoding/json"
+	"flag"
+	"math"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"carat/internal/core"
+	"carat/internal/workload"
+)
+
+var updateGolden = flag.Bool("update-golden", false, "rewrite the golden model snapshot")
+
+// modelGolden pins the solver's exact converged outputs for the MB8 sweep:
+// any change to the iteration, the submodels or the MVA shows up here.
+type modelGolden struct {
+	// Per n, per site: total TR-XPUT (txn/ms), CPU util, DIO rate, and
+	// the LU chain's Pa.
+	Points map[string][]goldenSite `json:"points"`
+}
+
+type goldenSite struct {
+	X    float64 `json:"x"`
+	CPU  float64 `json:"cpu"`
+	DIO  float64 `json:"dio"`
+	PaLU float64 `json:"paLU"`
+}
+
+func takeModelSnapshot(t *testing.T) modelGolden {
+	t.Helper()
+	snap := modelGolden{Points: map[string][]goldenSite{}}
+	for _, n := range []int{4, 12, 20} {
+		m, err := workload.MB8(n).Model()
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := core.Solve(m)
+		if err != nil {
+			t.Fatal(err)
+		}
+		key := map[int]string{4: "n4", 12: "n12", 20: "n20"}[n]
+		for _, s := range res.Sites {
+			snap.Points[key] = append(snap.Points[key], goldenSite{
+				X:    s.TotalTxnThroughput,
+				CPU:  s.CPUUtilization,
+				DIO:  s.DiskIORate,
+				PaLU: s.Chains[core.LU].Pa,
+			})
+		}
+	}
+	return snap
+}
+
+func TestGoldenModelSnapshot(t *testing.T) {
+	path := filepath.Join("testdata", "golden_model_mb8.json")
+	got := takeModelSnapshot(t)
+
+	if *updateGolden {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		data, err := json.MarshalIndent(got, "", "  ")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, append(data, '\n'), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("golden model snapshot rewritten: %s", path)
+		return
+	}
+
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("missing golden file (run with -update-golden to create): %v", err)
+	}
+	var want modelGolden
+	if err := json.Unmarshal(data, &want); err != nil {
+		t.Fatal(err)
+	}
+	for key, ws := range want.Points {
+		gs := got.Points[key]
+		if len(gs) != len(ws) {
+			t.Fatalf("%s: site count changed", key)
+		}
+		for i := range ws {
+			// The solver is deterministic; allow only float round-trip slack.
+			check := func(name string, g, w float64) {
+				if math.Abs(g-w) > 1e-9*(1+math.Abs(w)) {
+					t.Errorf("%s site %d %s drifted: %v, golden %v", key, i, name, g, w)
+				}
+			}
+			check("X", gs[i].X, ws[i].X)
+			check("CPU", gs[i].CPU, ws[i].CPU)
+			check("DIO", gs[i].DIO, ws[i].DIO)
+			check("PaLU", gs[i].PaLU, ws[i].PaLU)
+		}
+	}
+	if t.Failed() {
+		t.Log("deliberate solver change? re-pin with: go test ./internal/core -run GoldenModel -update-golden")
+	}
+}

@@ -1,0 +1,197 @@
+package core
+
+import "math"
+
+// This file implements the lock-wait submodel of Section 5.4: the average
+// number of locks held (Eqs. 11–14), the blocking probabilities (Eqs.
+// 15–17), the two-cycle deadlock approximation (Section 5.4.3), and the
+// blocking time (Eqs. 18–20).
+
+// expectedLocksAtAbort returns E[Y] of Eq. 11: the expected number of
+// locks held when a transaction is aborted, under the truncated-geometric
+// model where each of the Nlk lock requests independently dies with
+// probability x = Pb·Pd. As x -> 0 this tends to (Nlk-1)/2 (uniform over
+// the request sequence).
+func expectedLocksAtAbort(nlk, x float64) float64 {
+	if nlk <= 0 {
+		return 0
+	}
+	if x < 1e-12 {
+		return (nlk - 1) / 2
+	}
+	if x >= 1 {
+		return 0
+	}
+	q := 1 - x
+	qn := math.Pow(q, nlk)
+	return q/x - nlk*qn/(1-qn)
+}
+
+// blockers returns whether chain type s can block a lock request of chain
+// type t: shared requests are blocked only by exclusive holders; exclusive
+// requests are blocked by any holder (Eq. 15's two cases).
+func blocks(t, s Type) bool { return t.Update() || s.Update() }
+
+// lockHeldWeight returns Σ over blocking chains s of N(s,i)·L_h(s,i),
+// minus the requester's own single-transaction contribution when it is in
+// the blocking set — the numerator of Eq. 15.
+func (st *solverState) lockHeldWeight(i int, t Type) float64 {
+	var w float64
+	for _, s := range st.chainsAt(i) {
+		if !blocks(t, s.c.Type) {
+			continue
+		}
+		w += float64(s.c.Population) * s.Lh
+		if s.c.Type == t {
+			w -= s.Lh
+		}
+	}
+	if w < 0 {
+		w = 0
+	}
+	return w
+}
+
+// pbOf computes Eq. 15: the probability one lock request of a type-t
+// transaction at site i is blocked, clamped to [0, maxPb].
+func (st *solverState) pbOf(i int, t Type) float64 {
+	ng := float64(st.m.Sites[i].Granules)
+	pb := st.lockHeldWeight(i, t) / ng
+	if pb < 0 {
+		pb = 0
+	}
+	if pb > maxPb {
+		pb = maxPb
+	}
+	return pb
+}
+
+// pbBetween computes PB(t,s,i) of Eq. 17: the probability the blocker is a
+// type-s transaction, given a type-t request blocked at site i.
+func (st *solverState) pbBetween(i int, t Type, s *chainState) float64 {
+	if !blocks(t, s.c.Type) {
+		return 0
+	}
+	total := st.lockHeldWeight(i, t)
+	if total <= 0 {
+		return 0
+	}
+	w := float64(s.c.Population) * s.Lh
+	if s.c.Type == t {
+		w -= s.Lh
+	}
+	if w < 0 {
+		w = 0
+	}
+	return w / total
+}
+
+// blockingRatio returns BR(t) of Eq. 19 — the fraction of its execution
+// time during which a transaction's locks block a conflicting request,
+// approximately 1/3 (the paper measured 0.23–0.41).
+func blockingRatio(nlk float64) float64 {
+	if nlk <= 0 {
+		return 0
+	}
+	return (2*nlk + 1) / (6 * nlk)
+}
+
+// lockWaitTime computes R_LW(t,i) of Eq. 20: the mean blocked time per
+// lock wait, as the PB-weighted mean of RLT(s,i) = BR(s)·R(s,i) (Eq. 18)
+// over the possible blockers.
+//
+// Eq. 18's R is the blocker's execution time. Feeding the blocker's full
+// execution time back in diverges at high contention (the blocker's time
+// is itself mostly lock wait, which is itself this quantity), so R here is
+// the blocker's non-waiting execution time per submission, and waiting
+// chains are reintroduced with a bounded cascade factor 1/(1-Pw): with
+// probability Pw the blocker is itself blocked and the wait extends by
+// another blocking period. This keeps Eq. 18's BR·R form at low contention
+// (where D_LW ≈ 0 and the factor is ≈ 1) and stays finite at n = 20.
+func (st *solverState) lockWaitTime(i int, t Type) float64 {
+	var r float64
+	for _, s := range st.chainsAt(i) {
+		pb := st.pbBetween(i, t, s)
+		if pb == 0 {
+			continue
+		}
+		useful := s.Rexec - s.DLW/s.Ns
+		if useful < 0 {
+			useful = 0
+		}
+		cascade := 1 / (1 - math.Min(s.Pw, maxCascadeOccupancy))
+		r += pb * blockingRatio(s.Nlk) * useful * cascade
+	}
+	return r
+}
+
+// maxCascadeOccupancy bounds the wait-chain amplification: deadlock
+// detection resolves long chains, so the effective blocked fraction seen
+// through a chain is capped.
+const maxCascadeOccupancy = 0.75
+
+// blockedShareOf returns the probability that, given a type-s transaction
+// at site i is blocked, its blocker is one specific type-t transaction
+// whose time-average held locks are lhT. Zero when t cannot block s.
+func (st *solverState) blockedShareOf(i int, s *chainState, t Type, lhT float64) float64 {
+	if !blocks(s.c.Type, t) {
+		return 0
+	}
+	total := st.lockHeldWeight(i, s.c.Type)
+	if total <= 0 {
+		return 0
+	}
+	share := lhT / total
+	if share > 1 {
+		share = 1
+	}
+	return share
+}
+
+// deadlockProb computes Pd(t,i): the probability a blocked type-t request
+// at site i is a deadlock victim, from two-cycle deadlocks only (Section
+// 5.4.3). The local term: we blocked on a type-s transaction (PB); a cycle
+// closes if that transaction is itself blocked (occupancy D_LW/R) and its
+// blocker is specifically us (our L_h share of its blocking weight). The
+// global term adds two-cycle deadlocks between two distributed
+// transactions: our counterpart at the other site holds locks there, and
+// the blocker's counterpart may be blocked on them.
+func (st *solverState) deadlockProb(i int, t *chainState) float64 {
+	var pd float64
+	for _, s := range st.chainsAt(i) {
+		pb := st.pbBetween(i, t.c.Type, s)
+		if pb == 0 {
+			continue
+		}
+		// Local two-cycle: s blocked here, by us.
+		pd += pb * s.Pw * st.blockedShareOf(i, s, t.c.Type, t.Lh)
+
+		// Global two-cycle: both t and s are distributed, and s's
+		// counterpart (at site js) is blocked by t's counterpart there.
+		if !t.c.Type.Distributed() || !s.c.Type.Distributed() {
+			continue
+		}
+		tcp := st.counterpart(t)
+		if tcp == nil {
+			continue
+		}
+		for _, scp := range st.counterparts(s) {
+			if scp.site != tcp.site {
+				continue
+			}
+			pd += pb * scp.Pw * st.blockedShareOf(scp.site, scp, tcp.c.Type, tcp.Lh)
+		}
+	}
+	pd *= st.m.DeadlockAdjust
+	if pd < 0 {
+		pd = 0
+	}
+	if pd > 1 {
+		pd = 1
+	}
+	return pd
+}
+
+// maxPb bounds the blocking probability away from 1 for numerical safety
+// under extreme contention.
+const maxPb = 0.95

@@ -1,0 +1,121 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"carat/internal/rng"
+)
+
+// TestExpectedLocksAtAbortMonteCarlo validates Eq. 11 against direct
+// simulation of its own model: each of Nlk lock requests independently
+// kills the transaction with probability x; given it died, count the locks
+// acquired before death.
+func TestExpectedLocksAtAbortMonteCarlo(t *testing.T) {
+	r := rng.New(17)
+	for _, tc := range []struct {
+		nlk int
+		x   float64
+	}{
+		{10, 0.05},
+		{32, 0.01},
+		{80, 0.02},
+		{5, 0.3},
+	} {
+		var sum float64
+		var deaths int
+		for trial := 0; trial < 400_000; trial++ {
+			for i := 0; i < tc.nlk; i++ {
+				if r.Bool(tc.x) {
+					sum += float64(i)
+					deaths++
+					break
+				}
+			}
+		}
+		if deaths < 1000 {
+			t.Fatalf("nlk=%d x=%v: only %d deaths sampled", tc.nlk, tc.x, deaths)
+		}
+		mc := sum / float64(deaths)
+		analytic := expectedLocksAtAbort(float64(tc.nlk), tc.x)
+		if math.Abs(mc-analytic) > 0.03*analytic+0.05 {
+			t.Errorf("nlk=%d x=%v: Monte Carlo %v vs Eq.11 %v", tc.nlk, tc.x, mc, analytic)
+		}
+	}
+}
+
+func TestExpectedLocksAtAbortLimits(t *testing.T) {
+	// x -> 0: uniform over the request sequence, E[Y] -> (Nlk-1)/2.
+	if got := expectedLocksAtAbort(21, 0); math.Abs(got-10) > 1e-9 {
+		t.Fatalf("zero-x limit = %v, want 10", got)
+	}
+	// x -> 1: death on the first request, no locks held.
+	if got := expectedLocksAtAbort(21, 0.999999); got > 0.01 {
+		t.Fatalf("x->1 limit = %v, want ~0", got)
+	}
+	if expectedLocksAtAbort(0, 0.1) != 0 {
+		t.Fatal("zero locks must give zero")
+	}
+	if expectedLocksAtAbort(10, 1) != 0 {
+		t.Fatal("x=1 must give zero")
+	}
+	// Monotone decreasing in x.
+	prev := math.Inf(1)
+	for _, x := range []float64{1e-6, 1e-4, 0.01, 0.1, 0.5} {
+		got := expectedLocksAtAbort(40, x)
+		if got > prev {
+			t.Fatalf("E[Y] not decreasing at x=%v", x)
+		}
+		prev = got
+	}
+}
+
+func TestBlocksMatrix(t *testing.T) {
+	// Readers block only on writers; writers block on everyone (Eq. 15).
+	for _, reader := range []Type{LRO, DROC, DROS} {
+		for _, other := range Types() {
+			want := other.Update()
+			if got := blocks(reader, other); got != want {
+				t.Errorf("blocks(%v, %v) = %v, want %v", reader, other, got, want)
+			}
+		}
+	}
+	for _, writer := range []Type{LU, DUC, DUS} {
+		for _, other := range Types() {
+			if !blocks(writer, other) {
+				t.Errorf("blocks(%v, %v) = false, want true", writer, other)
+			}
+		}
+	}
+}
+
+func TestBlockingRatioFormula(t *testing.T) {
+	// Eq. 19: BR = (2N+1)/(6N); at N=1 it is 1/2, tending to 1/3.
+	if got := blockingRatio(1); math.Abs(got-0.5) > 1e-12 {
+		t.Fatalf("BR(1) = %v", got)
+	}
+	if got := blockingRatio(1e9); math.Abs(got-1.0/3) > 1e-6 {
+		t.Fatalf("BR(inf) = %v", got)
+	}
+	if blockingRatio(0) != 0 {
+		t.Fatal("BR(0) must be 0")
+	}
+}
+
+func TestCongestionAndClamp(t *testing.T) {
+	if congestion(0) != 1 {
+		t.Fatal("congestion(0) must be 1")
+	}
+	if congestion(0.5) != 2 {
+		t.Fatal("congestion(0.5) must be 2")
+	}
+	if got := congestion(0.99); got != congestion(2) {
+		t.Fatalf("congestion must clamp at 0.95: %v", got)
+	}
+	if congestion(-1) != 1 {
+		t.Fatal("negative utilization must clamp to 0")
+	}
+	if clamp01(-0.5) != 0 || clamp01(1.5) != 1 || clamp01(0.25) != 0.25 {
+		t.Fatal("clamp01 wrong")
+	}
+}

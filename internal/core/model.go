@@ -1,0 +1,382 @@
+// Package core implements the paper's contribution: the analytical
+// queueing network model of Sections 3–6. Each site is a closed
+// multi-chain product-form network (CPU and disk queueing centers; lock
+// wait, remote wait, commit wait and user think delay centers) whose
+// parameters — blocking probability, deadlock probability, lock wait time,
+// remote wait time, commit wait time, resubmission count — are themselves
+// functions of the network's solution. The model is therefore solved by a
+// damped fixed-point iteration, each step of which runs exact Mean Value
+// Analysis on every site (Section 6).
+//
+// Equation references throughout this package are to the paper.
+package core
+
+import (
+	"fmt"
+
+	"carat/internal/phase"
+)
+
+// Type enumerates the model's six transaction chain types (Section 4.2):
+// the four workload types, with distributed types split into their
+// coordinator and slave halves.
+type Type int
+
+const (
+	// LRO is a local read-only transaction.
+	LRO Type = iota
+	// LU is a local update transaction.
+	LU
+	// DROC is the coordinator half of a distributed read-only transaction.
+	DROC
+	// DUC is the coordinator half of a distributed update transaction.
+	DUC
+	// DROS is a distributed read-only slave.
+	DROS
+	// DUS is a distributed update slave.
+	DUS
+
+	// NumTypes is the number of chain types.
+	NumTypes = int(DUS) + 1
+)
+
+var typeNames = [NumTypes]string{"LRO", "LU", "DROC", "DUC", "DROS", "DUS"}
+
+// String returns the paper's abbreviation.
+func (t Type) String() string {
+	if t < 0 || int(t) >= NumTypes {
+		return fmt.Sprintf("Type(%d)", int(t))
+	}
+	return typeNames[t]
+}
+
+// Types lists all chain types in declaration order.
+func Types() []Type {
+	out := make([]Type, NumTypes)
+	for i := range out {
+		out[i] = Type(i)
+	}
+	return out
+}
+
+// WorkloadName returns the workload transaction type this chain belongs
+// to: coordinators map back to DRO/DU, local types to themselves, and
+// slaves to their transaction's type.
+func (t Type) WorkloadName() string {
+	switch t {
+	case DROC, DROS:
+		return "DRO"
+	case DUC, DUS:
+		return "DU"
+	default:
+		return t.String()
+	}
+}
+
+// ReadOnly reports whether the chain requests only shared locks.
+func (t Type) ReadOnly() bool { return t == LRO || t == DROC || t == DROS }
+
+// Update reports whether the chain requests exclusive locks.
+func (t Type) Update() bool { return !t.ReadOnly() }
+
+// Coordinator reports whether the chain is a distributed coordinator.
+func (t Type) Coordinator() bool { return t == DROC || t == DUC }
+
+// Slave reports whether the chain is a distributed slave.
+func (t Type) Slave() bool { return t == DROS || t == DUS }
+
+// Distributed reports whether the chain belongs to a distributed
+// transaction.
+func (t Type) Distributed() bool { return t.Coordinator() || t.Slave() }
+
+// Counterpart returns the matching chain type at the other end of a
+// distributed transaction (DROC<->DROS, DUC<->DUS); local types map to
+// themselves.
+func (t Type) Counterpart() Type {
+	switch t {
+	case DROC:
+		return DROS
+	case DUC:
+		return DUS
+	case DROS:
+		return DROC
+	case DUS:
+		return DUC
+	default:
+		return t
+	}
+}
+
+// Chain parameterizes one transaction type at one site — the model's
+// N(t,i) population plus the per-phase resource requirements R_c(t,i)
+// (Table 2 basic parameters and the derived phase costs). All times are
+// milliseconds.
+type Chain struct {
+	Type       Type
+	Population int // N(t,i)
+
+	// Local and Remote are l(t) and r(t): requests executed at this site
+	// and requests shipped to slave sites. Slaves have Remote = 0 and
+	// Local equal to the coordinator's r(t).
+	Local  int
+	Remote int
+	// RecordsPerRequest is the records accessed per request (paper: 4).
+	RecordsPerRequest int
+
+	// Per-visit CPU requirements by phase.
+	UCPU, TMCPU, DMCPU, LRCPU, DMIOCPU      float64
+	InitCPU, CommitCPU, AbortCPU, UnlockCPU float64
+
+	// DMIOOps is disk operations per granule access (1 read-only,
+	// 3 update: read + journal write + in-place write). CommitOps is
+	// force-written log records at this site per commit (TCIO).
+	DMIOOps   int
+	CommitOps int
+
+	// ThinkTime is R_UT.
+	ThinkTime float64
+
+	// Topology for distributed chains. Coordinators name their slave
+	// sites; slaves name their coordinator's site. Ignored for local
+	// types.
+	SlaveSites []int
+	CoordSite  int
+}
+
+// N returns the chain's total requests n(t) = l + r.
+func (c *Chain) N() int { return c.Local + c.Remote }
+
+// Site describes one site's database and devices.
+type Site struct {
+	Granules          int     // Ng
+	RecordsPerGranule int     // Nb
+	DiskTime          float64 // mean block I/O service time on the database disk
+	LogDiskTime       float64 // mean log write time (same device unless SeparateLog)
+	SeparateLog       bool
+	// CPUs is the number of processors at the site: the CPU becomes an
+	// m-server center solved with Seidmann's approximation. Default 1.
+	CPUs int
+	// DiskStripes spreads the database over this many identical disks,
+	// each its own queueing center with an equal share of the demand —
+	// the paper's "multiple DISK queueing centers can be used to
+	// represent multiple disks for the database" (Section 4). Default 1.
+	DiskStripes int
+	// BufferHitRatio lets a fraction of granule reads skip the disk
+	// (database-buffering extension; the paper's testbed has 0).
+	BufferHitRatio float64
+
+	Chains map[Type]*Chain
+}
+
+// Model is the full input: one Site Processing Model per site plus the
+// communication delay and solver controls.
+type Model struct {
+	Sites []*Site
+	// Alpha is the mean one-way inter-site message delay (the paper's α;
+	// negligible on the measured two-node Ethernet).
+	Alpha float64
+	// AlphaModel, when non-nil, is the low-level Communication Network
+	// Model of Section 3: each iteration feeds the current inter-site
+	// message rate (messages per ms across all sites) back into the
+	// network model, which returns the α to use next — e.g. the
+	// Almes–Lazowska Ethernet model under load. Alpha then serves as the
+	// starting value.
+	AlphaModel func(messagesPerMS float64) float64
+	// DeadlockAdjust calibrates the two-cycle deadlock approximation; the
+	// paper notes an adjusting factor can be measured per workload.
+	// Default 1.
+	DeadlockAdjust float64
+	// InflateCW inflates commit-wait service times by the target site's
+	// congestion (1/(1-U)), approximating queueing inside the 2PC delays.
+	InflateCW bool
+
+	// IncludeTMSerialization adds the TM-server serialization delay the
+	// paper deliberately ignores (Section 5.5, which notes the reduction
+	// technique of [JACO83] "can be applied if the serialization delay is
+	// to be taken into account"). The TM critical section's holding time
+	// is its CPU burst inflated by CPU congestion; each TM visit then
+	// queues for the mutex with an M/M/1-style wait U·S/(1-U). The
+	// correction matters most at small transaction sizes, where the paper
+	// reports its model's largest deviations.
+	IncludeTMSerialization bool
+
+	// Solver controls.
+	Tol     float64 // convergence tolerance on throughput (default 1e-8)
+	MaxIter int     // iteration cap (default 500)
+	Damping float64 // new-value weight in (0,1] (default 0.5)
+	// UseApproxMVA switches the per-site solver to Schweitzer–Bard,
+	// needed when populations are too large for exact MVA.
+	UseApproxMVA bool
+}
+
+// Validate checks structural consistency and fills solver defaults.
+func (m *Model) Validate() error {
+	if len(m.Sites) == 0 {
+		return fmt.Errorf("core: no sites")
+	}
+	for i, s := range m.Sites {
+		if s.Granules <= 0 || s.RecordsPerGranule <= 0 {
+			return fmt.Errorf("core: site %d layout invalid", i)
+		}
+		if s.DiskTime <= 0 {
+			return fmt.Errorf("core: site %d disk time invalid", i)
+		}
+		if s.LogDiskTime == 0 {
+			s.LogDiskTime = s.DiskTime
+		}
+		if s.BufferHitRatio < 0 || s.BufferHitRatio >= 1 {
+			return fmt.Errorf("core: site %d buffer hit ratio %v out of [0,1)", i, s.BufferHitRatio)
+		}
+		if s.DiskStripes == 0 {
+			s.DiskStripes = 1
+		}
+		if s.CPUs == 0 {
+			s.CPUs = 1
+		}
+		if s.CPUs < 0 {
+			return fmt.Errorf("core: site %d negative CPU count", i)
+		}
+		if s.DiskStripes < 0 {
+			return fmt.Errorf("core: site %d negative disk stripes", i)
+		}
+		for ty, c := range s.Chains {
+			if c.Type != ty {
+				return fmt.Errorf("core: site %d chain %v keyed as %v", i, c.Type, ty)
+			}
+			if c.Population < 0 {
+				return fmt.Errorf("core: site %d chain %v negative population", i, ty)
+			}
+			if c.Population == 0 {
+				continue
+			}
+			if c.Local < 0 || c.Remote < 0 || c.N() == 0 {
+				return fmt.Errorf("core: site %d chain %v has no requests", i, ty)
+			}
+			if ty.Slave() && c.Remote != 0 {
+				return fmt.Errorf("core: site %d slave chain %v has remote requests", i, ty)
+			}
+			if ty.Coordinator() {
+				if c.Remote == 0 {
+					return fmt.Errorf("core: site %d coordinator %v has no remote requests", i, ty)
+				}
+				if len(c.SlaveSites) == 0 {
+					return fmt.Errorf("core: site %d coordinator %v has no slave sites", i, ty)
+				}
+				for _, j := range c.SlaveSites {
+					if j < 0 || j >= len(m.Sites) || j == i {
+						return fmt.Errorf("core: site %d coordinator %v slave site %d invalid", i, ty, j)
+					}
+					sc := m.Sites[j].Chains[ty.Counterpart()]
+					if sc == nil || sc.Population == 0 {
+						return fmt.Errorf("core: site %d coordinator %v has no %v chain at slave site %d",
+							i, ty, ty.Counterpart(), j)
+					}
+				}
+			}
+			if ty.Slave() {
+				j := c.CoordSite
+				if j < 0 || j >= len(m.Sites) || j == i {
+					return fmt.Errorf("core: site %d slave %v coordinator site %d invalid", i, ty, j)
+				}
+				cc := m.Sites[j].Chains[ty.Counterpart()]
+				if cc == nil || cc.Population == 0 {
+					return fmt.Errorf("core: site %d slave %v has no coordinator chain at site %d", i, ty, j)
+				}
+			}
+			if c.RecordsPerRequest <= 0 {
+				return fmt.Errorf("core: site %d chain %v records per request invalid", i, ty)
+			}
+		}
+	}
+	if m.DeadlockAdjust == 0 {
+		m.DeadlockAdjust = 1
+	}
+	if m.Tol <= 0 {
+		m.Tol = 1e-8
+	}
+	if m.MaxIter <= 0 {
+		m.MaxIter = 500
+	}
+	if m.Damping <= 0 || m.Damping > 1 {
+		m.Damping = 0.5
+	}
+	return nil
+}
+
+// ChainResult reports the model's predictions for one chain at one site.
+type ChainResult struct {
+	Type       Type
+	Population int
+
+	// Throughput is the commit rate in transactions per ms.
+	Throughput float64
+	// CycleTime is the full commit-to-commit cycle N/X in ms.
+	CycleTime float64
+	// ResponseTime is the user response time R(t,i): cycle minus the
+	// final think, including aborted executions.
+	ResponseTime float64
+
+	// The converged model quantities.
+	Pb, Pd, Pra, Pa float64
+	Ns              float64 // submissions per commit, Eq. 4
+	Nlk             float64 // locks requested per execution, Eq. 2
+	Plw             float64 // probability of blocking at least once, Eq. 16
+	BR              float64 // blocking ratio (2Nlk+1)/(6Nlk), Eq. 19
+	Lh              float64 // time-average locks held, Eq. 14
+	RLW             float64 // mean lock wait per blocked request, Eq. 20
+	RRW             float64 // mean remote wait per visit, Eqs. 21–24
+	RCW             float64 // mean two-phase-commit wait per commit
+
+	// Demands per commit cycle at the site's centers (Eqs. 5–10).
+	CPUDemand, DiskDemand, LogDemand       float64
+	LWDemand, RWDemand, CWDemand, UTDemand float64
+	// TMWaitDemand is the optional TM-serialization delay per cycle
+	// (zero unless Model.IncludeTMSerialization).
+	TMWaitDemand float64
+	// DiskOps is the expected disk operations per commit cycle.
+	DiskOps float64
+	// Visits are the converged per-execution phase visit counts (Eq. 1).
+	Visits [phase.NumPhases]float64
+}
+
+// SiteResult aggregates one site.
+type SiteResult struct {
+	Chains map[Type]*ChainResult
+
+	// CPUUtilization and DiskUtilization are the queueing-center busy
+	// fractions; DiskIORate is block I/Os per ms (database plus log).
+	CPUUtilization     float64
+	DiskUtilization    float64
+	LogDiskUtilization float64
+	DiskIORate         float64
+
+	// TotalTxnThroughput sums local and coordinator chains (commits/ms) —
+	// the tables' TR-XPUT, assigned to the transaction's home site.
+	TotalTxnThroughput float64
+	// RecordThroughput is the normalized throughput of Figures 5 and 8:
+	// Σ X(t,i) · n(t) · records-per-request over home chains, records/ms.
+	RecordThroughput float64
+}
+
+// ThroughputOf returns the commit rate (per ms) of the workload type named
+// by its paper abbreviation ("LRO", "LU", "DRO", "DU"), summing the
+// non-slave chains that map to it.
+func (s *SiteResult) ThroughputOf(workloadName string) float64 {
+	var x float64
+	for ty, cr := range s.Chains {
+		if ty.Slave() {
+			continue
+		}
+		if ty.WorkloadName() == workloadName {
+			x += cr.Throughput
+		}
+	}
+	return x
+}
+
+// Result is the converged model solution.
+type Result struct {
+	Sites      []*SiteResult
+	Iterations int
+	Converged  bool
+}

@@ -1,0 +1,168 @@
+package core
+
+import "math"
+
+// This file implements the distributed couplings: the remote-abort
+// probability Pra (the (1-Pra)^r factor of Eq. 3), the remote wait delays
+// of Eqs. 21–24, and the two-phase commit delay of Section 5.7.
+
+// remoteAbortProbCoordinator estimates Pra(t): the probability one remote
+// request of coordinator chain t ends in an abort because the request's
+// slave execution died in a deadlock (local or global) detected at the
+// slave site. Each of the request's q lock requests at the slave dies with
+// probability Pb_s·Pd_s.
+func (st *solverState) remoteAbortProbCoordinator(t *chainState) float64 {
+	var worst float64
+	for _, s := range st.counterparts(t) {
+		p := 1 - math.Pow(1-s.Pb*s.Pd, s.q)
+		if p > worst {
+			worst = p
+		}
+	}
+	return clamp01(worst)
+}
+
+// remoteAbortProbSlave estimates Pra for a slave chain: the probability
+// one wait for the next remote request ends with an abort instead, because
+// the transaction died elsewhere — at the coordinator's site or at a
+// sibling slave. Consistency requires the slave's total survival to match
+// the coordinator's survival from non-local causes:
+//
+//	(1 - Pra_s)^l = (1-Pb_c·Pd_c)^Nlk_c · Π_siblings (1-Pb·Pd)^Nlk
+func (st *solverState) remoteAbortProbSlave(s *chainState) float64 {
+	coord := st.coordinatorOf(s)
+	if coord == nil || s.c.Local == 0 {
+		return 0
+	}
+	survive := math.Pow(1-coord.Pb*coord.Pd, coord.Nlk)
+	for _, sib := range st.counterparts(coord) {
+		if sib == s {
+			continue
+		}
+		survive *= math.Pow(1-sib.Pb*sib.Pd, sib.Nlk)
+	}
+	if survive <= 0 {
+		return 1
+	}
+	return clamp01(1 - math.Pow(survive, 1/float64(s.c.Local)))
+}
+
+// remoteWaitCoordinator computes Eqs. 21–22: the coordinator's mean wait
+// per remote request is two network hops plus the slave-side request
+// response time — the slave chain's cycle time with its own remote-wait
+// and dormancy components removed, spread over the cycle's remote
+// requests.
+func (st *solverState) remoteWaitCoordinator(t *chainState) float64 {
+	if t.c.Remote == 0 || t.Ns <= 0 {
+		return 0
+	}
+	var sum float64
+	for _, s := range st.counterparts(t) {
+		busy := s.Rtotal - s.DRW - s.DUT
+		if busy < 0 {
+			busy = 0
+		}
+		sum += busy
+	}
+	return 2*st.m.Alpha + sum/(t.Ns*float64(t.c.Remote))
+}
+
+// remoteWaitSlave computes Eqs. 23–24: a slave's mean wait between remote
+// requests is the coordinator's cycle time minus the part the coordinator
+// spends waiting on this slave and thinking, spread over the slave's
+// request visits.
+func (st *solverState) remoteWaitSlave(s *chainState) float64 {
+	coord := st.coordinatorOf(s)
+	if coord == nil || s.c.Local == 0 || s.Ns <= 0 {
+		return 0
+	}
+	f := 1.0
+	if n := len(coord.c.SlaveSites); n > 0 {
+		f = 1 / float64(n)
+	}
+	w := coord.Rtotal - coord.DRW*f - coord.DUT
+	if w < 0 {
+		w = 0
+	}
+	return w / (s.Ns * float64(s.c.Local))
+}
+
+// congestion returns the service-time inflation 1/(1-U) for embedding
+// queueing effects into the commit-wait delay approximation, bounded away
+// from the singularity.
+func congestion(u float64) float64 {
+	if u > 0.95 {
+		u = 0.95
+	}
+	if u < 0 {
+		u = 0
+	}
+	return 1 / (1 - u)
+}
+
+// commitWaits computes the coordinator's two-phase commit delays of
+// Section 5.7. The commit path waits for two slave round trips: the
+// PREPARE phase (slave TM + commit processing + any force-written prepare
+// record) and the COMMIT phase (slave TM + unlock). The abort path waits
+// for one rollback round trip (slave TM + abort processing + undo writes).
+// Since slaves work in parallel, each phase takes the slowest slave. With
+// Model.InflateCW the slave service times are inflated by the slave site's
+// congestion.
+func (st *solverState) commitWaits(t *chainState) (rcwc, rcwa float64) {
+	slaves := st.counterparts(t)
+	if len(slaves) == 0 {
+		return 0, 0
+	}
+	var prepMax, commitMax, abortMax float64
+	for _, s := range slaves {
+		site := st.m.Sites[s.site]
+		cpuInfl, diskInfl := 1.0, 1.0
+		if st.m.InflateCW {
+			cpuInfl = congestion(st.cpuUtil[s.site])
+			diskInfl = congestion(st.logUtil[s.site])
+		}
+		prep := 2*st.m.Alpha + cpuInfl*(s.c.TMCPU+s.c.CommitCPU) +
+			diskInfl*float64(s.c.CommitOps)*site.LogDiskTime
+		commit := 2*st.m.Alpha + cpuInfl*(s.c.TMCPU+s.c.UnlockCPU)
+		abort := 2*st.m.Alpha + cpuInfl*(s.c.TMCPU+s.c.AbortCPU+s.EY*s.c.DMIOCPU)
+		if s.c.Type.Update() {
+			abort += diskInfl * s.EY * site.DiskTime
+		}
+		if prep > prepMax {
+			prepMax = prep
+		}
+		if commit > commitMax {
+			commitMax = commit
+		}
+		if abort > abortMax {
+			abortMax = abort
+		}
+	}
+	return prepMax + commitMax, abortMax
+}
+
+// slaveCommitWait is the slave-side CWC: the gap between its PREPARE
+// acknowledgment and the COMMIT message — two hops plus the coordinator's
+// force-written commit record.
+func (st *solverState) slaveCommitWait(s *chainState) float64 {
+	coord := st.coordinatorOf(s)
+	if coord == nil {
+		return 0
+	}
+	site := st.m.Sites[coord.site]
+	diskInfl := 1.0
+	if st.m.InflateCW {
+		diskInfl = congestion(st.logUtil[coord.site])
+	}
+	return 2*st.m.Alpha + diskInfl*float64(coord.c.CommitOps)*site.LogDiskTime
+}
+
+func clamp01(x float64) float64 {
+	if x < 0 {
+		return 0
+	}
+	if x > 1 {
+		return 1
+	}
+	return x
+}

@@ -1,0 +1,545 @@
+package core
+
+import (
+	"fmt"
+	"math"
+
+	"carat/internal/mva"
+	"carat/internal/phase"
+	"carat/internal/storage"
+)
+
+// chainState carries the iteration variables for one chain at one site.
+type chainState struct {
+	site int
+	c    *Chain
+
+	q   float64 // granules (I/Os) per request, via Yao's formula
+	Nlk float64 // locks per execution at this site, Eq. 2
+
+	// Feedback variables (damped between iterations).
+	Pb, Pd, Pra          float64
+	Lh                   float64
+	RLW, RRW, RCWC, RCWA float64
+	RTM                  float64 // TM serialization wait per TM visit
+
+	// Per-iteration derived quantities.
+	visits  [phase.NumPhases]float64
+	Pa, Ns  float64
+	EY, sig float64
+
+	// Demands per commit cycle.
+	Dcpu, Ddisk, Dlog       float64
+	DLW, DRW, DCW, DUT, DTM float64
+	diskOps                 float64
+
+	// MVA outputs.
+	X, Rtotal, Rexec, Rs, Rf, Pw float64
+}
+
+// solverState is the whole-model iteration state.
+type solverState struct {
+	m      *Model
+	chains []*chainState          // all populated chains
+	bySite [][]*chainState        // chains grouped by site
+	index  []map[Type]*chainState // site -> type -> state
+
+	cpuUtil, diskUtil, logUtil []float64
+}
+
+func newSolverState(m *Model) *solverState {
+	st := &solverState{
+		m:        m,
+		bySite:   make([][]*chainState, len(m.Sites)),
+		index:    make([]map[Type]*chainState, len(m.Sites)),
+		cpuUtil:  make([]float64, len(m.Sites)),
+		diskUtil: make([]float64, len(m.Sites)),
+		logUtil:  make([]float64, len(m.Sites)),
+	}
+	for i, s := range m.Sites {
+		st.index[i] = make(map[Type]*chainState)
+		for _, ty := range Types() {
+			c, ok := s.Chains[ty]
+			if !ok || c.Population == 0 {
+				continue
+			}
+			records := s.Granules * s.RecordsPerGranule
+			cs := &chainState{
+				site: i,
+				c:    c,
+				q:    storage.Yao(records, s.RecordsPerGranule, c.RecordsPerRequest),
+			}
+			cs.Nlk = float64(c.Local) * cs.q
+			st.chains = append(st.chains, cs)
+			st.bySite[i] = append(st.bySite[i], cs)
+			st.index[i][ty] = cs
+		}
+	}
+	return st
+}
+
+func (st *solverState) chainsAt(i int) []*chainState { return st.bySite[i] }
+
+// counterpart returns the single counterpart chain of a slave (its
+// coordinator's chain is returned by coordinatorOf; a slave's counterpart
+// is the coordinator chain) or the first counterpart of a coordinator.
+func (st *solverState) counterpart(t *chainState) *chainState {
+	cps := st.counterparts(t)
+	if len(cps) == 0 {
+		return nil
+	}
+	return cps[0]
+}
+
+// counterparts returns the chain states at the other end(s) of a
+// distributed chain: a coordinator's slave chains, or a slave's
+// coordinator chain. Empty for local types.
+func (st *solverState) counterparts(t *chainState) []*chainState {
+	ty := t.c.Type
+	switch {
+	case ty.Coordinator():
+		var out []*chainState
+		for _, j := range t.c.SlaveSites {
+			if s, ok := st.index[j][ty.Counterpart()]; ok {
+				out = append(out, s)
+			}
+		}
+		return out
+	case ty.Slave():
+		if c, ok := st.index[t.c.CoordSite][ty.Counterpart()]; ok {
+			return []*chainState{c}
+		}
+	}
+	return nil
+}
+
+// coordinatorOf returns a slave chain's coordinator state.
+func (st *solverState) coordinatorOf(s *chainState) *chainState {
+	if !s.c.Type.Slave() {
+		return nil
+	}
+	return st.counterpart(s)
+}
+
+// Solve runs the fixed-point iteration of Section 6 and returns the
+// converged model predictions.
+func Solve(m *Model) (*Result, error) {
+	if err := m.Validate(); err != nil {
+		return nil, err
+	}
+	st := newSolverState(m)
+	if len(st.chains) == 0 {
+		return nil, fmt.Errorf("core: no populated chains")
+	}
+
+	prevX := make([]float64, len(st.chains))
+	converged := false
+	iter := 0
+	for ; iter < m.MaxIter; iter++ {
+		if err := st.step(); err != nil {
+			return nil, fmt.Errorf("core: iteration %d: %w", iter, err)
+		}
+		var maxDelta float64
+		for k, cs := range st.chains {
+			d := math.Abs(cs.X-prevX[k]) / (math.Abs(cs.X) + 1e-15)
+			if d > maxDelta {
+				maxDelta = d
+			}
+			prevX[k] = cs.X
+		}
+		if iter > 0 && maxDelta < m.Tol {
+			converged = true
+			iter++
+			break
+		}
+	}
+	return st.assemble(iter, converged), nil
+}
+
+// step performs one iteration: visit counts and demands from the current
+// feedback variables, per-site MVA, then damped feedback updates.
+func (st *solverState) step() error {
+	// 1. Visit counts, abort probabilities, demands.
+	for _, cs := range st.chains {
+		if err := cs.computeVisits(); err != nil {
+			return err
+		}
+		cs.computeDemands(st.m.Sites[cs.site])
+	}
+
+	// 2. Per-site MVA.
+	for i := range st.m.Sites {
+		if err := st.solveSite(i); err != nil {
+			return err
+		}
+	}
+
+	// 3. Execution-time decomposition and lock-holding estimates.
+	for _, cs := range st.chains {
+		cs.decomposeTimes()
+	}
+	// Lh must be updated for all chains before Pb/PB (they couple sites
+	// through nothing, but couple chains within a site).
+	d := st.m.Damping
+	for _, cs := range st.chains {
+		newLh := cs.lockHolding()
+		cs.Lh = d*newLh + (1-d)*cs.Lh
+	}
+
+	// 4. Feedback: blocking, deadlock, remote and commit waits.
+	type upd struct {
+		pb, pd, pra, rlw, rrw, rcwc, rcwa float64
+	}
+	updates := make([]upd, len(st.chains))
+	for k, cs := range st.chains {
+		u := &updates[k]
+		u.pb = st.pbOf(cs.site, cs.c.Type)
+		u.pd = st.deadlockProb(cs.site, cs)
+		u.rlw = st.lockWaitTime(cs.site, cs.c.Type)
+		switch {
+		case cs.c.Type.Coordinator():
+			u.pra = st.remoteAbortProbCoordinator(cs)
+			u.rrw = st.remoteWaitCoordinator(cs)
+			u.rcwc, u.rcwa = st.commitWaits(cs)
+		case cs.c.Type.Slave():
+			u.pra = st.remoteAbortProbSlave(cs)
+			u.rrw = st.remoteWaitSlave(cs)
+			u.rcwc, u.rcwa = st.slaveCommitWait(cs), 0
+		}
+	}
+	for k, cs := range st.chains {
+		u := updates[k]
+		cs.Pb = d*u.pb + (1-d)*cs.Pb
+		cs.Pd = d*u.pd + (1-d)*cs.Pd
+		cs.Pra = d*u.pra + (1-d)*cs.Pra
+		cs.RLW = d*u.rlw + (1-d)*cs.RLW
+		cs.RRW = d*u.rrw + (1-d)*cs.RRW
+		cs.RCWC = d*u.rcwc + (1-d)*cs.RCWC
+		cs.RCWA = d*u.rcwa + (1-d)*cs.RCWA
+	}
+	if st.m.IncludeTMSerialization {
+		st.updateTMSerialization(d)
+	}
+	if st.m.AlphaModel != nil {
+		newAlpha := st.m.AlphaModel(st.messageRate())
+		st.m.Alpha = d*newAlpha + (1-d)*st.m.Alpha
+	}
+	return nil
+}
+
+// messageRate estimates the total inter-site message rate (messages per
+// ms): per committed distributed transaction, each remote request costs a
+// REMDO and its acknowledgment, initialization adds a DBOPEN round trip
+// per slave site, and two-phase commit adds two round trips per slave.
+func (st *solverState) messageRate() float64 {
+	var rate float64
+	for _, cs := range st.chains {
+		if !cs.c.Type.Coordinator() {
+			continue
+		}
+		slaves := float64(len(cs.c.SlaveSites))
+		perCycle := 2*cs.Ns*float64(cs.c.Remote) + // request/response per submission
+			2*slaves + // DBOPEN round trip
+			4*slaves // PREPARE and COMMIT round trips
+		rate += cs.X * perCycle
+	}
+	return rate
+}
+
+// updateTMSerialization estimates, per site, the wait for the TM server's
+// critical section: the mutex is held for the TM CPU burst inflated by CPU
+// congestion, visits arrive at rate Σ X·N_s·V_TM, and the M/M/1 wait
+// U·S/(1-U) is charged per TM visit as a delay (the paper's Section 5.5
+// deviation, made optional).
+func (st *solverState) updateTMSerialization(damping float64) {
+	for i := range st.m.Sites {
+		chains := st.bySite[i]
+		if len(chains) == 0 {
+			continue
+		}
+		infl := congestion(st.cpuUtil[i])
+		var util, visitRate float64
+		for _, cs := range chains {
+			hold := cs.c.TMCPU * infl
+			rate := cs.X * cs.Ns * cs.visits[phase.TM]
+			util += rate * hold
+			visitRate += rate
+		}
+		if util > 0.95 {
+			util = 0.95
+		}
+		var meanHold float64
+		if visitRate > 0 {
+			// Mean holding time over all visits at the site.
+			meanHold = util / visitRate
+		}
+		wait := util / (1 - util) * meanHold
+		for _, cs := range chains {
+			cs.RTM = damping*wait + (1-damping)*cs.RTM
+		}
+	}
+}
+
+// computeVisits builds the phase transition matrix for the chain's current
+// probabilities and solves Eq. 1. Pa is read off as V_TA (each execution
+// ends in exactly one of TC or TA), and N_s follows from Eq. 4.
+func (cs *chainState) computeVisits() error {
+	pr := phase.Probs{
+		L: cs.c.Local, R: cs.c.Remote, Q: cs.q,
+		Pb: cs.Pb, Pd: cs.Pd, Pra: cs.Pra,
+	}
+	var m *phase.Matrix
+	var err error
+	if cs.c.Type.Slave() {
+		m, err = phase.Slave(pr)
+	} else {
+		m, err = phase.Coordinator(pr)
+	}
+	if err != nil {
+		return err
+	}
+	cs.visits, err = phase.VisitCounts(m)
+	if err != nil {
+		return err
+	}
+	cs.Pa = clamp01(cs.visits[phase.TA])
+	if cs.Pa > 0.999 {
+		cs.Pa = 0.999
+	}
+	cs.Ns = 1 / (1 - cs.Pa) // Eq. 4
+	x := cs.Pb * cs.Pd
+	cs.EY = expectedLocksAtAbort(cs.Nlk, x)
+	if cs.Nlk > 0 {
+		cs.sigSet(cs.EY / cs.Nlk)
+	} else {
+		cs.sigSet(0)
+	}
+	return nil
+}
+
+func (cs *chainState) sigSet(s float64) { cs.sig = clamp01(s) }
+
+// computeDemands evaluates Eqs. 5–10: total service demands per commit
+// cycle at each center, as N_s times the per-execution demand.
+func (cs *chainState) computeDemands(site *Site) {
+	v := cs.visits
+	c := cs.c
+	undoWrites := 0.0
+	undoCPU := 0.0
+	if c.Type.Update() {
+		undoWrites = cs.EY
+		undoCPU = cs.EY * c.DMIOCPU
+	}
+	cpu := v[phase.INIT]*c.InitCPU +
+		v[phase.U]*c.UCPU +
+		v[phase.TM]*c.TMCPU +
+		v[phase.DM]*c.DMCPU +
+		v[phase.LR]*c.LRCPU +
+		v[phase.DMIO]*c.DMIOCPU +
+		v[phase.TC]*c.CommitCPU +
+		v[phase.TA]*(c.AbortCPU+undoCPU) +
+		v[phase.UL]*c.UnlockCPU
+	cs.Dcpu = cs.Ns * cpu
+
+	h := site.BufferHitRatio
+	var dbOpsPerGranule, logOpsPerGranule float64
+	if c.Type.Update() {
+		dbOpsPerGranule = (1 - h) + 1 // read (buffer-absorbable) + in-place write
+		logOpsPerGranule = 1          // before-image journal write
+	} else {
+		dbOpsPerGranule = 1 - h
+	}
+	dbOps := v[phase.DMIO]*dbOpsPerGranule + v[phase.TAIO]*undoWrites
+	logOps := v[phase.DMIO]*logOpsPerGranule + v[phase.TCIO]*float64(c.CommitOps)
+	// Ddisk is the database-disk demand; Dlog the log demand. When the
+	// log shares the database disk, solveSite folds Dlog into the first
+	// stripe.
+	cs.Ddisk = cs.Ns * dbOps * site.DiskTime
+	cs.Dlog = cs.Ns * logOps * site.LogDiskTime
+	cs.diskOps = cs.Ns * (dbOps + logOps)
+
+	cs.DLW = cs.Ns * v[phase.LW] * cs.RLW                          // Eq. 7
+	cs.DRW = cs.Ns * v[phase.RW] * cs.RRW                          // Eq. 8
+	cs.DCW = cs.Ns * (v[phase.CWC]*cs.RCWC + v[phase.CWA]*cs.RCWA) // Eq. 9
+	cs.DUT = cs.Ns * c.ThinkTime                                   // Eq. 10 + final think
+	cs.DTM = cs.Ns * v[phase.TM] * cs.RTM                          // TM serialization (optional)
+}
+
+// solveSite builds and solves site i's product-form network: CPU and disk
+// queueing centers (plus a log-disk center when separate) and one combined
+// delay center for LW+RW+CW+UT.
+func (st *solverState) solveSite(i int) error {
+	chains := st.bySite[i]
+	if len(chains) == 0 {
+		return nil
+	}
+	site := st.m.Sites[i]
+	stripes := site.DiskStripes
+	if stripes < 1 {
+		stripes = 1
+	}
+	// Centers: CPU, one per database stripe, an optional log disk, and
+	// one combined delay center.
+	nCenters := 1 + stripes + 1
+	logIdx := -1
+	if site.SeparateLog {
+		logIdx = 1 + stripes
+		nCenters++
+	}
+	delayIdx := nCenters - 1
+	net := &mva.Network{
+		Kinds:       make([]mva.CenterKind, nCenters),
+		Demands:     make([][]float64, nCenters),
+		Servers:     make([]int, nCenters),
+		Populations: make([]int, len(chains)),
+	}
+	net.Kinds[0] = mva.Queueing // CPU
+	if site.CPUs > 1 {
+		net.Kinds[0] = mva.MultiServer
+		net.Servers[0] = site.CPUs
+	}
+	for s := 0; s < stripes; s++ {
+		net.Kinds[1+s] = mva.Queueing // DB disk stripe
+	}
+	if logIdx >= 0 {
+		net.Kinds[logIdx] = mva.Queueing
+	}
+	net.Kinds[delayIdx] = mva.Delay
+	for c := range net.Demands {
+		net.Demands[c] = make([]float64, len(chains))
+	}
+	for k, cs := range chains {
+		net.Populations[k] = cs.c.Population
+		net.Demands[0][k] = cs.Dcpu
+		for s := 0; s < stripes; s++ {
+			net.Demands[1+s][k] = cs.Ddisk / float64(stripes)
+		}
+		if logIdx >= 0 {
+			net.Demands[logIdx][k] = cs.Dlog
+		} else {
+			// Shared device: the log lives on the first stripe.
+			net.Demands[1][k] += cs.Dlog
+		}
+		net.Demands[delayIdx][k] = cs.DLW + cs.DRW + cs.DCW + cs.DUT + cs.DTM
+	}
+	var sol *mva.Solution
+	var err error
+	if st.m.UseApproxMVA {
+		sol, err = mva.SolveApprox(net, 1e-10, 0)
+	} else {
+		sol, err = mva.SolveExact(net)
+	}
+	if err != nil {
+		return err
+	}
+	for k, cs := range chains {
+		cs.X = sol.Throughput[k]
+		cs.Rtotal = sol.CycleTime[k]
+	}
+	st.cpuUtil[i] = sol.Utilization[0]
+	var dbU float64
+	for s := 0; s < stripes; s++ {
+		dbU += sol.Utilization[1+s]
+	}
+	st.diskUtil[i] = dbU / float64(stripes)
+	if logIdx >= 0 {
+		st.logUtil[i] = sol.Utilization[logIdx]
+	} else {
+		st.logUtil[i] = sol.Utilization[1]
+	}
+	return nil
+}
+
+// decomposeTimes splits the cycle into per-submission execution times:
+// R_exec (average per submission, excluding think), R_s (successful) and
+// R_f = σ·R_s (failed), per Section 5.4.1. It also updates the blocked-
+// time occupancy used by the deadlock approximation.
+func (cs *chainState) decomposeTimes() {
+	if cs.Rtotal <= 0 || cs.Ns <= 0 {
+		return
+	}
+	exec := (cs.Rtotal - cs.DUT) / cs.Ns
+	if exec < 0 {
+		exec = 0
+	}
+	cs.Rexec = exec
+	denom := cs.Pa*cs.sig + (1 - cs.Pa)
+	if denom <= 0 {
+		denom = 1
+	}
+	cs.Rs = exec / denom
+	cs.Rf = cs.sig * cs.Rs
+	cs.Pw = clamp01(cs.DLW / cs.Rtotal)
+}
+
+// lockHolding evaluates Eq. 14 for the time-average number of locks a
+// transaction of this chain holds.
+func (cs *chainState) lockHolding() float64 {
+	if cs.Nlk <= 0 || cs.Rs <= 0 {
+		return 0
+	}
+	think := cs.c.ThinkTime
+	num := (1 - (1-cs.sig*cs.sig)*cs.Pa) * cs.Rs
+	den := cs.Pa*cs.Rf + (1-cs.Pa)*cs.Rs + think
+	if den <= 0 {
+		return 0
+	}
+	lh := cs.Nlk / 2 * num / den
+	if lh < 0 {
+		lh = 0
+	}
+	return lh
+}
+
+// assemble packages the converged state into a Result.
+func (st *solverState) assemble(iters int, converged bool) *Result {
+	res := &Result{Iterations: iters, Converged: converged}
+	for i, site := range st.m.Sites {
+		sr := &SiteResult{Chains: make(map[Type]*ChainResult)}
+		for _, cs := range st.bySite[i] {
+			cr := &ChainResult{
+				Type:         cs.c.Type,
+				Population:   cs.c.Population,
+				Throughput:   cs.X,
+				CycleTime:    cs.Rtotal,
+				ResponseTime: cs.Rtotal - cs.c.ThinkTime,
+				Pb:           cs.Pb,
+				Pd:           cs.Pd,
+				Pra:          cs.Pra,
+				Pa:           cs.Pa,
+				Ns:           cs.Ns,
+				Nlk:          cs.Nlk,
+				Plw:          1 - math.Pow(1-cs.Pb, cs.Nlk),
+				BR:           blockingRatio(cs.Nlk),
+				Lh:           cs.Lh,
+				RLW:          cs.RLW,
+				RRW:          cs.RRW,
+				RCW:          cs.RCWC,
+				CPUDemand:    cs.Dcpu,
+				DiskDemand:   cs.Ddisk,
+				LogDemand:    cs.Dlog,
+				LWDemand:     cs.DLW,
+				RWDemand:     cs.DRW,
+				CWDemand:     cs.DCW,
+				UTDemand:     cs.DUT,
+				TMWaitDemand: cs.DTM,
+				DiskOps:      cs.diskOps,
+				Visits:       cs.visits,
+			}
+			sr.Chains[cs.c.Type] = cr
+			sr.DiskIORate += cs.X * cs.diskOps
+			if !cs.c.Type.Slave() {
+				sr.TotalTxnThroughput += cs.X
+				sr.RecordThroughput += cs.X * float64(cs.c.N()*cs.c.RecordsPerRequest)
+			}
+		}
+		sr.CPUUtilization = st.cpuUtil[i]
+		sr.DiskUtilization = st.diskUtil[i]
+		sr.LogDiskUtilization = st.logUtil[i]
+		if !site.SeparateLog {
+			sr.LogDiskUtilization = st.diskUtil[i]
+		}
+		res.Sites = append(res.Sites, sr)
+	}
+	return res
+}

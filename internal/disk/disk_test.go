@@ -1,0 +1,148 @@
+package disk
+
+import (
+	"math"
+	"testing"
+
+	"carat/internal/rng"
+	"carat/internal/sim"
+)
+
+func TestProfilesMatchTable2(t *testing.T) {
+	a, b := ProfileRM05(), ProfileRP06()
+	if a.Mean(Read) != 28 || a.Mean(Write) != 28 {
+		t.Fatalf("RM05 means = %v/%v, want 28 (Table 2, Node A)", a.Mean(Read), a.Mean(Write))
+	}
+	if b.Mean(Read) != 40 || b.Mean(Write) != 40 {
+		t.Fatalf("RP06 means = %v/%v, want 40 (Table 2, Node B)", b.Mean(Read), b.Mean(Write))
+	}
+}
+
+func TestFixedModel(t *testing.T) {
+	m := Fixed{ReadTime: 5, WriteTime: 7, LogTime: 2}
+	r := rng.New(1)
+	if m.Time(r, Read, 3) != 5 || m.Time(r, Write, 3) != 7 || m.Time(r, LogWrite, 0) != 2 || m.Time(r, ForceWrite, 0) != 2 {
+		t.Fatal("fixed model times wrong")
+	}
+}
+
+func TestExponentialModelMean(t *testing.T) {
+	m := Exponential{ReadMean: 30, WriteMean: 30, LogMean: 30}
+	r := rng.New(2)
+	var sum float64
+	const trials = 100000
+	for i := 0; i < trials; i++ {
+		sum += m.Time(r, Read, 0)
+	}
+	got := sum / trials
+	if math.Abs(got-30) > 0.5 {
+		t.Fatalf("empirical mean = %v, want ~30", got)
+	}
+}
+
+func TestSeekRotationalProperties(t *testing.T) {
+	m := &SeekRotational{
+		Cylinders:      823,
+		BlocksPerCyl:   57,
+		MinSeek:        6,
+		MaxSeek:        55,
+		RevolutionTime: 16.7,
+		TransferTime:   0.4,
+	}
+	r := rng.New(3)
+	// Log writes skip the seek: bounded by rotation + transfer.
+	for i := 0; i < 100; i++ {
+		d := m.Time(r, LogWrite, 0)
+		if d < 0 || d > m.RevolutionTime+m.TransferTime {
+			t.Fatalf("log write time %v out of bounds", d)
+		}
+	}
+	// Same-cylinder read has no seek.
+	m.lastCyl = 0
+	d := m.Time(r, Read, 5) // block 5 is cylinder 0
+	if d > m.RevolutionTime+m.TransferTime {
+		t.Fatalf("same-cylinder read %v includes seek", d)
+	}
+	// Far read must include a seek of at least MinSeek.
+	d = m.Time(r, Read, 822*57)
+	if d < m.MinSeek {
+		t.Fatalf("far read %v missing seek", d)
+	}
+	if mean := m.Mean(Read); mean <= m.RevolutionTime/2 {
+		t.Fatalf("mean read %v implausible", mean)
+	}
+}
+
+func TestDeviceQueuesFCFS(t *testing.T) {
+	e := sim.NewEnv()
+	d := New(e, "diskA", Fixed{ReadTime: 10, WriteTime: 10, LogTime: 10}, rng.New(1))
+	var finish []float64
+	for i := 0; i < 3; i++ {
+		e.Spawn("io", func(p *sim.Proc) {
+			if err := d.Do(p, Read, i); err != nil {
+				t.Errorf("Do: %v", err)
+			}
+			finish = append(finish, p.Now())
+		})
+	}
+	e.RunAll()
+	want := []float64{10, 20, 30}
+	for i := range want {
+		if finish[i] != want[i] {
+			t.Fatalf("finish = %v, want %v", finish, want)
+		}
+	}
+	reads, writes, logs := d.Counts()
+	if reads != 3 || writes != 0 || logs != 0 {
+		t.Fatalf("counts = %d,%d,%d", reads, writes, logs)
+	}
+	if u := d.Utilization(30); math.Abs(u-1) > 1e-9 {
+		t.Fatalf("utilization = %v", u)
+	}
+	if rate := d.IORate(30); math.Abs(rate-0.1) > 1e-9 {
+		t.Fatalf("IO rate = %v, want 0.1", rate)
+	}
+}
+
+func TestDeviceOpMix(t *testing.T) {
+	e := sim.NewEnv()
+	d := New(e, "disk", Fixed{ReadTime: 1, WriteTime: 2, LogTime: 3}, rng.New(1))
+	e.Spawn("io", func(p *sim.Proc) {
+		_ = d.Do(p, Read, 0)
+		_ = d.Do(p, Write, 0)
+		_ = d.Do(p, LogWrite, 0)
+		_ = d.Do(p, ForceWrite, 0)
+	})
+	end := e.RunAll()
+	if end != 1+2+3+3 {
+		t.Fatalf("end = %v, want 9", end)
+	}
+	r, w, l := d.Counts()
+	if r != 1 || w != 1 || l != 2 {
+		t.Fatalf("counts = %d,%d,%d", r, w, l)
+	}
+}
+
+func TestDeviceResetStats(t *testing.T) {
+	e := sim.NewEnv()
+	d := New(e, "disk", Fixed{ReadTime: 10, WriteTime: 10, LogTime: 10}, rng.New(1))
+	e.Spawn("io", func(p *sim.Proc) {
+		_ = d.Do(p, Read, 0)
+		d.ResetStats(p.Now())
+		p.Hold(10) // idle window
+	})
+	e.RunAll()
+	if u := d.Utilization(20); u != 0 {
+		t.Fatalf("utilization after reset = %v, want 0", u)
+	}
+	r, _, _ := d.Counts()
+	if r != 0 {
+		t.Fatalf("reads after reset = %d", r)
+	}
+}
+
+func TestOpKindString(t *testing.T) {
+	if Read.String() != "read" || ForceWrite.String() != "forcewrite" {
+		t.Fatal("OpKind names wrong")
+	}
+}

@@ -1,0 +1,40 @@
+package experiment
+
+import (
+	"testing"
+
+	"carat/internal/workload"
+)
+
+func TestCalibrateImprovesFit(t *testing.T) {
+	if testing.Short() {
+		t.Skip("calibration sweep")
+	}
+	opts := SimOptions{Seed: 6, Warmup: 60_000, Duration: 1_260_000}
+	res, err := Calibrate(workload.MB8, []int{12, 16, 20}, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Adjust <= 0 {
+		t.Fatalf("nonsensical adjust %v", res.Adjust)
+	}
+	if res.Error > res.BaselineError {
+		t.Fatalf("calibration worsened the fit: %v > %v", res.Error, res.BaselineError)
+	}
+	// The factor moves the model: a fit meaningfully away from 1 must
+	// come with a meaningfully better error (otherwise Calibrate should
+	// have kept 1). Note the direction can go either way — Pd couples to
+	// throughput through both the abort rate (down) and the lock-wait
+	// chain lengths (up).
+	if res.Adjust != 1 && res.BaselineError-res.Error < 1e-6 {
+		t.Fatalf("adjust %v differs from 1 without improving the fit", res.Adjust)
+	}
+	t.Logf("adjust=%.3f error=%.3f baseline=%.3f evals=%d",
+		res.Adjust, res.Error, res.BaselineError, res.Evaluations)
+}
+
+func TestCalibrateValidation(t *testing.T) {
+	if _, err := Calibrate(workload.MB8, nil, quickOpts()); err == nil {
+		t.Fatal("empty sweep must fail")
+	}
+}

@@ -1,0 +1,132 @@
+package experiment
+
+import (
+	"math"
+	"testing"
+
+	"carat/internal/core"
+	"carat/internal/phase"
+	"carat/internal/testbed"
+	"carat/internal/workload"
+)
+
+// TestVisitCountsMatchSimulatedLockRequests ties the model's visit-count
+// machinery (Table 1, Eq. 1) to the simulator's observed behavior: per
+// committed LU transaction the expected number of lock-request events is
+// N_s · V_LR = N_s · l·q, and the trace must agree within a few percent.
+func TestVisitCountsMatchSimulatedLockRequests(t *testing.T) {
+	wl := workload.MB4(8)
+	m, err := wl.Model()
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := core.Solve(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lu := res.Sites[0].Chains[core.LU]
+	// Expected lock-request events per commit: the LR phase's converged
+	// visit count times N_s covers resubmissions.
+	wantPerCommit := lu.Ns * lu.Visits[phase.LR]
+
+	// Count grant+deadlock events per committed LU at node 0 in the
+	// simulator (every lock request ends in exactly one of the two).
+	var lockRequests, commits float64
+	luTxns := map[int64]bool{}
+	cfg := wl.TestbedConfig(3, 30_000, 1_230_000)
+	cfg.Trace = func(ev testbed.TraceEvent) {
+		if ev.Kind != testbed.LU || ev.Node != 0 {
+			return
+		}
+		switch ev.Ev {
+		case testbed.EvBegin:
+			luTxns[ev.Txn] = true
+		case testbed.EvLockGrant, testbed.EvDeadlock:
+			if luTxns[ev.Txn] {
+				lockRequests++
+			}
+		case testbed.EvCommitted:
+			if luTxns[ev.Txn] {
+				commits++
+			}
+		}
+	}
+	sys, err := testbed.New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sys.Run()
+	if commits < 50 {
+		t.Fatalf("only %v commits traced", commits)
+	}
+	simPerCommit := lockRequests / commits
+	if math.Abs(simPerCommit-wantPerCommit)/wantPerCommit > 0.10 {
+		t.Fatalf("lock requests per commit: sim %.2f vs model %.2f", simPerCommit, wantPerCommit)
+	}
+}
+
+// TestMessageRateConsistency checks the model's Communication Network feed
+// (messages per ms) against the simulator's message counters for a
+// distributed workload: the two must agree within ~25% (the model counts
+// protocol messages; the simulator also counts per-node bookkeeping of
+// the same hops, so we compare per committed distributed transaction).
+func TestMessageRateConsistency(t *testing.T) {
+	wl := workload.MB4(8)
+	opts := SimOptions{Seed: 9, Warmup: 60_000, Duration: 1_260_000}
+	c, err := Run(wl, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Simulator: messages counted at each endpoint, so each hop counts
+	// twice across the node sums; local hops also counted. Take the total
+	// and normalize by committed distributed transactions.
+	var msgs float64
+	var distCommits float64
+	for node := 0; node < 2; node++ {
+		msgs += float64(c.Measured.Nodes[node].Messages)
+		distCommits += (c.Measured.Nodes[node].TxnThroughput[testbed.DRO] +
+			c.Measured.Nodes[node].TxnThroughput[testbed.DU]) * c.Measured.Window / 1000
+	}
+	if distCommits < 100 {
+		t.Fatalf("too few distributed commits: %v", distCommits)
+	}
+	simPerCommit := msgs / 2 / distCommits // de-double-count endpoints
+
+	// Model: per distributed commit, 2·Ns·r request hops + 2 DBOPEN +
+	// 4 2PC hops (one slave site).
+	var modelPerCommit, weight float64
+	for _, ty := range []core.Type{core.DROC, core.DUC} {
+		cr := c.Model.Sites[0].Chains[ty]
+		modelPerCommit += 2*cr.Ns*4 + 2 + 4 // r = 4 at n = 8
+		weight++
+	}
+	modelPerCommit /= weight
+
+	// The simulator's count also includes local DOSTEP-side accounting
+	// and probe traffic, so allow a generous band — the point is the
+	// scale, which feeds the Ethernet utilization estimate.
+	ratio := simPerCommit / modelPerCommit
+	if ratio < 0.7 || ratio > 2.5 {
+		t.Fatalf("messages per distributed commit: sim %.1f vs model %.1f (ratio %.2f)",
+			simPerCommit, modelPerCommit, ratio)
+	}
+}
+
+// TestNsMatchesSimulatedResubmissions: the model's N_s (Eq. 4) against the
+// simulator's submissions/commits at moderate contention.
+func TestNsMatchesSimulatedResubmissions(t *testing.T) {
+	wl := workload.MB8(12)
+	opts := SimOptions{Seed: 5, Warmup: 60_000, Duration: 1_860_000}
+	c, err := Run(wl, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for node := 0; node < 2; node++ {
+		mr := c.Measured.Nodes[node]
+		simNs := float64(mr.Submissions[testbed.LU]) / float64(mr.Commits[testbed.LU])
+		modelNs := c.Model.Sites[node].Chains[core.LU].Ns
+		if math.Abs(simNs-modelNs)/simNs > 0.35 {
+			t.Fatalf("node %d: N_s sim %.2f vs model %.2f", node, simNs, modelNs)
+		}
+	}
+}

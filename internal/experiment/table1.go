@@ -1,0 +1,37 @@
+package experiment
+
+import (
+	"fmt"
+
+	"carat/internal/phase"
+)
+
+// transitionTable formats the coordinator phase transition matrix (Table 1
+// of the paper) for the given parameters.
+func transitionTable(l, r int, q, pb, pd, pra float64) (*Table, error) {
+	m, err := phase.Coordinator(phase.Probs{L: l, R: r, Q: q, Pb: pb, Pd: pd, Pra: pra})
+	if err != nil {
+		return nil, err
+	}
+	t := &Table{
+		ID:    "Table 1",
+		Title: fmt.Sprintf("Transaction Phase Transition Probabilities (l=%d, r=%d, q=%.2g, Pb=%.2g, Pd=%.2g, Pra=%.2g)", l, r, q, pb, pd, pra),
+	}
+	t.Header = append(t.Header, "from\\to")
+	for _, ph := range phase.All() {
+		t.Header = append(t.Header, ph.String())
+	}
+	for _, from := range phase.All() {
+		row := []string{from.String()}
+		for _, to := range phase.All() {
+			p := m[from][to]
+			if p == 0 {
+				row = append(row, "0")
+			} else {
+				row = append(row, fmt.Sprintf("%.3f", p))
+			}
+		}
+		t.Rows = append(t.Rows, row)
+	}
+	return t, nil
+}

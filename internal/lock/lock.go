@@ -1,0 +1,623 @@
+// Package lock implements the CARAT lock manager: two-phase locking at
+// database-block ("granule") granularity with shared and exclusive modes,
+// FCFS wait queues, lock upgrades, and local deadlock detection by search
+// of the transaction-wait-for graph, exactly the regime modelled in the
+// paper (Sections 2–3).
+//
+// The manager is independent of the simulation kernel: it is a synchronous
+// data structure that reports grants through a callback, so it can be unit-
+// and property-tested in isolation and driven by the testbed's processes.
+package lock
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Mode is a lock mode.
+type Mode int
+
+const (
+	// Shared permits concurrent readers.
+	Shared Mode = iota
+	// Exclusive permits a single writer.
+	Exclusive
+)
+
+// String returns "S" or "X".
+func (m Mode) String() string {
+	if m == Exclusive {
+		return "X"
+	}
+	return "S"
+}
+
+// compatible reports whether a lock in mode a coexists with one in mode b.
+func compatible(a, b Mode) bool { return a == Shared && b == Shared }
+
+// TxnID identifies a transaction agent at one site.
+type TxnID int64
+
+// GranuleID identifies one database block at one site.
+type GranuleID int
+
+// Outcome is the result of a lock request.
+type Outcome int
+
+const (
+	// Granted means the lock was acquired immediately.
+	Granted Outcome = iota
+	// Wait means the request was queued; a Grant callback will follow.
+	Wait
+	// Deadlock means the request would close a wait-for cycle and the
+	// requester was chosen as victim; the request was not queued.
+	Deadlock
+)
+
+// String names the outcome.
+func (o Outcome) String() string {
+	switch o {
+	case Granted:
+		return "granted"
+	case Wait:
+		return "wait"
+	case Deadlock:
+		return "deadlock"
+	default:
+		return fmt.Sprintf("Outcome(%d)", int(o))
+	}
+}
+
+// VictimPolicy chooses which transaction on a wait-for cycle dies.
+type VictimPolicy int
+
+const (
+	// VictimRequester aborts the transaction whose request closed the
+	// cycle — CARAT's policy and the one Pd(t,i) in the model describes
+	// ("a blocked transaction is chosen as deadlock victim").
+	VictimRequester VictimPolicy = iota
+	// VictimYoungest aborts the cycle member with the largest TxnID.
+	VictimYoungest
+	// VictimFewestLocks aborts the cycle member holding the fewest locks,
+	// minimizing rollback work.
+	VictimFewestLocks
+)
+
+// Discipline selects how the manager deals with potential deadlocks.
+// CARAT uses detection (the paper's subject); the two timestamp-based
+// prevention schemes of Rosenkrantz et al. are provided as the classical
+// baselines the contemporaneous modeling literature compares against.
+type Discipline int
+
+const (
+	// Detect allows arbitrary waiting and searches the wait-for graph for
+	// cycles on every blocked request (dynamic locking with deadlock
+	// detection — the paper's scheme).
+	Detect Discipline = iota
+	// WaitDie lets a requester wait only for younger holders; conflicting
+	// with an older holder kills the requester (non-preemptive
+	// prevention). Timestamps come from RegisterTxn.
+	WaitDie
+	// WoundWait lets an older requester wound (abort) younger conflicting
+	// holders and wait; a younger requester waits for older holders
+	// (preemptive prevention).
+	WoundWait
+)
+
+// String names the discipline.
+func (d Discipline) String() string {
+	switch d {
+	case Detect:
+		return "detect"
+	case WaitDie:
+		return "wait-die"
+	case WoundWait:
+		return "wound-wait"
+	default:
+		return fmt.Sprintf("Discipline(%d)", int(d))
+	}
+}
+
+// request is a queued lock request.
+type request struct {
+	txn     TxnID
+	mode    Mode
+	upgrade bool
+}
+
+// entry is the lock table entry for one granule.
+type entry struct {
+	granted map[TxnID]Mode
+	queue   []*request
+}
+
+func (e *entry) grantedMode() (Mode, bool) {
+	if len(e.granted) == 0 {
+		return Shared, false
+	}
+	for _, m := range e.granted {
+		if m == Exclusive {
+			return Exclusive, true
+		}
+	}
+	return Shared, true
+}
+
+// Stats aggregates lock-manager activity for the measurement reports.
+type Stats struct {
+	Requests  int64 // lock requests processed
+	Immediate int64 // granted without waiting
+	Waits     int64 // requests that had to queue
+	Deadlocks int64 // cycles detected
+	Upgrades  int64 // S->X upgrades requested
+}
+
+// Manager is one site's lock manager.
+type Manager struct {
+	table      map[GranuleID]*entry
+	held       map[TxnID]map[GranuleID]Mode
+	policy     VictimPolicy
+	discipline Discipline
+	ts         map[TxnID]int64 // prevention timestamps (RegisterTxn)
+
+	// onGrant is invoked when a queued request is finally granted.
+	onGrant func(txn TxnID, g GranuleID)
+
+	stats Stats
+}
+
+// NewManager creates a detection-discipline lock manager. onGrant may be
+// nil if the caller never lets requests wait (as in some unit tests).
+func NewManager(policy VictimPolicy, onGrant func(txn TxnID, g GranuleID)) *Manager {
+	return NewManagerWithDiscipline(Detect, policy, onGrant)
+}
+
+// NewManagerWithDiscipline creates a manager with an explicit deadlock
+// discipline. The victim policy applies to Detect only.
+func NewManagerWithDiscipline(d Discipline, policy VictimPolicy, onGrant func(txn TxnID, g GranuleID)) *Manager {
+	return &Manager{
+		table:      make(map[GranuleID]*entry),
+		held:       make(map[TxnID]map[GranuleID]Mode),
+		policy:     policy,
+		discipline: d,
+		ts:         make(map[TxnID]int64),
+		onGrant:    onGrant,
+	}
+}
+
+// RegisterTxn records a transaction's prevention timestamp (smaller =
+// older). Wait-die and wound-wait require the timestamp to survive
+// restarts, so re-executions of the same user transaction must register
+// the original timestamp. Unregistered transactions default to their id.
+func (m *Manager) RegisterTxn(txn TxnID, timestamp int64) {
+	m.ts[txn] = timestamp
+}
+
+// timestampOf returns the prevention timestamp.
+func (m *Manager) timestampOf(txn TxnID) int64 {
+	if t, ok := m.ts[txn]; ok {
+		return t
+	}
+	return int64(txn)
+}
+
+// Stats returns a copy of the activity counters.
+func (m *Manager) Stats() Stats { return m.stats }
+
+// HeldBy returns the locks txn currently holds, as a granule->mode map.
+// The returned map is the manager's own; callers must not mutate it.
+func (m *Manager) HeldBy(txn TxnID) map[GranuleID]Mode { return m.held[txn] }
+
+// NumHeld returns the number of granules txn has locked.
+func (m *Manager) NumHeld(txn TxnID) int { return len(m.held[txn]) }
+
+// Holds reports whether txn holds granule g in a mode covering want.
+func (m *Manager) Holds(txn TxnID, g GranuleID, want Mode) bool {
+	have, ok := m.held[txn][g]
+	if !ok {
+		return false
+	}
+	return want == Shared || have == Exclusive
+}
+
+// Request asks for granule g in the given mode on behalf of txn. A
+// transaction may have at most one outstanding (waiting) request at a time:
+// after a Wait outcome it must not issue further requests until onGrant
+// fires or it is aborted — which mirrors the testbed, where a blocked DM
+// server does no further work for the transaction.
+//
+// Returns Granted if acquired now; Wait if queued (the manager calls
+// onGrant(txn, g) when it is eventually granted); Deadlock if the
+// discipline decided the requester must abort (a detected cycle with the
+// requester as victim, or a wait-die death). The victims slice lists other
+// transactions the caller must abort: the non-requester victim of a
+// detected cycle, or the younger holders wounded under wound-wait. Abort
+// them with ReleaseAll (the testbed interrupts their processes), which may
+// in turn grant this request through onGrant.
+func (m *Manager) Request(txn TxnID, g GranuleID, mode Mode) (out Outcome, victims []TxnID) {
+	m.stats.Requests++
+	e := m.table[g]
+	if e == nil {
+		e = &entry{granted: make(map[TxnID]Mode)}
+		m.table[g] = e
+	}
+
+	// Re-entrant: already held in a sufficient mode.
+	if have, ok := e.granted[txn]; ok {
+		if mode == Shared || have == Exclusive {
+			m.stats.Immediate++
+			return Granted, nil
+		}
+		// Upgrade S -> X.
+		m.stats.Upgrades++
+		if m.soleHolder(e, txn) {
+			e.granted[txn] = Exclusive
+			m.held[txn][g] = Exclusive
+			m.stats.Immediate++
+			return Granted, nil
+		}
+		return m.block(e, txn, g, mode, true)
+	}
+
+	if m.grantableNow(e, txn, mode) {
+		m.grant(e, txn, g, mode)
+		m.stats.Immediate++
+		return Granted, nil
+	}
+	return m.block(e, txn, g, mode, false)
+}
+
+// conflictingHolders returns the holders of e whose mode conflicts with a
+// request by txn in the given mode.
+func (m *Manager) conflictingHolders(e *entry, txn TxnID, mode Mode) []TxnID {
+	var out []TxnID
+	for holder, hm := range e.granted {
+		if holder == txn {
+			continue
+		}
+		if !compatible(mode, hm) {
+			out = append(out, holder)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// block handles a request that cannot be granted now, applying the
+// manager's deadlock discipline.
+func (m *Manager) block(e *entry, txn TxnID, g GranuleID, mode Mode, upgrade bool) (Outcome, []TxnID) {
+	switch m.discipline {
+	case WaitDie:
+		// Non-preemptive: the requester may wait only if it is older than
+		// every conflicting holder; otherwise it dies.
+		myTS := m.timestampOf(txn)
+		for _, h := range m.conflictingHolders(e, txn, mode) {
+			if myTS >= m.timestampOf(h) {
+				m.stats.Deadlocks++
+				return Deadlock, nil
+			}
+		}
+		return m.enqueue(e, txn, g, mode, upgrade)
+	case WoundWait:
+		// Preemptive: the requester wounds every younger conflicting
+		// holder, then waits.
+		myTS := m.timestampOf(txn)
+		var wounds []TxnID
+		for _, h := range m.conflictingHolders(e, txn, mode) {
+			if m.timestampOf(h) > myTS {
+				wounds = append(wounds, h)
+			}
+		}
+		if len(wounds) > 0 {
+			// Any wait-for cycle through this request runs through a
+			// wounded holder and dies with it, so skip the detection
+			// backstop and queue directly.
+			m.stats.Deadlocks += int64(len(wounds))
+			req := &request{txn: txn, mode: mode, upgrade: upgrade}
+			if upgrade {
+				e.queue = append([]*request{req}, e.queue...)
+			} else {
+				e.queue = append(e.queue, req)
+			}
+			m.stats.Waits++
+			return Wait, wounds
+		}
+		return m.enqueue(e, txn, g, mode, upgrade)
+	default:
+		return m.enqueue(e, txn, g, mode, upgrade)
+	}
+}
+
+// soleHolder reports whether txn is the only holder of e.
+func (m *Manager) soleHolder(e *entry, txn TxnID) bool {
+	if len(e.granted) != 1 {
+		return false
+	}
+	_, ok := e.granted[txn]
+	return ok
+}
+
+// grantableNow reports whether a fresh request can be granted immediately:
+// compatible with every holder and no waiter queued ahead (FCFS fairness).
+func (m *Manager) grantableNow(e *entry, txn TxnID, mode Mode) bool {
+	if len(e.queue) > 0 {
+		return false
+	}
+	for holder, hm := range e.granted {
+		if holder == txn {
+			continue
+		}
+		if !compatible(mode, hm) {
+			return false
+		}
+	}
+	return true
+}
+
+// grant records txn as a holder of g.
+func (m *Manager) grant(e *entry, txn TxnID, g GranuleID, mode Mode) {
+	if have, ok := e.granted[txn]; !ok || mode == Exclusive && have == Shared {
+		e.granted[txn] = mode
+	}
+	hm := m.held[txn]
+	if hm == nil {
+		hm = make(map[GranuleID]Mode)
+		m.held[txn] = hm
+	}
+	if have, ok := hm[g]; !ok || mode == Exclusive && have == Shared {
+		hm[g] = mode
+	}
+}
+
+// enqueue queues the request and runs cycle detection — the primary
+// mechanism under Detect, and a liveness backstop under the prevention
+// disciplines (FCFS queue ordering can, rarely, arrange waits the
+// timestamp rules did not foresee).
+func (m *Manager) enqueue(e *entry, txn TxnID, g GranuleID, mode Mode, upgrade bool) (Outcome, []TxnID) {
+	req := &request{txn: txn, mode: mode, upgrade: upgrade}
+	if upgrade {
+		// Upgrades go to the head of the queue: the holder cannot be
+		// asked to wait behind fresh requests for a lock it holds.
+		e.queue = append([]*request{req}, e.queue...)
+	} else {
+		e.queue = append(e.queue, req)
+	}
+	m.stats.Waits++
+
+	cycle := m.findCycle(txn)
+	if cycle == nil {
+		return Wait, nil
+	}
+	m.stats.Deadlocks++
+	v := m.chooseVictim(txn, cycle)
+	if v == txn || m.discipline != Detect {
+		// Withdraw the request; the caller aborts itself. Prevention
+		// disciplines always sacrifice the requester on the backstop path.
+		m.removeFromQueue(e, txn)
+		return Deadlock, nil
+	}
+	// Someone else dies. The caller must abort v (ReleaseAll(v)), which
+	// may immediately grant this request; we still report Wait and let
+	// the grant arrive through onGrant.
+	return Wait, []TxnID{v}
+}
+
+// chooseVictim applies the victim policy to the detected cycle.
+func (m *Manager) chooseVictim(requester TxnID, cycle []TxnID) TxnID {
+	switch m.policy {
+	case VictimYoungest:
+		v := cycle[0]
+		for _, t := range cycle[1:] {
+			if t > v {
+				v = t
+			}
+		}
+		return v
+	case VictimFewestLocks:
+		v := cycle[0]
+		for _, t := range cycle[1:] {
+			if len(m.held[t]) < len(m.held[v]) {
+				v = t
+			}
+		}
+		return v
+	default:
+		return requester
+	}
+}
+
+// removeFromQueue deletes txn's queued request on e, if any.
+func (m *Manager) removeFromQueue(e *entry, txn TxnID) {
+	for i, r := range e.queue {
+		if r.txn == txn {
+			e.queue = append(e.queue[:i], e.queue[i+1:]...)
+			return
+		}
+	}
+}
+
+// ReleaseAll drops every lock and queued request of txn (transaction end or
+// abort) and dispatches newly grantable waiters. Granules are processed in
+// sorted order so grant sequences are deterministic.
+func (m *Manager) ReleaseAll(txn TxnID) {
+	held := make([]GranuleID, 0, len(m.held[txn]))
+	for g := range m.held[txn] {
+		held = append(held, g)
+	}
+	sort.Slice(held, func(i, j int) bool { return held[i] < held[j] })
+	for _, g := range held {
+		e := m.table[g]
+		delete(e.granted, txn)
+		m.dispatch(e, g)
+		m.cleanup(e, g)
+	}
+	delete(m.held, txn)
+	delete(m.ts, txn)
+	// Remove any still-queued requests (a victim may be waiting somewhere).
+	queued := make([]GranuleID, 0, 1)
+	for g, e := range m.table {
+		for _, r := range e.queue {
+			if r.txn == txn {
+				queued = append(queued, g)
+				break
+			}
+		}
+	}
+	sort.Slice(queued, func(i, j int) bool { return queued[i] < queued[j] })
+	for _, g := range queued {
+		e := m.table[g]
+		m.removeFromQueue(e, txn)
+		m.dispatch(e, g)
+		m.cleanup(e, g)
+	}
+}
+
+// cleanup deletes empty lock-table entries.
+func (m *Manager) cleanup(e *entry, g GranuleID) {
+	if len(e.granted) == 0 && len(e.queue) == 0 {
+		delete(m.table, g)
+	}
+}
+
+// dispatch grants queued requests in FCFS order while they are compatible
+// with the granted set.
+func (m *Manager) dispatch(e *entry, g GranuleID) {
+	for len(e.queue) > 0 {
+		req := e.queue[0]
+		ok := true
+		for holder, hm := range e.granted {
+			if holder == req.txn {
+				continue
+			}
+			if !compatible(req.mode, hm) {
+				ok = false
+				break
+			}
+		}
+		if !ok {
+			return
+		}
+		e.queue = e.queue[1:]
+		m.grant(e, req.txn, g, req.mode)
+		if m.onGrant != nil {
+			m.onGrant(req.txn, g)
+		}
+	}
+}
+
+// WaitsFor returns the distinct transactions that txn is waiting on: the
+// incompatible holders of every granule where txn has a queued request,
+// plus incompatible requests queued ahead of it (they will hold the lock
+// before txn can). Sorted for determinism.
+func (m *Manager) WaitsFor(txn TxnID) []TxnID {
+	seen := make(map[TxnID]struct{})
+	for _, e := range m.table {
+		pos := -1
+		var mode Mode
+		for i, r := range e.queue {
+			if r.txn == txn {
+				pos = i
+				mode = r.mode
+				break
+			}
+		}
+		if pos < 0 {
+			continue
+		}
+		for holder, hm := range e.granted {
+			if holder == txn {
+				continue
+			}
+			if !compatible(mode, hm) || mode == Exclusive || hm == Exclusive {
+				seen[holder] = struct{}{}
+			}
+		}
+		for i := 0; i < pos; i++ {
+			ahead := e.queue[i]
+			if ahead.txn != txn && (!compatible(mode, ahead.mode)) {
+				seen[ahead.txn] = struct{}{}
+			}
+		}
+	}
+	out := make([]TxnID, 0, len(seen))
+	for t := range seen {
+		out = append(out, t)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// Waiting reports whether txn has a queued (ungranted) request.
+func (m *Manager) Waiting(txn TxnID) bool {
+	for _, e := range m.table {
+		for _, r := range e.queue {
+			if r.txn == txn {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// findCycle searches the wait-for graph for a cycle reachable from start
+// that includes start, returning the cycle members (nil if none). Depth-
+// first search over WaitsFor edges.
+func (m *Manager) findCycle(start TxnID) []TxnID {
+	var path []TxnID
+	onPath := make(map[TxnID]struct{})
+	visited := make(map[TxnID]struct{})
+	var dfs func(t TxnID) []TxnID
+	dfs = func(t TxnID) []TxnID {
+		path = append(path, t)
+		onPath[t] = struct{}{}
+		defer func() {
+			path = path[:len(path)-1]
+			delete(onPath, t)
+		}()
+		for _, next := range m.WaitsFor(t) {
+			if next == start {
+				cycle := make([]TxnID, len(path))
+				copy(cycle, path)
+				return cycle
+			}
+			if _, seen := visited[next]; seen {
+				continue
+			}
+			if _, on := onPath[next]; on {
+				continue
+			}
+			if c := dfs(next); c != nil {
+				return c
+			}
+			visited[next] = struct{}{}
+		}
+		return nil
+	}
+	return dfs(start)
+}
+
+// LockedGranules returns the number of granules with at least one holder.
+func (m *Manager) LockedGranules() int { return len(m.table) }
+
+// WaitEdges returns every wait-for edge at this site as (waiter, holder)
+// pairs, for the distributed probe algorithm. Sorted for determinism.
+func (m *Manager) WaitEdges() [][2]TxnID {
+	waiterSet := make(map[TxnID]struct{})
+	for _, e := range m.table {
+		for _, r := range e.queue {
+			waiterSet[r.txn] = struct{}{}
+		}
+	}
+	waiters := make([]TxnID, 0, len(waiterSet))
+	for t := range waiterSet {
+		waiters = append(waiters, t)
+	}
+	sort.Slice(waiters, func(i, j int) bool { return waiters[i] < waiters[j] })
+	var out [][2]TxnID
+	for _, w := range waiters {
+		for _, h := range m.WaitsFor(w) {
+			out = append(out, [2]TxnID{w, h})
+		}
+	}
+	return out
+}

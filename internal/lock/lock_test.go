@@ -1,0 +1,420 @@
+package lock
+
+import (
+	"testing"
+	"testing/quick"
+
+	"carat/internal/rng"
+)
+
+// recorder collects grant callbacks.
+type recorder struct {
+	grants [][2]int64 // (txn, granule)
+}
+
+func (r *recorder) onGrant(t TxnID, g GranuleID) {
+	r.grants = append(r.grants, [2]int64{int64(t), int64(g)})
+}
+
+func newMgr() (*Manager, *recorder) {
+	r := &recorder{}
+	return NewManager(VictimRequester, r.onGrant), r
+}
+
+func TestSharedLocksCoexist(t *testing.T) {
+	m, _ := newMgr()
+	for txn := TxnID(1); txn <= 3; txn++ {
+		out, victims := m.Request(txn, 10, Shared)
+		if out != Granted || len(victims) != 0 {
+			t.Fatalf("txn %d: %v", txn, out)
+		}
+	}
+	if !m.Holds(1, 10, Shared) || !m.Holds(3, 10, Shared) {
+		t.Fatal("shared holders missing")
+	}
+}
+
+func TestExclusiveBlocksAll(t *testing.T) {
+	m, rec := newMgr()
+	if out, _ := m.Request(1, 5, Exclusive); out != Granted {
+		t.Fatalf("first X: %v", out)
+	}
+	if out, _ := m.Request(2, 5, Shared); out != Wait {
+		t.Fatal("S behind X must wait")
+	}
+	if out, _ := m.Request(3, 5, Exclusive); out != Wait {
+		t.Fatal("X behind X must wait")
+	}
+	m.ReleaseAll(1)
+	// FCFS: txn 2 (S) granted first; txn 3 (X) must keep waiting.
+	if len(rec.grants) != 1 || rec.grants[0] != [2]int64{2, 5} {
+		t.Fatalf("grants = %v, want [[2 5]]", rec.grants)
+	}
+	m.ReleaseAll(2)
+	if len(rec.grants) != 2 || rec.grants[1] != [2]int64{3, 5} {
+		t.Fatalf("grants = %v, want txn 3 granted after release", rec.grants)
+	}
+}
+
+func TestFCFSNoOvertaking(t *testing.T) {
+	m, rec := newMgr()
+	m.Request(1, 7, Exclusive)
+	m.Request(2, 7, Exclusive) // waits
+	// A fresh S request must not overtake the queued X.
+	if out, _ := m.Request(3, 7, Shared); out != Wait {
+		t.Fatal("S must queue behind waiting X (fairness)")
+	}
+	m.ReleaseAll(1)
+	if rec.grants[0][0] != 2 {
+		t.Fatalf("grants = %v; txn 2 should be first", rec.grants)
+	}
+}
+
+func TestReentrantRequests(t *testing.T) {
+	m, _ := newMgr()
+	m.Request(1, 3, Shared)
+	if out, _ := m.Request(1, 3, Shared); out != Granted {
+		t.Fatal("re-request of held S must be immediate")
+	}
+	m.Request(2, 4, Exclusive)
+	if out, _ := m.Request(2, 4, Shared); out != Granted {
+		t.Fatal("S under held X must be immediate")
+	}
+	if out, _ := m.Request(2, 4, Exclusive); out != Granted {
+		t.Fatal("re-request of held X must be immediate")
+	}
+}
+
+func TestUpgradeSoleHolder(t *testing.T) {
+	m, _ := newMgr()
+	m.Request(1, 9, Shared)
+	out, _ := m.Request(1, 9, Exclusive)
+	if out != Granted {
+		t.Fatalf("sole-holder upgrade: %v", out)
+	}
+	if !m.Holds(1, 9, Exclusive) {
+		t.Fatal("upgrade not recorded")
+	}
+}
+
+func TestUpgradeWaitsForOtherReaders(t *testing.T) {
+	m, rec := newMgr()
+	m.Request(1, 9, Shared)
+	m.Request(2, 9, Shared)
+	out, _ := m.Request(1, 9, Exclusive)
+	if out != Wait {
+		t.Fatalf("upgrade with co-holder: %v, want Wait", out)
+	}
+	m.ReleaseAll(2)
+	if len(rec.grants) != 1 || rec.grants[0] != [2]int64{1, 9} {
+		t.Fatalf("grants = %v; upgrade should complete", rec.grants)
+	}
+	if !m.Holds(1, 9, Exclusive) {
+		t.Fatal("upgraded mode not recorded")
+	}
+}
+
+func TestUpgradeDeadlock(t *testing.T) {
+	// Two S holders both upgrading is the classic 2-cycle.
+	m, _ := newMgr()
+	m.Request(1, 9, Shared)
+	m.Request(2, 9, Shared)
+	if out, _ := m.Request(1, 9, Exclusive); out != Wait {
+		t.Fatal("first upgrade should wait")
+	}
+	out, victims := m.Request(2, 9, Exclusive)
+	if out != Deadlock {
+		t.Fatalf("second upgrade: %v (victims=%v), want Deadlock", out, victims)
+	}
+	if m.Stats().Deadlocks != 1 {
+		t.Fatalf("deadlocks = %d", m.Stats().Deadlocks)
+	}
+}
+
+func TestTwoCycleDeadlockDetected(t *testing.T) {
+	m, _ := newMgr()
+	m.Request(1, 100, Exclusive)
+	m.Request(2, 200, Exclusive)
+	if out, _ := m.Request(1, 200, Exclusive); out != Wait {
+		t.Fatal("t1 should wait for t2")
+	}
+	out, _ := m.Request(2, 100, Exclusive)
+	if out != Deadlock {
+		t.Fatalf("t2 closing the cycle: %v, want Deadlock", out)
+	}
+	// Victim's request was withdrawn: releasing t1's lock on 200 must not
+	// leave t2 queued there.
+	if m.Waiting(2) {
+		t.Fatal("victim must not remain queued")
+	}
+}
+
+func TestThreeCycleDeadlockDetected(t *testing.T) {
+	m, _ := newMgr()
+	m.Request(1, 1, Exclusive)
+	m.Request(2, 2, Exclusive)
+	m.Request(3, 3, Exclusive)
+	m.Request(1, 2, Exclusive) // 1 -> 2
+	m.Request(2, 3, Exclusive) // 2 -> 3
+	out, _ := m.Request(3, 1, Exclusive)
+	if out != Deadlock {
+		t.Fatalf("3-cycle: %v, want Deadlock", out)
+	}
+}
+
+func TestSharedDoesNotDeadlockWithShared(t *testing.T) {
+	m, _ := newMgr()
+	m.Request(1, 1, Shared)
+	m.Request(2, 2, Shared)
+	if out, _ := m.Request(1, 2, Shared); out != Granted {
+		t.Fatal("S-S must not conflict")
+	}
+	if out, _ := m.Request(2, 1, Shared); out != Granted {
+		t.Fatal("S-S must not conflict")
+	}
+}
+
+func TestVictimYoungest(t *testing.T) {
+	r := &recorder{}
+	m := NewManager(VictimYoungest, r.onGrant)
+	m.Request(1, 1, Exclusive)
+	m.Request(5, 2, Exclusive)
+	m.Request(1, 2, Exclusive) // 1 -> 5
+	out, victims := m.Request(5, 1, Exclusive)
+	// Youngest on the cycle is 5 == requester, so Deadlock.
+	if out != Deadlock || len(victims) != 0 {
+		t.Fatalf("out=%v victims=%v; requester is youngest", out, victims)
+	}
+
+	m2 := NewManager(VictimYoungest, r.onGrant)
+	m2.Request(5, 1, Exclusive)
+	m2.Request(1, 2, Exclusive)
+	m2.Request(5, 2, Exclusive) // 5 -> 1
+	out, victims = m2.Request(1, 1, Exclusive)
+	// Youngest is 5, not the requester: requester waits, victim reported.
+	if out != Wait || len(victims) != 1 || victims[0] != 5 {
+		t.Fatalf("out=%v victims=%v; want Wait with victim 5", out, victims)
+	}
+	// Aborting the victim unblocks the requester.
+	m2.ReleaseAll(5)
+	found := false
+	for _, g := range r.grants {
+		if g == [2]int64{1, 1} {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("grants = %v; txn 1 should be granted after victim abort", r.grants)
+	}
+}
+
+func TestVictimFewestLocks(t *testing.T) {
+	r := &recorder{}
+	m := NewManager(VictimFewestLocks, r.onGrant)
+	// txn 1 holds 3 locks, txn 2 holds 1.
+	m.Request(1, 1, Exclusive)
+	m.Request(1, 2, Exclusive)
+	m.Request(1, 3, Exclusive)
+	m.Request(2, 4, Exclusive)
+	m.Request(2, 1, Exclusive) // 2 -> 1
+	out, victims := m.Request(1, 4, Exclusive)
+	// Cycle {1,2}; fewest locks is 2.
+	if out != Wait || len(victims) != 1 || victims[0] != 2 {
+		t.Fatalf("out=%v victims=%v, want Wait victim=2", out, victims)
+	}
+}
+
+func TestReleaseAllCleansState(t *testing.T) {
+	m, _ := newMgr()
+	m.Request(1, 1, Exclusive)
+	m.Request(1, 2, Shared)
+	m.Request(2, 1, Shared) // waits
+	m.ReleaseAll(1)
+	if m.NumHeld(1) != 0 {
+		t.Fatal("held locks survived ReleaseAll")
+	}
+	if !m.Holds(2, 1, Shared) {
+		t.Fatal("waiter not granted after release")
+	}
+	m.ReleaseAll(2)
+	if m.LockedGranules() != 0 {
+		t.Fatalf("lock table not empty: %d entries", m.LockedGranules())
+	}
+}
+
+func TestWaitsForEdges(t *testing.T) {
+	m, _ := newMgr()
+	m.Request(1, 1, Shared)
+	m.Request(2, 1, Shared)
+	m.Request(3, 1, Exclusive) // waits on 1 and 2
+	wf := m.WaitsFor(3)
+	if len(wf) != 2 || wf[0] != 1 || wf[1] != 2 {
+		t.Fatalf("WaitsFor(3) = %v, want [1 2]", wf)
+	}
+	if len(m.WaitsFor(1)) != 0 {
+		t.Fatal("holder must not wait")
+	}
+	edges := m.WaitEdges()
+	if len(edges) != 2 {
+		t.Fatalf("WaitEdges = %v", edges)
+	}
+}
+
+func TestWaitsForQueuedAhead(t *testing.T) {
+	m, _ := newMgr()
+	m.Request(1, 1, Shared)
+	m.Request(2, 1, Exclusive) // waits on 1
+	m.Request(3, 1, Shared)    // waits behind the X of 2
+	wf := m.WaitsFor(3)
+	found := false
+	for _, x := range wf {
+		if x == 2 {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("WaitsFor(3) = %v, must include queued-ahead X holder 2", wf)
+	}
+}
+
+func TestStatsCounting(t *testing.T) {
+	m, _ := newMgr()
+	m.Request(1, 1, Exclusive)
+	m.Request(2, 1, Exclusive)
+	m.Request(2, 2, Shared)
+	s := m.Stats()
+	if s.Requests != 3 || s.Immediate != 2 || s.Waits != 1 {
+		t.Fatalf("stats = %+v", s)
+	}
+}
+
+// TestPropertyNoLostRequests drives a random schedule of requests and
+// aborts and checks global invariants after every step: X locks are sole,
+// holders never appear in their own wait set, and every victim's state is
+// fully cleared.
+func TestPropertyNoLostRequests(t *testing.T) {
+	f := func(seed uint64) bool {
+		r := rng.New(seed)
+		granted := make(map[TxnID]map[GranuleID]bool)
+		blocked := map[TxnID]bool{}
+		var m *Manager
+		m = NewManager(VictimRequester, func(txn TxnID, g GranuleID) {
+			if granted[txn] == nil {
+				granted[txn] = map[GranuleID]bool{}
+			}
+			granted[txn][g] = true
+			delete(blocked, txn)
+		})
+		live := map[TxnID]bool{}
+		const txns, grans, steps = 6, 8, 200
+		for i := 0; i < steps; i++ {
+			txn := TxnID(1 + r.Intn(txns))
+			live[txn] = true
+			switch r.Intn(10) {
+			case 0: // abort/finish
+				m.ReleaseAll(txn)
+				delete(granted, txn)
+				delete(live, txn)
+				delete(blocked, txn)
+			default:
+				if blocked[txn] {
+					continue // one outstanding request per transaction
+				}
+				g := GranuleID(r.Intn(grans))
+				mode := Shared
+				if r.Bool(0.4) {
+					mode = Exclusive
+				}
+				out, victims := m.Request(txn, g, mode)
+				if out == Wait {
+					blocked[txn] = true
+				}
+				if out == Deadlock {
+					m.ReleaseAll(txn)
+					delete(granted, txn)
+					delete(live, txn)
+				}
+				for _, victim := range victims {
+					m.ReleaseAll(victim)
+					delete(granted, victim)
+					delete(live, victim)
+					delete(blocked, victim)
+				}
+			}
+			// Invariant: an X holder is the only holder.
+			for t1 := TxnID(1); t1 <= txns; t1++ {
+				for g, mode := range m.HeldBy(t1) {
+					if mode != Exclusive {
+						continue
+					}
+					for t2 := TxnID(1); t2 <= txns; t2++ {
+						if t2 != t1 && m.Holds(t2, g, Shared) {
+							return false
+						}
+					}
+				}
+			}
+			// Invariant: no transaction waits for itself.
+			for t1 := TxnID(1); t1 <= txns; t1++ {
+				for _, w := range m.WaitsFor(t1) {
+					if w == t1 {
+						return false
+					}
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestPropertyNoUndetectedStall builds random conflict patterns and checks
+// that after all grants and victim aborts settle, any still-waiting
+// transaction has a live blocker (no lost wakeups).
+func TestPropertyNoUndetectedStall(t *testing.T) {
+	f := func(seed uint64) bool {
+		r := rng.New(seed)
+		blocked := map[TxnID]bool{}
+		var m *Manager
+		m = NewManager(VictimRequester, func(txn TxnID, _ GranuleID) { delete(blocked, txn) })
+		const txns, grans = 5, 6
+		for i := 0; i < 120; i++ {
+			txn := TxnID(1 + r.Intn(txns))
+			if blocked[txn] {
+				continue // a blocked transaction issues no further requests
+			}
+			g := GranuleID(r.Intn(grans))
+			mode := Shared
+			if r.Bool(0.5) {
+				mode = Exclusive
+			}
+			out, victims := m.Request(txn, g, mode)
+			if out == Wait {
+				blocked[txn] = true
+			}
+			if out == Deadlock {
+				m.ReleaseAll(txn)
+			}
+			for _, victim := range victims {
+				m.ReleaseAll(victim)
+				delete(blocked, victim)
+			}
+		}
+		// Every waiter must have at least one blocker that holds a lock.
+		for t1 := TxnID(1); t1 <= txns; t1++ {
+			if !m.Waiting(t1) {
+				continue
+			}
+			blockers := m.WaitsFor(t1)
+			if len(blockers) == 0 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 80}); err != nil {
+		t.Fatal(err)
+	}
+}

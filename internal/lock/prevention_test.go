@@ -1,0 +1,201 @@
+package lock
+
+import (
+	"testing"
+
+	"carat/internal/rng"
+)
+
+func newPreventionMgr(d Discipline) (*Manager, *recorder) {
+	r := &recorder{}
+	m := NewManagerWithDiscipline(d, VictimRequester, r.onGrant)
+	return m, r
+}
+
+func TestWaitDieOlderWaits(t *testing.T) {
+	m, _ := newPreventionMgr(WaitDie)
+	m.RegisterTxn(1, 100) // older
+	m.RegisterTxn(2, 200) // younger
+	if out, _ := m.Request(2, 5, Exclusive); out != Granted {
+		t.Fatal("first request must be granted")
+	}
+	out, victims := m.Request(1, 5, Exclusive)
+	if out != Wait || len(victims) != 0 {
+		t.Fatalf("older requester must wait: %v %v", out, victims)
+	}
+}
+
+func TestWaitDieYoungerDies(t *testing.T) {
+	m, _ := newPreventionMgr(WaitDie)
+	m.RegisterTxn(1, 100)
+	m.RegisterTxn(2, 200)
+	m.Request(1, 5, Exclusive)
+	out, victims := m.Request(2, 5, Exclusive)
+	if out != Deadlock || len(victims) != 0 {
+		t.Fatalf("younger requester must die: %v %v", out, victims)
+	}
+	if m.Stats().Deadlocks != 1 {
+		t.Fatalf("deaths not counted: %+v", m.Stats())
+	}
+	// The dead requester left no queue entry.
+	if m.Waiting(2) {
+		t.Fatal("dead requester still queued")
+	}
+}
+
+func TestWaitDieMixedHolders(t *testing.T) {
+	// Requester older than one holder but younger than another: dies.
+	m, _ := newPreventionMgr(WaitDie)
+	m.RegisterTxn(1, 100)
+	m.RegisterTxn(2, 200)
+	m.RegisterTxn(3, 300)
+	m.Request(1, 5, Shared)
+	m.Request(3, 5, Shared)
+	out, _ := m.Request(2, 5, Exclusive)
+	if out != Deadlock {
+		t.Fatalf("requester younger than holder 1 must die: %v", out)
+	}
+}
+
+func TestWoundWaitOlderWounds(t *testing.T) {
+	m, _ := newPreventionMgr(WoundWait)
+	m.RegisterTxn(1, 100)
+	m.RegisterTxn(2, 200)
+	m.Request(2, 5, Exclusive)
+	out, victims := m.Request(1, 5, Exclusive)
+	if out != Wait {
+		t.Fatalf("older requester waits after wounding: %v", out)
+	}
+	if len(victims) != 1 || victims[0] != 2 {
+		t.Fatalf("victims = %v, want [2]", victims)
+	}
+	// Aborting the wounded holder hands over the lock.
+	m.ReleaseAll(2)
+	if !m.Holds(1, 5, Exclusive) {
+		t.Fatal("requester not granted after wound abort")
+	}
+}
+
+func TestWoundWaitYoungerWaits(t *testing.T) {
+	m, _ := newPreventionMgr(WoundWait)
+	m.RegisterTxn(1, 100)
+	m.RegisterTxn(2, 200)
+	m.Request(1, 5, Exclusive)
+	out, victims := m.Request(2, 5, Exclusive)
+	if out != Wait || len(victims) != 0 {
+		t.Fatalf("younger requester must wait without wounding: %v %v", out, victims)
+	}
+}
+
+func TestWoundWaitMultipleVictims(t *testing.T) {
+	m, _ := newPreventionMgr(WoundWait)
+	m.RegisterTxn(1, 100)
+	m.RegisterTxn(2, 200)
+	m.RegisterTxn(3, 300)
+	m.Request(2, 5, Shared)
+	m.Request(3, 5, Shared)
+	out, victims := m.Request(1, 5, Exclusive)
+	if out != Wait || len(victims) != 2 {
+		t.Fatalf("out=%v victims=%v, want both younger readers wounded", out, victims)
+	}
+}
+
+func TestWoundWaitSharedCompatibleNoWound(t *testing.T) {
+	m, _ := newPreventionMgr(WoundWait)
+	m.RegisterTxn(1, 100)
+	m.RegisterTxn(2, 200)
+	m.Request(2, 5, Shared)
+	out, victims := m.Request(1, 5, Shared)
+	if out != Granted || len(victims) != 0 {
+		t.Fatalf("compatible request must not wound: %v %v", out, victims)
+	}
+}
+
+func TestUnregisteredTimestampDefaultsToID(t *testing.T) {
+	m, _ := newPreventionMgr(WaitDie)
+	// No RegisterTxn: ids are the timestamps, so txn 2 is younger.
+	m.Request(1, 5, Exclusive)
+	if out, _ := m.Request(2, 5, Exclusive); out != Deadlock {
+		t.Fatalf("unregistered younger requester must die: %v", out)
+	}
+}
+
+func TestReleaseAllForgetsTimestamp(t *testing.T) {
+	m, _ := newPreventionMgr(WaitDie)
+	m.RegisterTxn(1, 7)
+	m.Request(1, 5, Exclusive)
+	m.ReleaseAll(1)
+	if got := m.timestampOf(1); got != 1 {
+		t.Fatalf("timestamp survived ReleaseAll: %d", got)
+	}
+}
+
+// TestPropertyPreventionLiveness drives random conflicting workloads under
+// both prevention disciplines and verifies no waiter is ever stuck without
+// a live blocker and the oldest live transaction is never the one killed
+// (wait-die kills the younger requester; wound-wait kills younger
+// holders).
+func TestPropertyPreventionLiveness(t *testing.T) {
+	for _, d := range []Discipline{WaitDie, WoundWait} {
+		d := d
+		t.Run(d.String(), func(t *testing.T) {
+			r := rng.New(42)
+			for trial := 0; trial < 40; trial++ {
+				blocked := map[TxnID]bool{}
+				var m *Manager
+				m = NewManagerWithDiscipline(d, VictimRequester, func(txn TxnID, _ GranuleID) {
+					delete(blocked, txn)
+				})
+				const txns, grans = 6, 5
+				oldest := TxnID(1)
+				for i := TxnID(1); i <= txns; i++ {
+					m.RegisterTxn(i, int64(i)*10)
+				}
+				for step := 0; step < 150; step++ {
+					txn := TxnID(1 + r.Intn(txns))
+					if blocked[txn] {
+						continue
+					}
+					mode := Shared
+					if r.Bool(0.5) {
+						mode = Exclusive
+					}
+					out, victims := m.Request(txn, GranuleID(r.Intn(grans)), mode)
+					if out == Wait {
+						blocked[txn] = true
+					}
+					if out == Deadlock {
+						// The timestamp rules never kill the oldest, but
+						// the FCFS queue adds wait edges the rules don't
+						// see; the detection backstop resolves those rare
+						// cycles by sacrificing the requester, whoever it
+						// is. Only wounds are asserted age-safe below.
+						m.ReleaseAll(txn)
+						delete(blocked, txn)
+						m.RegisterTxn(txn, int64(txn)*10) // restart, same ts
+					}
+					for _, v := range victims {
+						if v == oldest {
+							t.Fatalf("%v wounded the oldest transaction", d)
+						}
+						m.ReleaseAll(v)
+						delete(blocked, v)
+						m.RegisterTxn(v, int64(v)*10)
+					}
+				}
+				// Every still-blocked transaction has at least one blocker.
+				for txn := TxnID(1); txn <= txns; txn++ {
+					if blocked[txn] && len(m.WaitsFor(txn)) == 0 {
+						t.Fatalf("%v: txn %d blocked with no blocker", d, txn)
+					}
+				}
+			}
+		})
+	}
+}
+
+func TestDisciplineString(t *testing.T) {
+	if Detect.String() != "detect" || WaitDie.String() != "wait-die" || WoundWait.String() != "wound-wait" {
+		t.Fatal("discipline names wrong")
+	}
+}

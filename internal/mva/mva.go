@@ -1,0 +1,338 @@
+// Package mva solves closed, multi-chain, product-form queueing networks
+// by Mean Value Analysis — the solver the paper uses for each Site
+// Processing Model ([BASK75] product-form networks, Section 6: "This is
+// done using the Mean Value Analysis algorithm for product form networks").
+//
+// Two algorithms are provided: exact MVA, which recurs over all population
+// vectors (exponential in the number of chains but cheap for the paper's
+// populations), and the Schweitzer–Bard approximation, a fixed point that
+// scales to large populations. Centers are single-server FCFS/PS queueing
+// centers or infinite-server delay centers.
+package mva
+
+import (
+	"fmt"
+	"math"
+)
+
+// CenterKind distinguishes service center types.
+type CenterKind int
+
+const (
+	// Queueing is a single-server center (FCFS with class-independent
+	// exponential service, or PS, per BCMP).
+	Queueing CenterKind = iota
+	// Delay is an infinite-server center: no queueing, pure latency.
+	Delay
+	// MultiServer is an m-server queueing center handled with Seidmann's
+	// approximation: the residence is D/m·(1+Q) + D·(m-1)/m — the center
+	// behaves like a single server m times faster plus a fixed delay for
+	// the rest of the service. Exact for m = 1; within a few percent for
+	// the utilizations database models run at. Set the server count in
+	// Network.Servers.
+	MultiServer
+)
+
+// Network describes a closed multi-chain queueing network.
+type Network struct {
+	// Names labels the centers (for reports); optional.
+	Names []string
+	// Kinds gives each center's type. len(Kinds) = number of centers.
+	Kinds []CenterKind
+	// Demands[c][k] is chain k's total service demand at center c per
+	// cycle (visit count times per-visit service time).
+	Demands [][]float64
+	// Servers[c] is the server count for MultiServer centers (ignored for
+	// the other kinds; nil means 1 everywhere).
+	Servers []int
+	// Populations[k] is the number of chain-k customers.
+	Populations []int
+}
+
+// serversAt returns the server count of center c (>= 1).
+func (n *Network) serversAt(c int) int {
+	if n.Servers == nil || c >= len(n.Servers) || n.Servers[c] < 1 {
+		return 1
+	}
+	return n.Servers[c]
+}
+
+// Validate checks structural consistency.
+func (n *Network) Validate() error {
+	if len(n.Kinds) == 0 {
+		return fmt.Errorf("mva: no centers")
+	}
+	if len(n.Demands) != len(n.Kinds) {
+		return fmt.Errorf("mva: %d demand rows for %d centers", len(n.Demands), len(n.Kinds))
+	}
+	k := len(n.Populations)
+	if k == 0 {
+		return fmt.Errorf("mva: no chains")
+	}
+	for c, row := range n.Demands {
+		if len(row) != k {
+			return fmt.Errorf("mva: center %d has %d demands for %d chains", c, len(row), k)
+		}
+		for _, d := range row {
+			if d < 0 || math.IsNaN(d) || math.IsInf(d, 0) {
+				return fmt.Errorf("mva: center %d has invalid demand %v", c, d)
+			}
+		}
+	}
+	for i, p := range n.Populations {
+		if p < 0 {
+			return fmt.Errorf("mva: chain %d has negative population", i)
+		}
+	}
+	if n.Servers != nil && len(n.Servers) != len(n.Kinds) {
+		return fmt.Errorf("mva: %d server counts for %d centers", len(n.Servers), len(n.Kinds))
+	}
+	for c, kind := range n.Kinds {
+		if kind == MultiServer && n.serversAt(c) < 1 {
+			return fmt.Errorf("mva: center %d has invalid server count", c)
+		}
+	}
+	return nil
+}
+
+// Solution holds per-chain and per-center results at the full population.
+type Solution struct {
+	// Throughput[k] is chain k's cycle rate X_k.
+	Throughput []float64
+	// CycleTime[k] is chain k's total residence per cycle, N_k / X_k.
+	CycleTime []float64
+	// Residence[c][k] is chain k's residence time at center c per cycle.
+	Residence [][]float64
+	// QueueLen[c] is the mean total population at center c.
+	QueueLen []float64
+	// Utilization[c] is Σ_k X_k * D_ck — the busy fraction for queueing
+	// centers (may exceed 1 only through numerical error).
+	Utilization []float64
+}
+
+// SolveExact runs the exact multi-chain MVA recursion. Complexity is
+// O(centers · chains · Π(N_k+1)); fine for the paper's populations
+// (≤ 3^6 states per site).
+func SolveExact(n *Network) (*Solution, error) {
+	if err := n.Validate(); err != nil {
+		return nil, err
+	}
+	nc := len(n.Kinds)
+	nk := len(n.Populations)
+
+	// Mixed-radix enumeration of population vectors 0..N.
+	radix := make([]int, nk)
+	total := 1
+	for k, p := range n.Populations {
+		radix[k] = p + 1
+		if total > math.MaxInt32/radix[k] {
+			return nil, fmt.Errorf("mva: population state space too large for exact MVA; use SolveApprox")
+		}
+		total *= radix[k]
+	}
+	// strides for indexing.
+	stride := make([]int, nk)
+	s := 1
+	for k := 0; k < nk; k++ {
+		stride[k] = s
+		s *= radix[k]
+	}
+	// queueLen[idx*nc + c] = mean population of center c at vector idx.
+	queueLen := make([]float64, total*nc)
+
+	resid := make([][]float64, nc)
+	for c := range resid {
+		resid[c] = make([]float64, nk)
+	}
+	x := make([]float64, nk)
+
+	vec := make([]int, nk)
+	for idx := 1; idx < total; idx++ {
+		// Decode idx into vec.
+		rem := idx
+		for k := 0; k < nk; k++ {
+			vec[k] = rem % radix[k]
+			rem /= radix[k]
+		}
+		for k := 0; k < nk; k++ {
+			if vec[k] == 0 {
+				x[k] = 0
+				continue
+			}
+			prev := idx - stride[k] // population with one chain-k customer removed
+			var cycle float64
+			for c := 0; c < nc; c++ {
+				d := n.Demands[c][k]
+				if d == 0 {
+					resid[c][k] = 0
+					continue
+				}
+				switch n.Kinds[c] {
+				case Delay:
+					resid[c][k] = d
+				case MultiServer:
+					m := float64(n.serversAt(c))
+					resid[c][k] = d/m*(1+queueLen[prev*nc+c]) + d*(m-1)/m
+				default:
+					resid[c][k] = d * (1 + queueLen[prev*nc+c])
+				}
+				cycle += resid[c][k]
+			}
+			if cycle <= 0 {
+				return nil, fmt.Errorf("mva: chain %d has zero total demand", k)
+			}
+			x[k] = float64(vec[k]) / cycle
+		}
+		for c := 0; c < nc; c++ {
+			var q float64
+			for k := 0; k < nk; k++ {
+				if vec[k] > 0 {
+					q += x[k] * resid[c][k]
+				}
+			}
+			queueLen[idx*nc+c] = q
+		}
+	}
+
+	return n.finish(queueLen[(total-1)*nc:], x, resid)
+}
+
+// finish assembles a Solution from the final-population state.
+func (n *Network) finish(finalQ []float64, x []float64, resid [][]float64) (*Solution, error) {
+	nc := len(n.Kinds)
+	nk := len(n.Populations)
+	sol := &Solution{
+		Throughput:  make([]float64, nk),
+		CycleTime:   make([]float64, nk),
+		Residence:   make([][]float64, nc),
+		QueueLen:    make([]float64, nc),
+		Utilization: make([]float64, nc),
+	}
+	for c := 0; c < nc; c++ {
+		sol.Residence[c] = make([]float64, nk)
+		copy(sol.Residence[c], resid[c])
+		sol.QueueLen[c] = finalQ[c]
+	}
+	for k := 0; k < nk; k++ {
+		sol.Throughput[k] = x[k]
+		if x[k] > 0 {
+			sol.CycleTime[k] = float64(n.Populations[k]) / x[k]
+		}
+	}
+	for c := 0; c < nc; c++ {
+		var u float64
+		for k := 0; k < nk; k++ {
+			u += x[k] * n.Demands[c][k]
+		}
+		if n.Kinds[c] == MultiServer {
+			u /= float64(n.serversAt(c))
+		}
+		sol.Utilization[c] = u
+	}
+	return sol, nil
+}
+
+// SolveApprox runs the Schweitzer–Bard approximate MVA: the arrival
+// theorem's Q(N - e_k) is approximated by scaling the chain-k component of
+// Q(N), then iterated to a fixed point. tol bounds the relative change in
+// queue lengths; maxIter caps the iterations.
+func SolveApprox(n *Network, tol float64, maxIter int) (*Solution, error) {
+	if err := n.Validate(); err != nil {
+		return nil, err
+	}
+	if tol <= 0 {
+		tol = 1e-8
+	}
+	if maxIter <= 0 {
+		maxIter = 10000
+	}
+	nc := len(n.Kinds)
+	nk := len(n.Populations)
+
+	// qck[c][k]: chain-k mean population at center c. Initialize evenly
+	// over centers where the chain has demand.
+	qck := make([][]float64, nc)
+	for c := range qck {
+		qck[c] = make([]float64, nk)
+	}
+	for k := 0; k < nk; k++ {
+		cnt := 0
+		for c := 0; c < nc; c++ {
+			if n.Demands[c][k] > 0 {
+				cnt++
+			}
+		}
+		if cnt == 0 && n.Populations[k] > 0 {
+			return nil, fmt.Errorf("mva: chain %d has zero total demand", k)
+		}
+		for c := 0; c < nc; c++ {
+			if n.Demands[c][k] > 0 {
+				qck[c][k] = float64(n.Populations[k]) / float64(cnt)
+			}
+		}
+	}
+
+	resid := make([][]float64, nc)
+	for c := range resid {
+		resid[c] = make([]float64, nk)
+	}
+	x := make([]float64, nk)
+
+	for iter := 0; iter < maxIter; iter++ {
+		var maxDelta float64
+		for k := 0; k < nk; k++ {
+			pop := float64(n.Populations[k])
+			if pop == 0 {
+				continue
+			}
+			var cycle float64
+			for c := 0; c < nc; c++ {
+				d := n.Demands[c][k]
+				if d == 0 {
+					resid[c][k] = 0
+					continue
+				}
+				switch n.Kinds[c] {
+				case Delay:
+					resid[c][k] = d
+				default:
+					// Schweitzer: Q_c(N - e_k) ≈ Q_c(N) - q_ck/N_k.
+					var q float64
+					for kk := 0; kk < nk; kk++ {
+						q += qck[c][kk]
+					}
+					q -= qck[c][k] / pop
+					if n.Kinds[c] == MultiServer {
+						m := float64(n.serversAt(c))
+						resid[c][k] = d/m*(1+q) + d*(m-1)/m
+					} else {
+						resid[c][k] = d * (1 + q)
+					}
+				}
+				cycle += resid[c][k]
+			}
+			x[k] = pop / cycle
+		}
+		for c := 0; c < nc; c++ {
+			for k := 0; k < nk; k++ {
+				nq := x[k] * resid[c][k]
+				d := math.Abs(nq - qck[c][k])
+				if ref := math.Abs(qck[c][k]) + 1e-12; d/ref > maxDelta {
+					maxDelta = d / ref
+				}
+				qck[c][k] = nq
+			}
+		}
+		if maxDelta < tol {
+			break
+		}
+	}
+
+	finalQ := make([]float64, nc)
+	for c := 0; c < nc; c++ {
+		for k := 0; k < nk; k++ {
+			finalQ[c] += qck[c][k]
+		}
+	}
+	return n.finish(finalQ, x, resid)
+}

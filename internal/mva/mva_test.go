@@ -1,0 +1,426 @@
+package mva
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func close(a, b, tol float64) bool { return math.Abs(a-b) <= tol*(1+math.Abs(b)) }
+
+// TestSingleChainSingleCenter: one queueing center, N customers, demand D.
+// With no think time the server saturates: X = 1/D for N >= 1.
+func TestSingleChainSingleCenter(t *testing.T) {
+	n := &Network{
+		Kinds:       []CenterKind{Queueing},
+		Demands:     [][]float64{{2.0}},
+		Populations: []int{3},
+	}
+	sol, err := SolveExact(n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !close(sol.Throughput[0], 0.5, 1e-12) {
+		t.Fatalf("X = %v, want 0.5", sol.Throughput[0])
+	}
+	if !close(sol.CycleTime[0], 6, 1e-12) {
+		t.Fatalf("R = %v, want 6 (N*D)", sol.CycleTime[0])
+	}
+	if !close(sol.QueueLen[0], 3, 1e-12) {
+		t.Fatalf("Q = %v, want 3 (everyone queued)", sol.QueueLen[0])
+	}
+	if !close(sol.Utilization[0], 1, 1e-12) {
+		t.Fatalf("U = %v, want 1", sol.Utilization[0])
+	}
+}
+
+// TestMachineRepairman: the classic interactive system — one queueing
+// center (demand D) plus a delay center (think Z). Closed-form exact MVA
+// values for N=2, D=1, Z=1: X = 5/8? Derive by recursion instead:
+// N=1: R = D(1+0) = 1, X = 1/(Z+R) = 1/2, Q = X*R = 1/2.
+// N=2: R = D(1+1/2) = 3/2, X = 2/(1+3/2) = 4/5, Q = 6/5.
+func TestMachineRepairman(t *testing.T) {
+	n := &Network{
+		Kinds:       []CenterKind{Queueing, Delay},
+		Demands:     [][]float64{{1.0}, {1.0}},
+		Populations: []int{2},
+	}
+	sol, err := SolveExact(n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !close(sol.Throughput[0], 0.8, 1e-12) {
+		t.Fatalf("X = %v, want 0.8", sol.Throughput[0])
+	}
+	if !close(sol.QueueLen[0], 1.2, 1e-12) {
+		t.Fatalf("Q(cpu) = %v, want 1.2", sol.QueueLen[0])
+	}
+	if !close(sol.Utilization[0], 0.8, 1e-12) {
+		t.Fatalf("U = %v, want 0.8", sol.Utilization[0])
+	}
+}
+
+// TestTwoCenterBalanced: two identical queueing centers, one chain.
+// N=1: R = 2D, X = 1/(2D). N=2: each center sees Q=1/2: R_c = D(3/2),
+// X = 2/(3D). N=3: Q_c(2) = X*R_c = (2/3D)*(3D/2)/2 = 1/2 each... compute
+// via recursion: Q_c(2) = 0.75 each? Let D=1.
+// n=1: R=2, X=0.5, Qc=0.25 each... no: Qc = X*Rc = 0.5*1 = 0.5.
+// Hmm: Rc=1 each, R=2, X=1/2, Qc=1/2 each.
+// n=2: Rc=1*(1+0.5)=1.5, R=3, X=2/3, Qc=1.
+// n=3: Rc=1*(1+1)=2, R=4, X=3/4, Qc=1.5.
+func TestTwoCenterBalanced(t *testing.T) {
+	n := &Network{
+		Kinds:       []CenterKind{Queueing, Queueing},
+		Demands:     [][]float64{{1}, {1}},
+		Populations: []int{3},
+	}
+	sol, err := SolveExact(n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !close(sol.Throughput[0], 0.75, 1e-12) {
+		t.Fatalf("X = %v, want 0.75", sol.Throughput[0])
+	}
+	if !close(sol.QueueLen[0], 1.5, 1e-12) || !close(sol.QueueLen[1], 1.5, 1e-12) {
+		t.Fatalf("Q = %v,%v want 1.5 each", sol.QueueLen[0], sol.QueueLen[1])
+	}
+}
+
+// TestTwoChains: asymmetric demands; verify against hand recursion on a
+// tiny case. Chains A and B, one queueing center, D_A=1, D_B=2, N=(1,1).
+// (0,0): Q=0.
+// (1,0): R_A=1, X_A=1, Q=1.
+// (0,1): R_B=2, X_B=0.5, Q=1.
+// (1,1): R_A = 1*(1+Q(0,1)) = 2, X_A = 1/2;
+//
+//	R_B = 2*(1+Q(1,0)) = 4, X_B = 1/4;
+//	Q = 1/2*2 + 1/4*4 = 2.
+func TestTwoChains(t *testing.T) {
+	n := &Network{
+		Kinds:       []CenterKind{Queueing},
+		Demands:     [][]float64{{1, 2}},
+		Populations: []int{1, 1},
+	}
+	sol, err := SolveExact(n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !close(sol.Throughput[0], 0.5, 1e-12) {
+		t.Fatalf("X_A = %v, want 0.5", sol.Throughput[0])
+	}
+	if !close(sol.Throughput[1], 0.25, 1e-12) {
+		t.Fatalf("X_B = %v, want 0.25", sol.Throughput[1])
+	}
+	if !close(sol.QueueLen[0], 2, 1e-12) {
+		t.Fatalf("Q = %v, want 2", sol.QueueLen[0])
+	}
+}
+
+// TestZeroPopulationChain: chains with zero customers contribute nothing.
+func TestZeroPopulationChain(t *testing.T) {
+	n := &Network{
+		Kinds:       []CenterKind{Queueing},
+		Demands:     [][]float64{{1, 5}},
+		Populations: []int{2, 0},
+	}
+	sol, err := SolveExact(n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sol.Throughput[1] != 0 {
+		t.Fatalf("X of empty chain = %v", sol.Throughput[1])
+	}
+	// Chain 0 alone saturates the center: X = 1/D = 1.
+	if !close(sol.Throughput[0], 1, 1e-12) {
+		t.Fatalf("X = %v, want 1", sol.Throughput[0])
+	}
+}
+
+// TestDelayOnlyNetwork: with only delay centers there is no contention:
+// X = N/Z exactly.
+func TestDelayOnlyNetwork(t *testing.T) {
+	n := &Network{
+		Kinds:       []CenterKind{Delay},
+		Demands:     [][]float64{{4}},
+		Populations: []int{8},
+	}
+	sol, err := SolveExact(n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !close(sol.Throughput[0], 2, 1e-12) {
+		t.Fatalf("X = %v, want 2", sol.Throughput[0])
+	}
+}
+
+// TestApproxMatchesExactSmall compares Schweitzer-Bard with exact MVA on
+// random small networks: the approximation is known to be within a few
+// percent on throughput.
+func TestApproxMatchesExactSmall(t *testing.T) {
+	f := func(d1, d2, d3 uint8, n1, n2 uint8) bool {
+		n := &Network{
+			Kinds: []CenterKind{Queueing, Queueing, Delay},
+			Demands: [][]float64{
+				{float64(d1%9) + 1, float64(d2%9) + 1},
+				{float64(d2%7) + 1, float64(d3%7) + 1},
+				{float64(d3 % 20), float64(d1 % 20)},
+			},
+			Populations: []int{int(n1%4) + 1, int(n2 % 4)},
+		}
+		exact, err := SolveExact(n)
+		if err != nil {
+			return false
+		}
+		approx, err := SolveApprox(n, 1e-10, 0)
+		if err != nil {
+			return false
+		}
+		for k := range exact.Throughput {
+			if n.Populations[k] == 0 {
+				continue
+			}
+			if !close(approx.Throughput[k], exact.Throughput[k], 0.10) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestLittlesLawHolds: for every chain, X_k * CycleTime_k = N_k, and the
+// per-center queue lengths sum to the total population.
+func TestLittlesLawHolds(t *testing.T) {
+	n := &Network{
+		Kinds: []CenterKind{Queueing, Queueing, Delay},
+		Demands: [][]float64{
+			{3, 1, 0.5},
+			{1, 4, 2},
+			{10, 0, 5},
+		},
+		Populations: []int{2, 3, 1},
+	}
+	sol, err := SolveExact(n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for k := range sol.Throughput {
+		if !close(sol.Throughput[k]*sol.CycleTime[k], float64(n.Populations[k]), 1e-9) {
+			t.Fatalf("chain %d: X*R = %v, want %d", k,
+				sol.Throughput[k]*sol.CycleTime[k], n.Populations[k])
+		}
+	}
+	var totQ float64
+	for _, q := range sol.QueueLen {
+		totQ += q
+	}
+	if !close(totQ, 6, 1e-9) {
+		t.Fatalf("total queue %v, want 6", totQ)
+	}
+}
+
+// TestUtilizationBelowOne: utilizations of queueing centers never exceed 1.
+func TestUtilizationBelowOne(t *testing.T) {
+	f := func(d1, d2 uint8, n1, n2 uint8) bool {
+		n := &Network{
+			Kinds: []CenterKind{Queueing, Queueing},
+			Demands: [][]float64{
+				{float64(d1%9) + 0.5, float64(d2%9) + 0.5},
+				{float64(d2%5) + 0.5, float64(d1%5) + 0.5},
+			},
+			Populations: []int{int(n1%5) + 1, int(n2%5) + 1},
+		}
+		sol, err := SolveExact(n)
+		if err != nil {
+			return false
+		}
+		for _, u := range sol.Utilization {
+			if u > 1+1e-9 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestThroughputMonotoneInPopulation: adding customers never reduces
+// a chain's throughput in a product-form network.
+func TestThroughputMonotoneInPopulation(t *testing.T) {
+	base := &Network{
+		Kinds:       []CenterKind{Queueing, Delay},
+		Demands:     [][]float64{{2}, {5}},
+		Populations: []int{1},
+	}
+	var prev float64
+	for pop := 1; pop <= 10; pop++ {
+		base.Populations[0] = pop
+		sol, err := SolveExact(base)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if sol.Throughput[0] < prev-1e-12 {
+			t.Fatalf("throughput fell at N=%d: %v < %v", pop, sol.Throughput[0], prev)
+		}
+		prev = sol.Throughput[0]
+	}
+	// And it must approach the bottleneck bound 1/D = 0.5.
+	if prev > 0.5+1e-9 {
+		t.Fatalf("throughput %v exceeds bottleneck bound 0.5", prev)
+	}
+}
+
+func TestValidation(t *testing.T) {
+	bad := []*Network{
+		{Kinds: nil, Demands: nil, Populations: []int{1}},
+		{Kinds: []CenterKind{Queueing}, Demands: [][]float64{}, Populations: []int{1}},
+		{Kinds: []CenterKind{Queueing}, Demands: [][]float64{{1, 2}}, Populations: []int{1}},
+		{Kinds: []CenterKind{Queueing}, Demands: [][]float64{{-1}}, Populations: []int{1}},
+		{Kinds: []CenterKind{Queueing}, Demands: [][]float64{{1}}, Populations: []int{-1}},
+		{Kinds: []CenterKind{Queueing}, Demands: [][]float64{{1}}, Populations: []int{}},
+	}
+	for i, n := range bad {
+		if _, err := SolveExact(n); err == nil {
+			t.Errorf("case %d: expected validation error", i)
+		}
+	}
+	// A populated chain with zero demand everywhere is an error.
+	zero := &Network{
+		Kinds:       []CenterKind{Queueing},
+		Demands:     [][]float64{{0}},
+		Populations: []int{1},
+	}
+	if _, err := SolveExact(zero); err == nil {
+		t.Error("zero-demand chain must fail")
+	}
+	if _, err := SolveApprox(zero, 0, 0); err == nil {
+		t.Error("zero-demand chain must fail in approx")
+	}
+}
+
+// TestApproxLargePopulation: the approximation handles populations far
+// beyond exact MVA's reach and still saturates at the bottleneck.
+func TestApproxLargePopulation(t *testing.T) {
+	n := &Network{
+		Kinds:       []CenterKind{Queueing, Delay},
+		Demands:     [][]float64{{1}, {100}},
+		Populations: []int{5000},
+	}
+	sol, err := SolveApprox(n, 1e-10, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !close(sol.Throughput[0], 1.0, 0.01) {
+		t.Fatalf("X = %v, want ~1 (bottleneck)", sol.Throughput[0])
+	}
+}
+
+// TestMultiServerReducesToSingle: a MultiServer center with one server is
+// identical to Queueing.
+func TestMultiServerReducesToSingle(t *testing.T) {
+	q := &Network{
+		Kinds:       []CenterKind{Queueing, Delay},
+		Demands:     [][]float64{{2}, {3}},
+		Populations: []int{4},
+	}
+	m := &Network{
+		Kinds:       []CenterKind{MultiServer, Delay},
+		Demands:     [][]float64{{2}, {3}},
+		Servers:     []int{1, 0},
+		Populations: []int{4},
+	}
+	sq, err := SolveExact(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sm, err := SolveExact(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !close(sq.Throughput[0], sm.Throughput[0], 1e-12) {
+		t.Fatalf("single-server MultiServer diverges: %v vs %v", sm.Throughput[0], sq.Throughput[0])
+	}
+}
+
+// TestMultiServerCapacity: at saturation, m servers sustain m times the
+// single-server bottleneck rate.
+func TestMultiServerCapacity(t *testing.T) {
+	for _, m := range []int{2, 4} {
+		n := &Network{
+			Kinds:       []CenterKind{MultiServer},
+			Demands:     [][]float64{{1}},
+			Servers:     []int{m},
+			Populations: []int{400},
+		}
+		sol, err := SolveExact(n)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := float64(m)
+		if !close(sol.Throughput[0], want, 0.02) {
+			t.Fatalf("m=%d: X=%v, want ~%v", m, sol.Throughput[0], want)
+		}
+		if sol.Utilization[0] > 1+1e-9 {
+			t.Fatalf("m=%d: per-server utilization %v > 1", m, sol.Utilization[0])
+		}
+	}
+}
+
+// TestMultiServerLightLoad: with one customer there is no queueing and the
+// residence approaches the plain demand (Seidmann splits it but the sum is
+// D at Q=0).
+func TestMultiServerLightLoad(t *testing.T) {
+	n := &Network{
+		Kinds:       []CenterKind{MultiServer, Delay},
+		Demands:     [][]float64{{4}, {100}},
+		Servers:     []int{2, 0},
+		Populations: []int{1},
+	}
+	sol, err := SolveExact(n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !close(sol.Residence[0][0], 4, 1e-9) {
+		t.Fatalf("light-load residence %v, want 4", sol.Residence[0][0])
+	}
+}
+
+// TestMultiServerApproxAgrees: Schweitzer with multi-server centers stays
+// near exact.
+func TestMultiServerApproxAgrees(t *testing.T) {
+	n := &Network{
+		Kinds:       []CenterKind{MultiServer, Queueing, Delay},
+		Demands:     [][]float64{{3, 2}, {1, 4}, {5, 0}},
+		Servers:     []int{3, 0, 0},
+		Populations: []int{3, 2},
+	}
+	exact, err := SolveExact(n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	approx, err := SolveApprox(n, 1e-10, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for k := range exact.Throughput {
+		if !close(approx.Throughput[k], exact.Throughput[k], 0.12) {
+			t.Fatalf("chain %d: approx %v vs exact %v", k, approx.Throughput[k], exact.Throughput[k])
+		}
+	}
+}
+
+func TestServersValidation(t *testing.T) {
+	n := &Network{
+		Kinds:       []CenterKind{Queueing},
+		Demands:     [][]float64{{1}},
+		Servers:     []int{1, 2},
+		Populations: []int{1},
+	}
+	if _, err := SolveExact(n); err == nil {
+		t.Fatal("mismatched Servers length must fail")
+	}
+}

@@ -1,0 +1,281 @@
+// Package phase implements the transaction-phase machinery of the paper's
+// Site Processing Model (Section 4.1): the phase set P, the phase
+// transition probability matrices of Table 1 (and their slave-transaction
+// variant described in Section 5.1), and the visit-count equations
+//
+//	V_c2 = Σ_c1 V_c1 · p_{c1,c2}        (Equation 1)
+//
+// solved as a linear system with V_UT = 1 (one pass through the user-think
+// phase per transaction execution).
+package phase
+
+import (
+	"fmt"
+	"math"
+)
+
+// Phase enumerates the transaction phases of Section 4.1.
+type Phase int
+
+const (
+	// UT is the user think wait between transaction executions.
+	UT Phase = iota
+	// INIT is transaction initialization (TBEGIN/DBOPEN processing).
+	INIT
+	// U is user application processing for one request.
+	U
+	// TM is TM server message processing.
+	TM
+	// DM is DM server processing between two lock requests.
+	DM
+	// LR is lock request processing (including local deadlock detection).
+	LR
+	// DMIO is the disk I/O burst for one granule.
+	DMIO
+	// LW is the lock wait (blocked on a lock conflict).
+	LW
+	// RW is the remote request wait.
+	RW
+	// TC is transaction commit processing.
+	TC
+	// TA is transaction abort (rollback) processing.
+	TA
+	// TCIO is the commit log force-write disk I/O.
+	TCIO
+	// TAIO is the rollback disk I/O (before-image writes).
+	TAIO
+	// CWC is the two-phase-commit wait on the commit path.
+	CWC
+	// CWA is the two-phase-commit wait on the abort path.
+	CWA
+	// UL is unlock processing (release all locks).
+	UL
+
+	// NumPhases is the size of the phase set P.
+	NumPhases = int(UL) + 1
+)
+
+var phaseNames = [NumPhases]string{
+	"UT", "INIT", "U", "TM", "DM", "LR", "DMIO", "LW",
+	"RW", "TC", "TA", "TCIO", "TAIO", "CWC", "CWA", "UL",
+}
+
+// String returns the paper's phase abbreviation.
+func (ph Phase) String() string {
+	if ph < 0 || int(ph) >= NumPhases {
+		return fmt.Sprintf("Phase(%d)", int(ph))
+	}
+	return phaseNames[ph]
+}
+
+// All lists every phase in declaration order.
+func All() []Phase {
+	out := make([]Phase, NumPhases)
+	for i := range out {
+		out[i] = Phase(i)
+	}
+	return out
+}
+
+// Matrix is a phase transition probability matrix: Matrix[c1][c2] is the
+// probability of entering c2 on completing c1.
+type Matrix [NumPhases][NumPhases]float64
+
+// Validate checks that every row with any outgoing probability sums to 1.
+func (m *Matrix) Validate() error {
+	for i := 0; i < NumPhases; i++ {
+		var sum float64
+		for j := 0; j < NumPhases; j++ {
+			p := m[i][j]
+			if p < 0 || p > 1 {
+				return fmt.Errorf("phase: p[%v][%v] = %v out of [0,1]", Phase(i), Phase(j), p)
+			}
+			sum += p
+		}
+		if sum != 0 && math.Abs(sum-1) > 1e-9 {
+			return fmt.Errorf("phase: row %v sums to %v", Phase(i), sum)
+		}
+	}
+	return nil
+}
+
+// Probs carries the quantities Table 1 is parameterized by.
+type Probs struct {
+	L int     // l(t): local requests
+	R int     // r(t): remote requests (0 for local transactions)
+	Q float64 // q(t): mean disk I/O operations (granule accesses) per request
+
+	Pb  float64 // probability a lock request is blocked
+	Pd  float64 // probability a blocked request is chosen deadlock victim
+	Pra float64 // probability a remote wait ends in abort (coordinators only)
+}
+
+// N returns the total request count n(t) = l(t) + r(t).
+func (pr Probs) N() int { return pr.L + pr.R }
+
+// Coordinator builds Table 1: the transition matrix for local (LRO, LU;
+// r = 0) and distributed coordinator (DROC, DUC) transactions. The total
+// number of transitions out of TM is C = 2n+1: two per request (TDO
+// routing and DOSTEP_K/REMDO_K processing) plus the TEND message.
+func Coordinator(pr Probs) (*Matrix, error) {
+	if pr.L < 0 || pr.R < 0 || pr.N() == 0 {
+		return nil, fmt.Errorf("phase: need at least one request, got l=%d r=%d", pr.L, pr.R)
+	}
+	if pr.Q <= 0 {
+		return nil, fmt.Errorf("phase: q must be positive, got %v", pr.Q)
+	}
+	if err := checkProbs(pr); err != nil {
+		return nil, err
+	}
+	n := float64(pr.N())
+	c := 2*n + 1
+	var m Matrix
+	m[UT][INIT] = 1
+	m[INIT][U] = 1
+	m[U][TM] = 1
+	m[TM][U] = n / c
+	m[TM][DM] = float64(pr.L) / c
+	m[TM][RW] = float64(pr.R) / c
+	m[TM][TC] = 1 / c
+	m[DM][TM] = 1 / (pr.Q + 1)
+	m[DM][LR] = pr.Q / (pr.Q + 1)
+	m[LR][DMIO] = 1 - pr.Pb
+	m[LR][LW] = pr.Pb
+	m[DMIO][DM] = 1
+	m[LW][DMIO] = 1 - pr.Pd
+	m[LW][TA] = pr.Pd
+	m[RW][TM] = 1 - pr.Pra
+	m[RW][TA] = pr.Pra
+	m[TC][CWC] = 1
+	m[TA][CWA] = 1
+	m[TCIO][UL] = 1
+	m[TAIO][UL] = 1
+	m[CWC][TCIO] = 1
+	m[CWA][TAIO] = 1
+	m[UL][UT] = 1
+	return &m, nil
+}
+
+// Slave builds the matrix for distributed slave transactions (DROS, DUS),
+// per Section 5.1's note that similar expressions hold for the slave
+// types. A slave is driven by arriving remote requests: it moves straight
+// from UT to TM on the first request, returns to RW after answering each
+// request, and enters TC when the two-phase-commit PREPARE arrives. The
+// total transitions out of TM are C' = 2l+1: per request one to DM
+// (executing it) and one to RW (after sending the response), plus one to
+// TC. Pra here is the probability that the wait for the next request ends
+// with an abort instead (the coordinator died in a deadlock elsewhere).
+func Slave(pr Probs) (*Matrix, error) {
+	if pr.L <= 0 {
+		return nil, fmt.Errorf("phase: slave needs local requests, got l=%d", pr.L)
+	}
+	if pr.R != 0 {
+		return nil, fmt.Errorf("phase: slave cannot issue remote requests, got r=%d", pr.R)
+	}
+	if pr.Q <= 0 {
+		return nil, fmt.Errorf("phase: q must be positive, got %v", pr.Q)
+	}
+	if err := checkProbs(pr); err != nil {
+		return nil, err
+	}
+	l := float64(pr.L)
+	c := 2*l + 1
+	var m Matrix
+	m[UT][TM] = 1
+	m[TM][DM] = l / c
+	m[TM][RW] = l / c
+	m[TM][TC] = 1 / c
+	m[DM][TM] = 1 / (pr.Q + 1)
+	m[DM][LR] = pr.Q / (pr.Q + 1)
+	m[LR][DMIO] = 1 - pr.Pb
+	m[LR][LW] = pr.Pb
+	m[DMIO][DM] = 1
+	m[LW][DMIO] = 1 - pr.Pd
+	m[LW][TA] = pr.Pd
+	m[RW][TM] = 1 - pr.Pra
+	m[RW][TA] = pr.Pra
+	m[TC][CWC] = 1
+	m[TA][CWA] = 1
+	m[TCIO][UL] = 1
+	m[TAIO][UL] = 1
+	m[CWC][TCIO] = 1
+	m[CWA][TAIO] = 1
+	m[UL][UT] = 1
+	return &m, nil
+}
+
+func checkProbs(pr Probs) error {
+	for _, p := range []struct {
+		name string
+		v    float64
+	}{{"Pb", pr.Pb}, {"Pd", pr.Pd}, {"Pra", pr.Pra}} {
+		if p.v < 0 || p.v > 1 {
+			return fmt.Errorf("phase: %s = %v out of [0,1]", p.name, p.v)
+		}
+	}
+	return nil
+}
+
+// VisitCounts solves Equation 1 for the expected visits to each phase per
+// transaction execution, normalized to V_UT = 1. The system
+//
+//	V_j = Σ_i V_i p_ij   (j ≠ UT),  V_UT = 1
+//
+// is solved by Gaussian elimination with partial pivoting.
+func VisitCounts(m *Matrix) ([NumPhases]float64, error) {
+	var visits [NumPhases]float64
+	if err := m.Validate(); err != nil {
+		return visits, err
+	}
+	// Unknowns: V_j for j = 1..NumPhases-1 (phase 0 is UT, fixed at 1).
+	const k = NumPhases - 1
+	var a [k][k + 1]float64 // augmented matrix
+	for j := 1; j < NumPhases; j++ {
+		row := j - 1
+		for i := 1; i < NumPhases; i++ {
+			a[row][i-1] = -m[i][j]
+		}
+		a[row][j-1] += 1
+		a[row][k] = m[int(UT)][j] // contribution of V_UT = 1
+	}
+	// Gaussian elimination with partial pivoting.
+	for col := 0; col < k; col++ {
+		piv := col
+		for r := col + 1; r < k; r++ {
+			if math.Abs(a[r][col]) > math.Abs(a[piv][col]) {
+				piv = r
+			}
+		}
+		if math.Abs(a[piv][col]) < 1e-14 {
+			return visits, fmt.Errorf("phase: singular visit-count system at column %d", col)
+		}
+		a[col], a[piv] = a[piv], a[col]
+		for r := col + 1; r < k; r++ {
+			f := a[r][col] / a[col][col]
+			if f == 0 {
+				continue
+			}
+			for c := col; c <= k; c++ {
+				a[r][c] -= f * a[col][c]
+			}
+		}
+	}
+	// Back substitution.
+	var x [k]float64
+	for row := k - 1; row >= 0; row-- {
+		sum := a[row][k]
+		for c := row + 1; c < k; c++ {
+			sum -= a[row][c] * x[c]
+		}
+		x[row] = sum / a[row][row]
+	}
+	visits[UT] = 1
+	for j := 1; j < NumPhases; j++ {
+		v := x[j-1]
+		if v < 0 && v > -1e-9 {
+			v = 0
+		}
+		visits[j] = v
+	}
+	return visits, nil
+}

@@ -1,0 +1,166 @@
+package probe
+
+import "testing"
+
+// fakeHost wires a hand-built global wait-for graph for one site.
+type fakeHost struct {
+	edges map[TxnID][]TxnID
+	site  map[TxnID]SiteID
+}
+
+func (h *fakeHost) WaitsFor(t TxnID) []TxnID { return h.edges[t] }
+func (h *fakeHost) ActiveSite(t TxnID) (SiteID, bool) {
+	s, ok := h.site[t]
+	return s, ok
+}
+
+func TestNoProbesWithoutRemoteEdges(t *testing.T) {
+	h := &fakeHost{
+		edges: map[TxnID][]TxnID{1: {2}},
+		site:  map[TxnID]SiteID{1: 0, 2: 0},
+	}
+	d := NewDetector(0, h)
+	probes := d.Initiate(1)
+	if len(probes) != 0 {
+		t.Fatalf("probes = %v; purely local edges emit nothing", probes)
+	}
+}
+
+func TestRemoteEdgeEmitsProbe(t *testing.T) {
+	h := &fakeHost{
+		edges: map[TxnID][]TxnID{1: {2}},
+		site:  map[TxnID]SiteID{1: 0, 2: 1},
+	}
+	d := NewDetector(0, h)
+	probes := d.Initiate(1)
+	if len(probes) != 1 {
+		t.Fatalf("probes = %v, want one", probes)
+	}
+	p := probes[0]
+	if p.Initiator != 1 || p.To != 2 || p.Dest != 1 {
+		t.Fatalf("probe = %+v", p)
+	}
+}
+
+func TestTwoSiteCycleDetected(t *testing.T) {
+	// Site 0: txn 1 waits for txn 2 (active at site 1).
+	// Site 1: txn 2 waits for txn 1 (active at site 0).
+	h0 := &fakeHost{
+		edges: map[TxnID][]TxnID{1: {2}},
+		site:  map[TxnID]SiteID{1: 0, 2: 1},
+	}
+	h1 := &fakeHost{
+		edges: map[TxnID][]TxnID{2: {1}},
+		site:  map[TxnID]SiteID{1: 0, 2: 1},
+	}
+	d0 := NewDetector(0, h0)
+	d1 := NewDetector(1, h1)
+
+	probes := d0.Initiate(1)
+	if len(probes) != 1 {
+		t.Fatalf("site 0 probes = %v", probes)
+	}
+	fwd, victim, found := d1.Receive(probes[0])
+	// At site 1, txn 2's dependency is txn 1 == initiator: cycle.
+	if !found || victim != 1 {
+		t.Fatalf("found=%v victim=%v fwd=%v, want detection with victim 1", found, victim, fwd)
+	}
+}
+
+func TestThreeSiteCycleDetected(t *testing.T) {
+	// 1@0 -> 2@1 -> 3@2 -> 1@0.
+	sites := map[TxnID]SiteID{1: 0, 2: 1, 3: 2}
+	h0 := &fakeHost{edges: map[TxnID][]TxnID{1: {2}}, site: sites}
+	h1 := &fakeHost{edges: map[TxnID][]TxnID{2: {3}}, site: sites}
+	h2 := &fakeHost{edges: map[TxnID][]TxnID{3: {1}}, site: sites}
+	d0, d1, d2 := NewDetector(0, h0), NewDetector(1, h1), NewDetector(2, h2)
+
+	ps := d0.Initiate(1)
+	if len(ps) != 1 || ps[0].Dest != 1 {
+		t.Fatalf("step1 probes = %v", ps)
+	}
+	ps, _, found := d1.Receive(ps[0])
+	if found || len(ps) != 1 || ps[0].Dest != 2 || ps[0].To != 3 {
+		t.Fatalf("step2 = %v found=%v", ps, found)
+	}
+	_, victim, found := d2.Receive(ps[0])
+	if !found || victim != 1 {
+		t.Fatalf("cycle not closed: victim=%v found=%v", victim, found)
+	}
+}
+
+func TestLocalChainThenRemote(t *testing.T) {
+	// At site 0: 1 -> 2 (local) -> 3 (remote). Initiating for 1 must
+	// chase through 2 and probe 3.
+	h := &fakeHost{
+		edges: map[TxnID][]TxnID{1: {2}, 2: {3}},
+		site:  map[TxnID]SiteID{1: 0, 2: 0, 3: 1},
+	}
+	d := NewDetector(0, h)
+	probes := d.Initiate(1)
+	if len(probes) != 1 || probes[0].To != 3 || probes[0].Initiator != 1 {
+		t.Fatalf("probes = %v", probes)
+	}
+}
+
+func TestDedupSuppressesRepeatProbes(t *testing.T) {
+	h := &fakeHost{
+		edges: map[TxnID][]TxnID{1: {2}},
+		site:  map[TxnID]SiteID{1: 0, 2: 1},
+	}
+	d := NewDetector(0, h)
+	if got := len(d.Initiate(1)); got != 1 {
+		t.Fatalf("first initiate: %d probes", got)
+	}
+	if got := len(d.Initiate(1)); got != 0 {
+		t.Fatalf("second initiate must be deduped, got %d probes", got)
+	}
+	d.ClearTxn(1)
+	if got := len(d.Initiate(1)); got != 1 {
+		t.Fatalf("after ClearTxn: %d probes, want 1", got)
+	}
+}
+
+func TestNoFalseDeadlockOnChain(t *testing.T) {
+	// 1@0 -> 2@1, and at site 1 txn 2 waits for 3 which is not blocked.
+	sites := map[TxnID]SiteID{1: 0, 2: 1, 3: 1}
+	h1 := &fakeHost{edges: map[TxnID][]TxnID{2: {3}}, site: sites}
+	d1 := NewDetector(1, h1)
+	_, _, found := d1.Receive(Probe{Initiator: 1, From: 1, To: 2, Dest: 1})
+	if found {
+		t.Fatal("chain without cycle reported as deadlock")
+	}
+}
+
+func TestFinishedTxnBreaksChase(t *testing.T) {
+	h := &fakeHost{
+		edges: map[TxnID][]TxnID{1: {2}},
+		site:  map[TxnID]SiteID{1: 0}, // txn 2 unknown (finished)
+	}
+	d := NewDetector(0, h)
+	if probes := d.Initiate(1); len(probes) != 0 {
+		t.Fatalf("probes = %v; finished target must stop the chase", probes)
+	}
+}
+
+func TestCounts(t *testing.T) {
+	h := &fakeHost{
+		edges: map[TxnID][]TxnID{2: {1}},
+		site:  map[TxnID]SiteID{1: 0, 2: 1},
+	}
+	d := NewDetector(1, h)
+	d.Receive(Probe{Initiator: 1, From: 1, To: 2, Dest: 1})
+	ini, rcv, det := d.Counts()
+	if ini != 0 || rcv != 1 || det != 1 {
+		t.Fatalf("counts = %d,%d,%d", ini, rcv, det)
+	}
+}
+
+func TestProbeDirectlyAtInitiator(t *testing.T) {
+	h := &fakeHost{edges: map[TxnID][]TxnID{}, site: map[TxnID]SiteID{}}
+	d := NewDetector(0, h)
+	_, victim, found := d.Receive(Probe{Initiator: 7, From: 3, To: 7, Dest: 0})
+	if !found || victim != 7 {
+		t.Fatalf("self-addressed probe must detect: found=%v victim=%v", found, victim)
+	}
+}

@@ -1,0 +1,174 @@
+// Package rng provides a small deterministic random number generator with
+// the distributions a transaction-workload simulator needs.
+//
+// The generator is xoshiro256++ seeded through splitmix64, implemented here
+// rather than taken from math/rand so that simulation streams are stable
+// across Go releases. Independent substreams for different purposes (record
+// selection, service times, think times) are derived with Split.
+package rng
+
+import "math"
+
+// Rand is a deterministic pseudo-random generator. It is not safe for
+// concurrent use; the simulation kernel guarantees single-threaded access.
+type Rand struct {
+	s [4]uint64
+}
+
+// splitmix64 advances a 64-bit state and returns a well-mixed output. It is
+// the recommended seeder for xoshiro generators.
+func splitmix64(state *uint64) uint64 {
+	*state += 0x9e3779b97f4a7c15
+	z := *state
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// New returns a generator seeded from seed. Equal seeds give identical
+// streams.
+func New(seed uint64) *Rand {
+	r := &Rand{}
+	st := seed
+	for i := range r.s {
+		r.s[i] = splitmix64(&st)
+	}
+	// A xoshiro state of all zeros is absorbing; splitmix64 cannot produce
+	// four zero outputs from any seed, but guard anyway.
+	if r.s[0]|r.s[1]|r.s[2]|r.s[3] == 0 {
+		r.s[0] = 1
+	}
+	return r
+}
+
+// Split derives an independent substream labelled by id. Streams with
+// different ids (or from generators with different seeds) are effectively
+// uncorrelated.
+func (r *Rand) Split(id uint64) *Rand {
+	// Mix the parent state with the id through splitmix64.
+	st := r.s[0] ^ (r.s[2] << 1) ^ (id * 0x9e3779b97f4a7c15)
+	st = splitmix64(&st)
+	return New(st ^ id)
+}
+
+func rotl(x uint64, k uint) uint64 { return (x << k) | (x >> (64 - k)) }
+
+// Uint64 returns the next 64 random bits (xoshiro256++).
+func (r *Rand) Uint64() uint64 {
+	s := &r.s
+	result := rotl(s[0]+s[3], 23) + s[0]
+	t := s[1] << 17
+	s[2] ^= s[0]
+	s[3] ^= s[1]
+	s[1] ^= s[2]
+	s[0] ^= s[3]
+	s[2] ^= t
+	s[3] = rotl(s[3], 45)
+	return result
+}
+
+// Float64 returns a uniform value in [0, 1).
+func (r *Rand) Float64() float64 {
+	return float64(r.Uint64()>>11) / (1 << 53)
+}
+
+// Intn returns a uniform integer in [0, n). It panics if n <= 0.
+func (r *Rand) Intn(n int) int {
+	if n <= 0 {
+		panic("rng: Intn with n <= 0")
+	}
+	// Lemire's nearly-divisionless bounded sampling.
+	bound := uint64(n)
+	for {
+		x := r.Uint64()
+		hi, lo := mul64(x, bound)
+		if lo >= bound || lo >= (-bound)%bound {
+			return int(hi)
+		}
+	}
+}
+
+// mul64 returns the 128-bit product of a and b as (hi, lo).
+func mul64(a, b uint64) (hi, lo uint64) {
+	const mask = 1<<32 - 1
+	a0, a1 := a&mask, a>>32
+	b0, b1 := b&mask, b>>32
+	w0 := a0 * b0
+	t := a1*b0 + w0>>32
+	w1 := t&mask + a0*b1
+	hi = a1*b1 + t>>32 + w1>>32
+	lo = a * b
+	return
+}
+
+// Exp returns an exponential variate with the given mean. A zero or
+// negative mean returns 0.
+func (r *Rand) Exp(mean float64) float64 {
+	if mean <= 0 {
+		return 0
+	}
+	u := r.Float64()
+	// 1-u is in (0, 1], so the log is finite.
+	return -mean * math.Log(1-u)
+}
+
+// Uniform returns a uniform variate in [lo, hi).
+func (r *Rand) Uniform(lo, hi float64) float64 {
+	return lo + (hi-lo)*r.Float64()
+}
+
+// Bool returns true with probability p.
+func (r *Rand) Bool(p float64) bool { return r.Float64() < p }
+
+// Perm returns a random permutation of [0, n).
+func (r *Rand) Perm(n int) []int {
+	p := make([]int, n)
+	for i := range p {
+		j := r.Intn(i + 1)
+		p[i] = p[j]
+		p[j] = i
+	}
+	return p
+}
+
+// SampleInts returns k distinct uniform integers from [0, n) using Floyd's
+// algorithm. It panics if k > n.
+func (r *Rand) SampleInts(n, k int) []int {
+	if k > n {
+		panic("rng: sample larger than population")
+	}
+	seen := make(map[int]struct{}, k)
+	out := make([]int, 0, k)
+	for j := n - k; j < n; j++ {
+		t := r.Intn(j + 1)
+		if _, dup := seen[t]; dup {
+			t = j
+		}
+		seen[t] = struct{}{}
+		out = append(out, t)
+	}
+	return out
+}
+
+// Choice returns a uniform index weighted by w (weights must be
+// non-negative with positive sum).
+func (r *Rand) Choice(w []float64) int {
+	var sum float64
+	for _, x := range w {
+		if x < 0 {
+			panic("rng: negative weight")
+		}
+		sum += x
+	}
+	if sum <= 0 {
+		panic("rng: weights sum to zero")
+	}
+	u := r.Float64() * sum
+	for i, x := range w {
+		u -= x
+		if u < 0 {
+			return i
+		}
+	}
+	return len(w) - 1
+}

@@ -1,0 +1,285 @@
+// Package sim provides a deterministic, process-oriented discrete-event
+// simulation kernel.
+//
+// Model code is written as ordinary sequential Go functions ("processes")
+// that advance simulated time with Hold, contend for Resources, and exchange
+// messages through Queues. The kernel runs exactly one process at a time and
+// orders simultaneous events by schedule order, so a simulation with a fixed
+// seed is fully reproducible.
+//
+// The kernel is intentionally small: an event heap, a process abstraction
+// built on goroutine handoff, and a handful of synchronization primitives
+// (Resource, Queue, Event) that cover the needs of queueing-network style
+// models.
+package sim
+
+import (
+	"container/heap"
+	"errors"
+	"fmt"
+)
+
+// ErrInterrupted is returned from interruptible blocking calls when another
+// process interrupts the waiter. Use errors.Is to test for it; the concrete
+// error may carry a cause (see Interrupt).
+var ErrInterrupted = errors.New("sim: interrupted")
+
+// InterruptError is the error delivered to a parked process by Interrupt.
+// It wraps ErrInterrupted and records the cause supplied by the interrupter.
+type InterruptError struct {
+	Cause error
+}
+
+func (e *InterruptError) Error() string {
+	if e.Cause == nil {
+		return "sim: interrupted"
+	}
+	return "sim: interrupted: " + e.Cause.Error()
+}
+
+// Unwrap reports ErrInterrupted so errors.Is(err, ErrInterrupted) holds.
+func (e *InterruptError) Unwrap() error { return ErrInterrupted }
+
+// event is a scheduled callback. Events at equal times fire in schedule order.
+type event struct {
+	t   float64
+	seq int64
+	fn  func()
+}
+
+type eventHeap []*event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].t != h[j].t {
+		return h[i].t < h[j].t
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *eventHeap) Push(x interface{}) { *h = append(*h, x.(*event)) }
+func (h *eventHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	ev := old[n-1]
+	old[n-1] = nil
+	*h = old[:n-1]
+	return ev
+}
+
+// Env is a simulation environment: a virtual clock and an event queue.
+// Create one with NewEnv, spawn processes with Spawn, then call Run.
+// An Env must not be shared between OS threads while running; all model
+// code executes under the kernel's single-runnable discipline.
+type Env struct {
+	now     float64
+	events  eventHeap
+	seq     int64
+	procSeq int64
+
+	// done is the handoff channel: the running process (or an event
+	// callback that resumed a process) signals the kernel through it.
+	done chan struct{}
+
+	running   bool
+	nlive     int // live (spawned, not yet terminated) processes
+	panicked  interface{}
+	panicProc string
+}
+
+// NewEnv returns an empty environment with the clock at zero.
+func NewEnv() *Env {
+	return &Env{done: make(chan struct{})}
+}
+
+// Now returns the current simulation time.
+func (e *Env) Now() float64 { return e.now }
+
+// schedule enqueues fn to run at time t. Panics if t is in the past.
+func (e *Env) schedule(t float64, fn func()) *event {
+	if t < e.now {
+		panic(fmt.Sprintf("sim: schedule at %v before now %v", t, e.now))
+	}
+	e.seq++
+	ev := &event{t: t, seq: e.seq, fn: fn}
+	heap.Push(&e.events, ev)
+	return ev
+}
+
+// At schedules fn to run as a bare event (not a process) at absolute time t.
+// The callback must not block; to model activity over time, spawn a process.
+func (e *Env) At(t float64, fn func()) { e.schedule(t, fn) }
+
+// After schedules fn to run d time units from now.
+func (e *Env) After(d float64, fn func()) {
+	if d < 0 {
+		panic("sim: negative delay")
+	}
+	e.schedule(e.now+d, fn)
+}
+
+// Run executes events until the event queue is empty or the clock would pass
+// until. It returns the time at which the simulation stopped. Run may be
+// called repeatedly to continue a paused simulation.
+func (e *Env) Run(until float64) float64 {
+	e.running = true
+	defer func() { e.running = false }()
+	for len(e.events) > 0 {
+		next := e.events[0]
+		if next.t > until {
+			e.now = until
+			return e.now
+		}
+		heap.Pop(&e.events)
+		e.now = next.t
+		next.fn()
+		if e.panicked != nil {
+			panic(fmt.Sprintf("sim: process %s panicked: %v", e.panicProc, e.panicked))
+		}
+	}
+	return e.now
+}
+
+// RunAll executes events until the queue drains, with no time bound.
+func (e *Env) RunAll() float64 {
+	for len(e.events) > 0 {
+		next := heap.Pop(&e.events).(*event)
+		e.now = next.t
+		next.fn()
+		if e.panicked != nil {
+			panic(fmt.Sprintf("sim: process %s panicked: %v", e.panicProc, e.panicked))
+		}
+	}
+	return e.now
+}
+
+// Live returns the number of spawned processes that have not terminated.
+func (e *Env) Live() int { return e.nlive }
+
+// Proc is the handle a process function uses to interact with the kernel.
+// It is valid only inside the process function it was passed to.
+type Proc struct {
+	env  *Env
+	id   int64
+	name string
+
+	resume chan error
+
+	// cancel detaches the process from whatever waiter list it is parked
+	// on. It is set by interruptible blocking primitives and nil while the
+	// process is runnable or parked non-interruptibly.
+	cancel func()
+}
+
+// Name returns the name given at Spawn.
+func (p *Proc) Name() string { return p.name }
+
+// ID returns the unique process id.
+func (p *Proc) ID() int64 { return p.id }
+
+// Env returns the owning environment.
+func (p *Proc) Env() *Env { return p.env }
+
+// Now returns the current simulation time.
+func (p *Proc) Now() float64 { return p.env.now }
+
+// Spawn creates a process running fn, starting at the current time.
+// The process begins execution when the kernel reaches its start event.
+func (e *Env) Spawn(name string, fn func(p *Proc)) *Proc {
+	return e.SpawnAt(e.now, name, fn)
+}
+
+// SpawnAt creates a process running fn, starting at absolute time t >= now.
+func (e *Env) SpawnAt(t float64, name string, fn func(p *Proc)) *Proc {
+	e.procSeq++
+	p := &Proc{env: e, id: e.procSeq, name: name, resume: make(chan error)}
+	e.nlive++
+	started := false
+	e.schedule(t, func() {
+		started = true
+		go func() {
+			defer func() {
+				if r := recover(); r != nil {
+					e.panicked = r
+					e.panicProc = p.name
+				}
+				e.nlive--
+				e.done <- struct{}{}
+			}()
+			if err := <-p.resume; err != nil {
+				// A process can be interrupted before its first
+				// instruction only through kernel misuse.
+				panic("sim: process interrupted before start")
+			}
+			fn(p)
+		}()
+		p.resume <- nil
+		<-e.done
+	})
+	_ = started
+	return p
+}
+
+// yield hands control from the running process back to the kernel and
+// blocks until some event resumes this process. The returned error is the
+// value passed to wake (nil for normal wakeups, an *InterruptError for
+// interrupts).
+func (p *Proc) yield() error {
+	p.env.done <- struct{}{}
+	return <-p.resume
+}
+
+// wake schedules process p to resume at the current time with err as the
+// result of its pending yield. All wakeups flow through the event queue so
+// that only one process runs at a time.
+func (e *Env) wake(p *Proc, err error) {
+	e.schedule(e.now, func() {
+		p.resume <- err
+		<-e.done
+	})
+}
+
+// Hold advances the process's local time by d. It is not interruptible.
+func (p *Proc) Hold(d float64) {
+	if d < 0 {
+		panic("sim: negative hold")
+	}
+	if d == 0 {
+		return
+	}
+	e := p.env
+	e.schedule(e.now+d, func() {
+		p.resume <- nil
+		<-e.done
+	})
+	if err := p.yield(); err != nil {
+		panic("sim: Hold interrupted: " + err.Error())
+	}
+}
+
+// park blocks the process until woken. Before calling park the primitive
+// must have registered the process on a waiter list and set p.cancel to a
+// function that removes it from that list. park clears cancel on wakeup.
+func (p *Proc) park() error {
+	err := p.yield()
+	p.cancel = nil
+	return err
+}
+
+// Interrupt wakes p with an *InterruptError carrying cause, provided p is
+// parked on an interruptible primitive (lock wait, queue wait, event wait).
+// It reports whether the interrupt was delivered. Interrupting a runnable
+// process or one blocked in Hold is not supported and returns false.
+func (p *Proc) Interrupt(cause error) bool {
+	if p.cancel == nil {
+		return false
+	}
+	p.cancel()
+	p.cancel = nil
+	p.env.wake(p, &InterruptError{Cause: cause})
+	return true
+}
+
+// Interruptible reports whether the process is currently parked on an
+// interruptible primitive.
+func (p *Proc) Interruptible() bool { return p.cancel != nil }

@@ -1,0 +1,90 @@
+package sim
+
+// Queue is an unbounded FIFO mailbox carrying values of type T between
+// processes. Put never blocks; Get blocks (interruptibly) until an item is
+// available. Items are delivered to waiting processes in FCFS order.
+type Queue[T any] struct {
+	env     *Env
+	name    string
+	items   []T
+	waiters []*queueWaiter[T]
+}
+
+type queueWaiter[T any] struct {
+	p       *Proc
+	removed bool
+	item    T
+	filled  bool
+}
+
+// NewQueue creates an empty queue.
+func NewQueue[T any](env *Env, name string) *Queue[T] {
+	return &Queue[T]{env: env, name: name}
+}
+
+// Name returns the queue name.
+func (q *Queue[T]) Name() string { return q.name }
+
+// Len returns the number of buffered items.
+func (q *Queue[T]) Len() int { return len(q.items) }
+
+// Waiting returns the number of processes blocked in Get.
+func (q *Queue[T]) Waiting() int {
+	n := 0
+	for _, w := range q.waiters {
+		if !w.removed {
+			n++
+		}
+	}
+	return n
+}
+
+// Put appends an item. If a process is waiting, the item is handed to the
+// longest-waiting one; otherwise it is buffered. Put may be called from
+// process or event context and never blocks.
+func (q *Queue[T]) Put(v T) {
+	for len(q.waiters) > 0 {
+		w := q.waiters[0]
+		q.waiters = q.waiters[1:]
+		if w.removed {
+			continue
+		}
+		w.item = v
+		w.filled = true
+		w.p.cancel = nil
+		q.env.wake(w.p, nil)
+		return
+	}
+	q.items = append(q.items, v)
+}
+
+// Get removes and returns the head item, blocking interruptibly while the
+// queue is empty. On interrupt it returns the zero value and the interrupt
+// error.
+func (q *Queue[T]) Get(p *Proc) (T, error) {
+	if len(q.items) > 0 {
+		v := q.items[0]
+		q.items = q.items[1:]
+		return v, nil
+	}
+	w := &queueWaiter[T]{p: p}
+	q.waiters = append(q.waiters, w)
+	p.cancel = func() { w.removed = true }
+	if err := p.park(); err != nil {
+		var zero T
+		return zero, err
+	}
+	return w.item, nil
+}
+
+// TryGet removes and returns the head item without blocking. The boolean
+// reports whether an item was available.
+func (q *Queue[T]) TryGet() (T, bool) {
+	if len(q.items) == 0 {
+		var zero T
+		return zero, false
+	}
+	v := q.items[0]
+	q.items = q.items[1:]
+	return v, true
+}

@@ -1,0 +1,183 @@
+package sim
+
+import (
+	"fmt"
+
+	"carat/internal/stats"
+)
+
+// Resource is a multi-server service station with a FCFS queue. It models
+// queueing centers such as a CPU or a disk: processes Acquire a server,
+// Hold for their service time, and Release.
+//
+// A Resource collects the statistics a queueing study needs: utilization,
+// mean queue length (waiting + in service), completion count, and the wait
+// and residence time distributions.
+type Resource struct {
+	env     *Env
+	name    string
+	servers int
+	inUse   int
+
+	waiters []*resWaiter
+
+	busy        stats.TimeWeighted // number of busy servers over time
+	population  stats.TimeWeighted // waiting + in service
+	completions stats.Counter
+	waitTime    stats.Tally
+	residence   stats.Tally
+}
+
+type resWaiter struct {
+	p       *Proc
+	n       int
+	arrived float64
+	removed bool
+}
+
+// NewResource creates a station with the given number of servers (>= 1).
+func NewResource(env *Env, name string, servers int) *Resource {
+	if servers < 1 {
+		panic("sim: resource needs at least one server")
+	}
+	r := &Resource{env: env, name: name, servers: servers}
+	r.busy.Set(0, env.now)
+	r.population.Set(0, env.now)
+	return r
+}
+
+// Name returns the station name.
+func (r *Resource) Name() string { return r.name }
+
+// Servers returns the number of servers.
+func (r *Resource) Servers() int { return r.servers }
+
+// InUse returns the number of servers currently held.
+func (r *Resource) InUse() int { return r.inUse }
+
+// QueueLen returns the number of processes waiting for a server.
+func (r *Resource) QueueLen() int { return len(r.waiters) }
+
+// Acquire obtains one server, waiting FCFS if none is free. The wait is
+// interruptible; on interrupt the process leaves the queue and the error is
+// returned.
+func (r *Resource) Acquire(p *Proc) error { return r.AcquireN(p, 1) }
+
+// AcquireN obtains n servers at once (all-or-nothing), waiting FCFS.
+func (r *Resource) AcquireN(p *Proc, n int) error {
+	if n < 1 || n > r.servers {
+		panic(fmt.Sprintf("sim: AcquireN(%d) on %q with %d servers", n, r.name, r.servers))
+	}
+	now := r.env.now
+	r.population.Adjust(1, now)
+	if len(r.waiters) == 0 && r.inUse+n <= r.servers {
+		r.grant(n)
+		r.waitTime.Add(0)
+		return nil
+	}
+	w := &resWaiter{p: p, n: n, arrived: now}
+	r.waiters = append(r.waiters, w)
+	p.cancel = func() {
+		w.removed = true
+		r.population.Adjust(-1, r.env.now)
+	}
+	if err := p.park(); err != nil {
+		r.dispatch() // our slot may now be grantable to someone behind us
+		return err
+	}
+	r.waitTime.Add(r.env.now - w.arrived)
+	return nil
+}
+
+// grant marks n servers busy.
+func (r *Resource) grant(n int) {
+	r.inUse += n
+	r.busy.Set(float64(r.inUse), r.env.now)
+}
+
+// Release returns one server and hands it to the head of the queue.
+func (r *Resource) Release() { r.ReleaseN(1) }
+
+// ReleaseN returns the n servers obtained by a single AcquireN. One call
+// counts as one customer completion regardless of n, so a customer must
+// release everything it acquired in one call.
+func (r *Resource) ReleaseN(n int) {
+	if n < 1 || n > r.inUse {
+		panic(fmt.Sprintf("sim: ReleaseN(%d) on %q with %d in use", n, r.name, r.inUse))
+	}
+	now := r.env.now
+	r.inUse -= n
+	r.busy.Set(float64(r.inUse), now)
+	r.population.Adjust(-1, now)
+	r.completions.Inc()
+	r.dispatch()
+}
+
+// dispatch grants servers to queued waiters in FCFS order while capacity
+// allows, skipping waiters removed by interrupts.
+func (r *Resource) dispatch() {
+	for len(r.waiters) > 0 {
+		w := r.waiters[0]
+		if w.removed {
+			r.waiters = r.waiters[1:]
+			continue
+		}
+		if r.inUse+w.n > r.servers {
+			return
+		}
+		r.waiters = r.waiters[1:]
+		r.grant(w.n)
+		w.p.cancel = nil
+		r.env.wake(w.p, nil)
+	}
+}
+
+// Use acquires a server, holds it for service time d, and releases it.
+// The queue wait is interruptible; once service starts it runs to
+// completion. On interrupt, no service is performed.
+func (r *Resource) Use(p *Proc, d float64) error {
+	start := r.env.now
+	if err := r.Acquire(p); err != nil {
+		return err
+	}
+	p.Hold(d)
+	r.residence.Add(r.env.now - start)
+	r.Release()
+	return nil
+}
+
+// Utilization returns the time-average fraction of servers busy over the
+// observation window, at time t.
+func (r *Resource) Utilization(t float64) float64 {
+	return r.busy.Mean(t) / float64(r.servers)
+}
+
+// BusyTime returns total accumulated server-busy time up to t.
+func (r *Resource) BusyTime(t float64) float64 { return r.busy.Integral(t) }
+
+// MeanPopulation returns the time-average number of processes at the
+// station (waiting or in service) at time t.
+func (r *Resource) MeanPopulation(t float64) float64 { return r.population.Mean(t) }
+
+// Completions returns the number of service completions (servers released).
+func (r *Resource) Completions() int64 { return r.completions.N() }
+
+// Throughput returns completions per unit time over the observation window.
+func (r *Resource) Throughput(t float64) float64 { return r.completions.Rate(t) }
+
+// MeanWait returns the average time spent queued before service.
+func (r *Resource) MeanWait() float64 { return r.waitTime.Mean() }
+
+// MeanResidence returns the average wait+service time observed by Use.
+func (r *Resource) MeanResidence() float64 { return r.residence.Mean() }
+
+// ResetStats truncates the statistics window at time t (e.g. after warm-up)
+// without disturbing the station state.
+func (r *Resource) ResetStats(t float64) {
+	r.busy.ResetAt(t)
+	r.busy.Set(float64(r.inUse), t)
+	r.population.ResetAt(t)
+	r.completions.ResetAt(t)
+	r.waitTime.Reset()
+	r.residence.Reset()
+}

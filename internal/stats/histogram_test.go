@@ -1,0 +1,105 @@
+package stats
+
+import (
+	"math"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func TestHistogramQuantilesAgainstExact(t *testing.T) {
+	f := func(seed int64) bool {
+		// Deterministic pseudo-random sample.
+		x := uint64(seed)
+		next := func() float64 {
+			x = x*6364136223846793005 + 1442695040888963407
+			return 1 + float64(x>>11)/float64(1<<53)*10_000
+		}
+		h := NewHistogram(1, 1.05)
+		var sample []float64
+		for i := 0; i < 2000; i++ {
+			v := next()
+			h.Add(v)
+			sample = append(sample, v)
+		}
+		sort.Float64s(sample)
+		for _, q := range []float64{0.5, 0.9, 0.95, 0.99} {
+			exact := QuantileOfSorted(sample, q)
+			got := h.Quantile(q)
+			if math.Abs(got-exact)/exact > 0.06 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestHistogramBasics(t *testing.T) {
+	h := NewHistogram(1, 1.1)
+	if h.Quantile(0.5) != 0 {
+		t.Fatal("empty histogram quantile must be 0")
+	}
+	for i := 1; i <= 100; i++ {
+		h.Add(float64(i))
+	}
+	if h.N() != 100 {
+		t.Fatalf("N = %d", h.N())
+	}
+	if math.Abs(h.Mean()-50.5) > 1e-9 {
+		t.Fatalf("Mean = %v", h.Mean())
+	}
+	if h.Max() != 100 {
+		t.Fatalf("Max = %v", h.Max())
+	}
+	p50 := h.Quantile(0.5)
+	if p50 < 45 || p50 > 56 {
+		t.Fatalf("p50 = %v, want ~50", p50)
+	}
+	// Quantile(1) is within a bucket of the max.
+	if got := h.Quantile(1); got < 90 || got > 110 {
+		t.Fatalf("p100 = %v", got)
+	}
+	h.Reset()
+	if h.N() != 0 || h.Quantile(0.9) != 0 {
+		t.Fatal("Reset incomplete")
+	}
+}
+
+func TestHistogramBelowBase(t *testing.T) {
+	h := NewHistogram(10, 1.5)
+	h.Add(1)
+	h.Add(2)
+	h.Add(100)
+	if got := h.Quantile(0.5); got != 10 {
+		t.Fatalf("under-base quantile = %v, want clamped to base", got)
+	}
+}
+
+func TestHistogramPanicsOnBadParams(t *testing.T) {
+	for _, tc := range []struct{ base, ratio float64 }{{0, 1.1}, {1, 1}, {-1, 2}} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("NewHistogram(%v,%v) must panic", tc.base, tc.ratio)
+				}
+			}()
+			NewHistogram(tc.base, tc.ratio)
+		}()
+	}
+}
+
+func TestQuantileOfSorted(t *testing.T) {
+	s := []float64{1, 2, 3, 4, 5, 6, 7, 8, 9, 10}
+	if QuantileOfSorted(s, 0.5) != 5 {
+		t.Fatalf("median = %v", QuantileOfSorted(s, 0.5))
+	}
+	if QuantileOfSorted(s, 0) != 1 || QuantileOfSorted(s, 1) != 10 {
+		t.Fatal("extremes wrong")
+	}
+	if QuantileOfSorted(nil, 0.5) != 0 {
+		t.Fatal("empty sample")
+	}
+}

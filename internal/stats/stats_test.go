@@ -1,0 +1,202 @@
+package stats
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestTallyBasics(t *testing.T) {
+	var ta Tally
+	for _, x := range []float64{2, 4, 4, 4, 5, 5, 7, 9} {
+		ta.Add(x)
+	}
+	if ta.N() != 8 {
+		t.Fatalf("N = %d", ta.N())
+	}
+	if ta.Mean() != 5 {
+		t.Fatalf("Mean = %v, want 5", ta.Mean())
+	}
+	// Population variance is 4; sample variance = 32/7.
+	if got, want := ta.Var(), 32.0/7.0; math.Abs(got-want) > 1e-12 {
+		t.Fatalf("Var = %v, want %v", got, want)
+	}
+	if ta.Min() != 2 || ta.Max() != 9 {
+		t.Fatalf("Min/Max = %v/%v", ta.Min(), ta.Max())
+	}
+	if ta.Sum() != 40 {
+		t.Fatalf("Sum = %v, want 40", ta.Sum())
+	}
+}
+
+func TestTallyEmptyAndSingle(t *testing.T) {
+	var ta Tally
+	if ta.Mean() != 0 || ta.Var() != 0 || ta.StdDev() != 0 {
+		t.Fatal("empty tally must report zeros")
+	}
+	ta.Add(3)
+	if ta.Var() != 0 {
+		t.Fatal("single observation variance must be 0")
+	}
+	if ta.Min() != 3 || ta.Max() != 3 {
+		t.Fatal("single observation min/max")
+	}
+}
+
+func TestTallyMeanWithinBounds(t *testing.T) {
+	// Property: mean is always within [min, max].
+	f := func(xs []float64) bool {
+		var ta Tally
+		any := false
+		for _, x := range xs {
+			if math.IsNaN(x) || math.IsInf(x, 0) || math.Abs(x) > 1e100 {
+				continue // Welford's m2 update overflows near MaxFloat64
+			}
+			ta.Add(x)
+			any = true
+		}
+		if !any {
+			return true
+		}
+		return ta.Mean() >= ta.Min()-1e-9*math.Abs(ta.Min()) && ta.Mean() <= ta.Max()+1e-9*math.Abs(ta.Max())
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTimeWeightedMean(t *testing.T) {
+	var w TimeWeighted
+	w.Set(0, 0)
+	w.Set(2, 10) // value 0 over [0,10]
+	w.Set(4, 20) // value 2 over [10,20]
+	// value 4 over [20,30]
+	if got := w.Mean(30); math.Abs(got-2.0) > 1e-12 {
+		t.Fatalf("Mean = %v, want 2 ((0*10+2*10+4*10)/30)", got)
+	}
+	if w.Max() != 4 {
+		t.Fatalf("Max = %v, want 4", w.Max())
+	}
+	if got := w.Integral(30); got != 60 {
+		t.Fatalf("Integral = %v, want 60", got)
+	}
+}
+
+func TestTimeWeightedAdjustAndReset(t *testing.T) {
+	var w TimeWeighted
+	w.Set(1, 0)
+	w.Adjust(2, 5) // 3 from t=5
+	if w.Value() != 3 {
+		t.Fatalf("Value = %v", w.Value())
+	}
+	w.ResetAt(10)
+	// After reset the integral restarts but the value persists.
+	if got := w.Mean(20); math.Abs(got-3) > 1e-12 {
+		t.Fatalf("Mean after reset = %v, want 3", got)
+	}
+}
+
+func TestTimeWeightedZeroWindow(t *testing.T) {
+	var w TimeWeighted
+	w.Set(5, 3)
+	if w.Mean(3) != 0 {
+		t.Fatal("zero-length window must report 0")
+	}
+}
+
+func TestCounterRate(t *testing.T) {
+	var c Counter
+	for i := 0; i < 10; i++ {
+		c.Inc()
+	}
+	if c.N() != 10 {
+		t.Fatalf("N = %d", c.N())
+	}
+	if got := c.Rate(5); got != 2 {
+		t.Fatalf("Rate = %v, want 2", got)
+	}
+	c.ResetAt(5)
+	c.Addn(4)
+	if got := c.Rate(7); got != 2 {
+		t.Fatalf("Rate after reset = %v, want 2", got)
+	}
+}
+
+func TestBatchMeans(t *testing.T) {
+	b := NewBatchMeans(10)
+	for i := 0; i < 100; i++ {
+		b.Add(float64(i % 10)) // every batch mean is 4.5
+	}
+	if b.Batches() != 10 {
+		t.Fatalf("Batches = %d", b.Batches())
+	}
+	if math.Abs(b.Mean()-4.5) > 1e-12 {
+		t.Fatalf("Mean = %v", b.Mean())
+	}
+	if hw := b.HalfWidth(); hw != 0 {
+		t.Fatalf("HalfWidth = %v, want 0 for identical batches", hw)
+	}
+}
+
+func TestWindowedRateDeterministicStream(t *testing.T) {
+	// One event every 10 time units, offset to avoid window boundaries:
+	// every 100-unit window counts exactly 10, so the rate is 0.1 with
+	// zero half-width.
+	w := NewWindowedRate(100, 0)
+	for i := 0; i < 1000; i++ {
+		w.Add(float64(i*10) + 5)
+	}
+	rate, half := w.Rate(10_000)
+	if math.Abs(rate-0.1) > 1e-12 {
+		t.Fatalf("rate = %v, want 0.1", rate)
+	}
+	if half > 1e-12 {
+		t.Fatalf("half-width = %v, want 0 for a deterministic stream", half)
+	}
+	if w.Windows() < 90 {
+		t.Fatalf("windows = %d", w.Windows())
+	}
+}
+
+func TestWindowedRateCountsEmptyWindows(t *testing.T) {
+	// Ten events all in the first window, then silence: the rate over ten
+	// windows is 1 event per window-length, with wide spread.
+	w := NewWindowedRate(10, 0)
+	for i := 0; i < 10; i++ {
+		w.Add(0.5)
+	}
+	rate, half := w.Rate(100)
+	if math.Abs(rate-0.1) > 1e-12 {
+		t.Fatalf("rate = %v, want 0.1 (10 events / 100 time)", rate)
+	}
+	if half <= 0 || math.IsInf(half, 1) {
+		t.Fatalf("half-width = %v, want finite positive", half)
+	}
+}
+
+func TestWindowedRateFewWindows(t *testing.T) {
+	w := NewWindowedRate(100, 0)
+	w.Add(5)
+	if _, half := w.Rate(50); !math.IsInf(half, 1) {
+		t.Fatal("no complete window must give infinite half-width")
+	}
+}
+
+func TestWindowedRatePanicsOnBadWindow(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	NewWindowedRate(0, 0)
+}
+
+func TestBatchMeansFewBatches(t *testing.T) {
+	b := NewBatchMeans(5)
+	for i := 0; i < 5; i++ {
+		b.Add(1)
+	}
+	if !math.IsInf(b.HalfWidth(), 1) {
+		t.Fatal("one batch must give infinite half-width")
+	}
+}

@@ -1,0 +1,155 @@
+// Package storage models the partitioned CARAT database: each site holds a
+// file of fixed-size blocks ("granules"), each packing a fixed number of
+// records. Locking, logging and I/O all operate at block granularity, as in
+// the testbed (Section 2: 3,000 blocks of 512 bytes, six records per block).
+//
+// The package also provides the access-pattern generators used by the
+// synthetic workload and Yao's formula [YAO77] for the expected number of
+// distinct blocks touched when sampling records without replacement.
+package storage
+
+import "carat/internal/rng"
+
+// Layout describes one site's database file.
+type Layout struct {
+	Granules       int // Ng: blocks at the site
+	RecordsPerGran int // Nb: records per block
+}
+
+// DefaultLayout returns the layout used in the paper's experiments:
+// 3,000 blocks, six 85-byte records per 512-byte block.
+func DefaultLayout() Layout { return Layout{Granules: 3000, RecordsPerGran: 6} }
+
+// Records returns the total number of records at the site.
+func (l Layout) Records() int { return l.Granules * l.RecordsPerGran }
+
+// GranuleOf returns the block holding record id.
+func (l Layout) GranuleOf(record int) int { return record / l.RecordsPerGran }
+
+// Pattern selects the records a request touches.
+type Pattern interface {
+	// Pick returns k distinct record ids from a site with the layout.
+	Pick(r *rng.Rand, l Layout, k int) []int
+}
+
+// Uniform picks records uniformly at random without replacement — the
+// paper's workload assumption ("records are chosen randomly from among all
+// the database records located at the site").
+type Uniform struct{}
+
+// Pick implements Pattern.
+func (Uniform) Pick(r *rng.Rand, l Layout, k int) []int {
+	return r.SampleInts(l.Records(), k)
+}
+
+// Hotspot implements the b–c rule: a fraction Frac of accesses go to the
+// first Hot fraction of the records. Hotspot{Hot: 0.2, Frac: 0.8} is the
+// classic 80/20 skew. It generalizes the paper's uniform assumption for the
+// nonuniform-access extension flagged in its conclusions.
+type Hotspot struct {
+	Hot  float64 // fraction of records that are hot (0 < Hot < 1)
+	Frac float64 // fraction of accesses aimed at the hot set
+}
+
+// Pick implements Pattern. Records are distinct within one call.
+func (h Hotspot) Pick(r *rng.Rand, l Layout, k int) []int {
+	n := l.Records()
+	hot := int(h.Hot * float64(n))
+	if hot < 1 {
+		hot = 1
+	}
+	if hot >= n {
+		return r.SampleInts(n, k)
+	}
+	seen := make(map[int]struct{}, k)
+	out := make([]int, 0, k)
+	for len(out) < k {
+		var rec int
+		if r.Bool(h.Frac) {
+			rec = r.Intn(hot)
+		} else {
+			rec = hot + r.Intn(n-hot)
+		}
+		if _, dup := seen[rec]; dup {
+			continue
+		}
+		seen[rec] = struct{}{}
+		out = append(out, rec)
+	}
+	return out
+}
+
+// GranulesOf maps record ids to the distinct granules holding them,
+// preserving first-touch order.
+func GranulesOf(l Layout, records []int) []int {
+	seen := make(map[int]struct{}, len(records))
+	out := make([]int, 0, len(records))
+	for _, rec := range records {
+		g := l.GranuleOf(rec)
+		if _, dup := seen[g]; dup {
+			continue
+		}
+		seen[g] = struct{}{}
+		out = append(out, g)
+	}
+	return out
+}
+
+// Yao returns the expected number of distinct blocks accessed when k
+// records are selected without replacement from n records packed m per
+// block [YAO77]:
+//
+//	E = b * (1 - C(n-m, k) / C(n, k))
+//
+// where b = n/m blocks. Computed as a running product to stay in floating
+// point for large n.
+func Yao(n, m, k int) float64 {
+	if k <= 0 || n <= 0 || m <= 0 {
+		return 0
+	}
+	if k > n {
+		k = n
+	}
+	b := float64(n) / float64(m)
+	// prod = C(n-m, k)/C(n, k) = Π_{i=0}^{k-1} (n-m-i)/(n-i)
+	prod := 1.0
+	for i := 0; i < k; i++ {
+		num := float64(n - m - i)
+		if num <= 0 {
+			prod = 0
+			break
+		}
+		prod *= num / float64(n-i)
+	}
+	return b * (1 - prod)
+}
+
+// Store is one site's database state: per-block contents (a version
+// counter standing in for data) used by the WAL tests and the recovery
+// path. The simulator charges I/O through the disk package; Store tracks
+// logical state only.
+type Store struct {
+	layout Layout
+	blocks []uint64 // version per block
+}
+
+// NewStore creates a zeroed store with the layout.
+func NewStore(l Layout) *Store {
+	return &Store{layout: l, blocks: make([]uint64, l.Granules)}
+}
+
+// Layout returns the store's layout.
+func (s *Store) Layout() Layout { return s.layout }
+
+// ReadBlock returns the version of block g.
+func (s *Store) ReadBlock(g int) uint64 { return s.blocks[g] }
+
+// WriteBlock sets the version of block g.
+func (s *Store) WriteBlock(g int, v uint64) { s.blocks[g] = v }
+
+// Touch increments block g's version and returns the new value, modelling
+// an in-place update.
+func (s *Store) Touch(g int) uint64 {
+	s.blocks[g]++
+	return s.blocks[g]
+}

@@ -1,0 +1,216 @@
+package testbed
+
+import (
+	"testing"
+
+	"carat/internal/storage"
+)
+
+// ccConfig builds a contended two-node workload under a given protocol.
+func ccConfig(cc CCProtocol, n int, seed uint64) Config {
+	cfg := twoNodeConfig(mb4Users(), n, seed)
+	cfg.Concurrency = cc
+	cfg.Layout = storage.Layout{Granules: 400, RecordsPerGran: 6}
+	cfg.Duration = 800_000
+	cfg.Warmup = 50_000
+	return cfg
+}
+
+func runCC(t *testing.T, cc CCProtocol, n int, seed uint64) Results {
+	t.Helper()
+	sys, err := New(ccConfig(cc, n, seed))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return sys.Run()
+}
+
+func TestAllProtocolsMakeProgress(t *testing.T) {
+	for _, cc := range []CCProtocol{CC2PL, CCWaitDie, CCWoundWait, CCTimestamp} {
+		cc := cc
+		t.Run(cc.String(), func(t *testing.T) {
+			cfg := ccConfig(cc, 8, 31)
+			// On the paper's standard database every protocol sustains
+			// all four transaction types (basic TO starves long writers
+			// on much smaller databases — see the starvation test).
+			cfg.Layout = storage.DefaultLayout()
+			sys, err := New(cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			res := sys.Run()
+			for i, nr := range res.Nodes {
+				for _, k := range []TxnKind{LRO, LU, DRO, DU} {
+					if nr.TxnThroughput[k] <= 0 {
+						t.Fatalf("node %d: %v stalled under %v", i, k, cc)
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestTimestampOrderingStarvesLongWriters documents basic TO's known
+// failure mode in read-heavy mixes: a long update transaction keeps
+// arriving "too late" at granules younger readers have touched, restarting
+// indefinitely while short readers sail through — one concrete instance of
+// the assumption-sensitivity Agrawal, Carey & Livny used to explain the
+// literature's contradictory 2PL-vs-TO conclusions.
+func TestTimestampOrderingStarvesLongWriters(t *testing.T) {
+	res := runCC(t, CCTimestamp, 12, 31) // 400-granule database
+	var duCommits int64
+	var lroCommits int64
+	for _, nr := range res.Nodes {
+		duCommits += nr.Commits[DU]
+		lroCommits += nr.Commits[LRO]
+	}
+	if lroCommits == 0 {
+		t.Fatal("even readers stalled — that is a bug, not starvation")
+	}
+	// 2PL at identical parameters commits DUs steadily.
+	ref := runCC(t, CC2PL, 12, 31)
+	var duRef int64
+	for _, nr := range ref.Nodes {
+		duRef += nr.Commits[DU]
+	}
+	if duRef == 0 {
+		t.Fatal("reference 2PL run has no DU commits — test parameters broken")
+	}
+	if duCommits*4 > duRef {
+		t.Fatalf("expected severe DU starvation under TO: TO %d vs 2PL %d commits",
+			duCommits, duRef)
+	}
+}
+
+func TestPreventionAbortsMoreRestartsThanDetection(t *testing.T) {
+	// Wait-die kills on every old-holder conflict, detection only on real
+	// cycles: prevention must show more resubmissions at equal contention.
+	detect := runCC(t, CC2PL, 12, 7)
+	waitDie := runCC(t, CCWaitDie, 12, 7)
+	resub := func(r Results) int64 {
+		var subs, commits int64
+		for _, nr := range r.Nodes {
+			for _, k := range []TxnKind{LRO, LU, DRO, DU} {
+				subs += nr.Submissions[k]
+				commits += nr.Commits[k]
+			}
+		}
+		return subs - commits
+	}
+	if resub(waitDie) <= resub(detect) {
+		t.Fatalf("wait-die restarts (%d) should exceed detection's (%d)",
+			resub(waitDie), resub(detect))
+	}
+}
+
+func TestTimestampOrderingNeverBlocks(t *testing.T) {
+	cfg := ccConfig(CCTimestamp, 12, 9)
+	sys, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := sys.Run()
+	for i, nr := range res.Nodes {
+		if nr.LockWaits != 0 {
+			t.Fatalf("node %d: %d lock waits under TO — TO must not block", i, nr.LockWaits)
+		}
+		if nr.TotalTxnThroughput <= 0 {
+			t.Fatalf("node %d stalled", i)
+		}
+	}
+}
+
+func TestTimestampOrderingRestartsUnderContention(t *testing.T) {
+	res := runCC(t, CCTimestamp, 16, 11)
+	var rejects int64
+	for _, nr := range res.Nodes {
+		rejects += nr.LocalDeadlocks // Reject aborts share the counter
+	}
+	if rejects == 0 {
+		t.Fatal("no TO rejects at n=16 on a 400-granule database")
+	}
+}
+
+func TestWoundWaitWoundsRunningTransactions(t *testing.T) {
+	// Two LU populations, tiny database: wounds must occur and the system
+	// must keep committing (no stuck wounded transactions).
+	users := []UserSpec{
+		{Kind: LU, Home: 0}, {Kind: LU, Home: 0}, {Kind: LU, Home: 0}, {Kind: LU, Home: 0},
+	}
+	cfg := twoNodeConfig(users, 12, 13)
+	cfg.Concurrency = CCWoundWait
+	cfg.Layout = storage.Layout{Granules: 60, RecordsPerGran: 6}
+	cfg.Duration = 600_000
+	sys, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := sys.Run()
+	if res.Nodes[0].Commits[LU] == 0 {
+		t.Fatal("no commits under wound-wait at high contention")
+	}
+	var aborts int64
+	aborts = res.Nodes[0].Submissions[LU] - res.Nodes[0].Commits[LU]
+	if aborts == 0 {
+		t.Fatal("no wounds at this contention level — wound path untested")
+	}
+}
+
+func TestCCProtocolsDeterministic(t *testing.T) {
+	for _, cc := range []CCProtocol{CCWaitDie, CCWoundWait, CCTimestamp} {
+		a := runCC(t, cc, 8, 17)
+		b := runCC(t, cc, 8, 17)
+		for i := range a.Nodes {
+			if a.Nodes[i].TotalTxnThroughput != b.Nodes[i].TotalTxnThroughput {
+				t.Fatalf("%v nondeterministic at node %d", cc, i)
+			}
+		}
+	}
+}
+
+func TestCCProtocolString(t *testing.T) {
+	if CC2PL.String() != "2PL-detect" || CCTimestamp.String() != "basic-TO" {
+		t.Fatal("protocol names wrong")
+	}
+}
+
+// TestCCTraceInvariantsHoldForPrevention re-runs the strict-2PL and
+// termination trace properties under the prevention disciplines.
+func TestCCTraceInvariantsHoldForPrevention(t *testing.T) {
+	for _, cc := range []CCProtocol{CCWaitDie, CCWoundWait} {
+		cc := cc
+		t.Run(cc.String(), func(t *testing.T) {
+			var all []TraceEvent
+			cfg := ccConfig(cc, 10, 19)
+			cfg.Duration = 300_000
+			cfg.Warmup = 0
+			cfg.Trace = func(ev TraceEvent) { all = append(all, ev) }
+			sys, err := New(cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			sys.Run()
+			byTxn := map[int64][]TraceEvent{}
+			for _, ev := range all {
+				byTxn[ev.Txn] = append(byTxn[ev.Txn], ev)
+			}
+			for txn, evs := range byTxn {
+				decided := false
+				for _, ev := range evs {
+					switch ev.Ev {
+					case EvForceCommit, EvRollback, EvDeadlock:
+						decided = true
+					case EvLockGrant:
+						if decided {
+							t.Fatalf("%v: txn %d acquires after decision", cc, txn)
+						}
+					case EvRelease:
+						if !decided {
+							t.Fatalf("%v: txn %d releases before decision", cc, txn)
+						}
+					}
+				}
+			}
+		})
+	}
+}

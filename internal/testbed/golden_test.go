@@ -1,0 +1,123 @@
+package testbed
+
+import (
+	"encoding/json"
+	"flag"
+	"math"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+var updateGolden = flag.Bool("update-golden", false, "rewrite the golden simulation snapshot")
+
+// goldenSnapshot pins the exact deterministic output of one reference run.
+// Any change to the kernel's event ordering, the RNG streams, the protocol
+// paths or the statistics collection shows up here immediately — the
+// regression net under every refactor.
+type goldenSnapshot struct {
+	Seed     uint64             `json:"seed"`
+	Workload string             `json:"workload"`
+	N        int                `json:"n"`
+	Nodes    []goldenNode       `json:"nodes"`
+	Meta     map[string]float64 `json:"meta"`
+}
+
+type goldenNode struct {
+	TxnPerSec  map[string]float64 `json:"txnPerSec"`
+	CPU        float64            `json:"cpu"`
+	DIO        float64            `json:"dio"`
+	Deadlocks  int64              `json:"deadlocks"`
+	Messages   int64              `json:"messages"`
+	MeanRespLU float64            `json:"meanRespLU"`
+}
+
+func takeSnapshot() goldenSnapshot {
+	cfg := twoNodeConfig(mb4Users(), 8, 424242)
+	cfg.Warmup = 30_000
+	cfg.Duration = 630_000
+	sys, err := New(cfg)
+	if err != nil {
+		panic(err)
+	}
+	res := sys.Run()
+	snap := goldenSnapshot{Seed: 424242, Workload: "MB4", N: 8, Meta: map[string]float64{}}
+	for _, nr := range res.Nodes {
+		gn := goldenNode{
+			TxnPerSec:  map[string]float64{},
+			CPU:        nr.CPUUtilization,
+			DIO:        nr.DiskIORate,
+			Deadlocks:  nr.LocalDeadlocks + nr.GlobalDeadlocks,
+			Messages:   nr.Messages,
+			MeanRespLU: nr.MeanResponse[LU],
+		}
+		for _, k := range []TxnKind{LRO, LU, DRO, DU} {
+			gn.TxnPerSec[k.String()] = nr.TxnThroughput[k]
+		}
+		snap.Nodes = append(snap.Nodes, gn)
+	}
+	return snap
+}
+
+func TestGoldenSimulationSnapshot(t *testing.T) {
+	path := filepath.Join("testdata", "golden_mb4_n8.json")
+	got := takeSnapshot()
+
+	if *updateGolden {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		data, err := json.MarshalIndent(got, "", "  ")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, append(data, '\n'), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("golden snapshot rewritten: %s", path)
+		return
+	}
+
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("missing golden file (run with -update-golden to create): %v", err)
+	}
+	var want goldenSnapshot
+	if err := json.Unmarshal(data, &want); err != nil {
+		t.Fatal(err)
+	}
+	if len(want.Nodes) != len(got.Nodes) {
+		t.Fatalf("node count changed: %d vs %d", len(got.Nodes), len(want.Nodes))
+	}
+	for i := range want.Nodes {
+		w, g := want.Nodes[i], got.Nodes[i]
+		for k, wv := range w.TxnPerSec {
+			if gv := g.TxnPerSec[k]; !floatEq(gv, wv) {
+				t.Errorf("node %d %s throughput drifted: %v, golden %v", i, k, gv, wv)
+			}
+		}
+		if !floatEq(g.CPU, w.CPU) {
+			t.Errorf("node %d CPU drifted: %v, golden %v", i, g.CPU, w.CPU)
+		}
+		if !floatEq(g.DIO, w.DIO) {
+			t.Errorf("node %d DIO drifted: %v, golden %v", i, g.DIO, w.DIO)
+		}
+		if g.Deadlocks != w.Deadlocks {
+			t.Errorf("node %d deadlocks drifted: %d, golden %d", i, g.Deadlocks, w.Deadlocks)
+		}
+		if g.Messages != w.Messages {
+			t.Errorf("node %d messages drifted: %d, golden %d", i, g.Messages, w.Messages)
+		}
+		if !floatEq(g.MeanRespLU, w.MeanRespLU) {
+			t.Errorf("node %d LU response drifted: %v, golden %v", i, g.MeanRespLU, w.MeanRespLU)
+		}
+	}
+	if t.Failed() {
+		t.Log("a behavioral change was made deliberately? re-pin with: go test ./internal/testbed -run Golden -update-golden")
+	}
+}
+
+// floatEq compares snapshot floats through their JSON round trip.
+func floatEq(a, b float64) bool {
+	return math.Abs(a-b) <= 1e-9*(1+math.Abs(a)+math.Abs(b))
+}

@@ -1,0 +1,159 @@
+package testbed
+
+import (
+	"testing"
+
+	"carat/internal/disk"
+)
+
+// threeNodeConfig builds a three-node system where distributed users at
+// each node spread their remote requests over both other nodes.
+func threeNodeConfig(n int, seed uint64) Config {
+	nodes := []NodeConfig{
+		{DBDisk: disk.ProfileRM05(), DMServers: 16},
+		{DBDisk: disk.ProfileRP06(), DMServers: 16},
+		{DBDisk: disk.ProfileRP06(), DMServers: 16},
+	}
+	var users []UserSpec
+	for home := NodeID(0); home < 3; home++ {
+		others := []NodeID{}
+		for j := NodeID(0); j < 3; j++ {
+			if j != home {
+				others = append(others, j)
+			}
+		}
+		users = append(users,
+			UserSpec{Kind: LRO, Home: home},
+			UserSpec{Kind: LU, Home: home},
+			UserSpec{Kind: DRO, Home: home, Remotes: others},
+			UserSpec{Kind: DU, Home: home, Remotes: others},
+		)
+	}
+	return Config{
+		Nodes:             nodes,
+		Users:             users,
+		RequestsPerTxn:    n,
+		RecordsPerRequest: 4,
+		Seed:              seed,
+		Warmup:            60_000,
+		Duration:          1_000_000,
+	}
+}
+
+func TestThreeNodeSystemRuns(t *testing.T) {
+	sys, err := New(threeNodeConfig(8, 5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := sys.Run()
+	if len(res.Nodes) != 3 {
+		t.Fatalf("nodes = %d", len(res.Nodes))
+	}
+	for i, nr := range res.Nodes {
+		for _, k := range []TxnKind{LRO, LU, DRO, DU} {
+			if nr.TxnThroughput[k] <= 0 {
+				t.Fatalf("node %d: no %v commits", i, k)
+			}
+		}
+		if nr.Messages == 0 {
+			t.Fatalf("node %d: no messages", i)
+		}
+	}
+}
+
+func TestRemoteSplit(t *testing.T) {
+	cases := []struct {
+		nRemote, k int
+		want       []int
+	}{
+		{4, 2, []int{2, 2}},
+		{5, 2, []int{3, 2}},
+		{4, 3, []int{2, 1, 1}},
+		{1, 3, []int{1, 0, 0}},
+		{0, 2, []int{0, 0}},
+		{6, 1, []int{6}},
+	}
+	for _, tc := range cases {
+		got := RemoteSplit(tc.nRemote, tc.k)
+		if len(got) != len(tc.want) {
+			t.Fatalf("RemoteSplit(%d,%d) = %v, want %v", tc.nRemote, tc.k, got, tc.want)
+		}
+		sum := 0
+		for i := range tc.want {
+			if got[i] != tc.want[i] {
+				t.Fatalf("RemoteSplit(%d,%d) = %v, want %v", tc.nRemote, tc.k, got, tc.want)
+			}
+			sum += got[i]
+		}
+		if sum != tc.nRemote {
+			t.Fatalf("RemoteSplit(%d,%d) loses requests: %v", tc.nRemote, tc.k, got)
+		}
+	}
+}
+
+func TestRemoteSitesDefaultsToRemote(t *testing.T) {
+	u := UserSpec{Kind: DU, Home: 0, Remote: 1}
+	sites := u.RemoteSites()
+	if len(sites) != 1 || sites[0] != 1 {
+		t.Fatalf("RemoteSites = %v", sites)
+	}
+	u2 := UserSpec{Kind: DU, Home: 0, Remotes: []NodeID{1, 2}}
+	if got := u2.RemoteSites(); len(got) != 2 {
+		t.Fatalf("RemoteSites = %v", got)
+	}
+	local := UserSpec{Kind: LRO, Home: 0}
+	if got := local.RemoteSites(); got != nil {
+		t.Fatalf("local user has remote sites %v", got)
+	}
+}
+
+func TestDuplicateRemoteRejected(t *testing.T) {
+	cfg := threeNodeConfig(8, 1)
+	cfg.Users[2].Remotes = []NodeID{1, 1}
+	cfg.Users[2].Home = 0
+	if _, err := New(cfg); err == nil {
+		t.Fatal("duplicate remote site must fail validation")
+	}
+}
+
+func TestThreeNodeDeterminism(t *testing.T) {
+	run := func() Results {
+		sys, err := New(threeNodeConfig(8, 77))
+		if err != nil {
+			t.Fatal(err)
+		}
+		return sys.Run()
+	}
+	a, b := run(), run()
+	for i := range a.Nodes {
+		if a.Nodes[i].TotalTxnThroughput != b.Nodes[i].TotalTxnThroughput {
+			t.Fatalf("node %d nondeterministic", i)
+		}
+	}
+}
+
+// TestTwoPhaseCommitMultiSlaveParallel verifies commit waits scale with the
+// slowest slave, not the sum: under light load, three-node DU response
+// times should be far below twice the two-node ones.
+func TestTwoPhaseCommitMultiSlaveParallel(t *testing.T) {
+	// A single DU user: no contention, so response time reflects protocol
+	// path length only.
+	single := func(remotes []NodeID) float64 {
+		cfg := threeNodeConfig(8, 9)
+		cfg.Users = []UserSpec{{Kind: DU, Home: 0, Remotes: remotes}}
+		sys, err := New(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res := sys.Run()
+		return res.Nodes[0].MeanResponse[DU]
+	}
+	one := single([]NodeID{1})
+	two := single([]NodeID{1, 2})
+	if two > 1.6*one {
+		t.Fatalf("two slaves (%v ms) should not cost ~2x one slave (%v ms): 2PC phases run in parallel", two, one)
+	}
+	if two <= 0 || one <= 0 {
+		t.Fatal("no responses measured")
+	}
+}

@@ -1,0 +1,210 @@
+package testbed
+
+import (
+	"fmt"
+
+	"carat/internal/disk"
+	"carat/internal/lock"
+	"carat/internal/probe"
+	"carat/internal/rng"
+	"carat/internal/sim"
+	"carat/internal/stats"
+	"carat/internal/storage"
+	"carat/internal/tso"
+	"carat/internal/wal"
+)
+
+// node is one CARAT site: a CPU, a database disk (optionally a separate
+// log disk), the TM server (a serialization point), a DM server pool, and
+// the site-local protocol state (lock table, journal, probe detector).
+type node struct {
+	id  NodeID
+	sys *System
+
+	cpu    *sim.Resource
+	tm     *sim.Resource // the single TM server: one critical section per message
+	dmPool *sim.Resource
+	// dbDisks holds the database device(s); block g lives on stripe
+	// g mod len(dbDisks). The paper's configuration has one.
+	dbDisks []*disk.Device
+	logDisk *disk.Device // == dbDisks[0] when the log shares the database disk
+
+	locks    *lock.Manager
+	tso      *tso.Manager
+	journal  *wal.Log
+	store    *storage.Store
+	detector *probe.Detector
+
+	// grantEv maps a transaction blocked in lock wait at this site to the
+	// event its process parks on; the lock manager's grant callback
+	// triggers it.
+	grantEv map[lock.TxnID]*sim.Event
+
+	// Measurement state.
+	commitRate  map[TxnKind]*stats.WindowedRate // non-nil after warmup
+	commits     map[TxnKind]*stats.Counter
+	recordsDone map[TxnKind]*stats.Counter
+	respTime    map[TxnKind]*stats.Tally
+	respHist    map[TxnKind]*stats.Histogram
+	submissions map[TxnKind]*stats.Counter
+	lockWaits   stats.Tally
+	deadlocks   stats.Counter
+	globalDead  stats.Counter
+	msgs        stats.Counter
+}
+
+func newNode(sys *System, id NodeID, cfg NodeConfig, layout storage.Layout, r *rng.Rand) *node {
+	n := &node{
+		id:          id,
+		sys:         sys,
+		cpu:         sim.NewResource(sys.env, fmt.Sprintf("cpu-%d", id), cfg.CPUs),
+		tm:          sim.NewResource(sys.env, fmt.Sprintf("tm-%d", id), 1),
+		dmPool:      sim.NewResource(sys.env, fmt.Sprintf("dm-%d", id), cfg.DMServers),
+		store:       storage.NewStore(layout),
+		journal:     wal.NewLog(),
+		grantEv:     make(map[lock.TxnID]*sim.Event),
+		commits:     make(map[TxnKind]*stats.Counter),
+		recordsDone: make(map[TxnKind]*stats.Counter),
+		respTime:    make(map[TxnKind]*stats.Tally),
+		respHist:    make(map[TxnKind]*stats.Histogram),
+		submissions: make(map[TxnKind]*stats.Counter),
+	}
+	for s := 0; s < cfg.DBDiskStripes; s++ {
+		n.dbDisks = append(n.dbDisks, disk.New(sys.env,
+			fmt.Sprintf("dbdisk-%d.%d", id, s), cfg.DBDisk, r.Split(uint64(1000+100*s+int(id)))))
+	}
+	if cfg.LogDisk != nil {
+		n.logDisk = disk.New(sys.env, fmt.Sprintf("logdisk-%d", id), cfg.LogDisk, r.Split(uint64(2000+id)))
+	} else {
+		n.logDisk = n.dbDisks[0]
+	}
+	discipline := lock.Detect
+	switch sys.cfg.Concurrency {
+	case CCWaitDie:
+		discipline = lock.WaitDie
+	case CCWoundWait:
+		discipline = lock.WoundWait
+	}
+	n.locks = lock.NewManagerWithDiscipline(discipline, lock.VictimRequester, n.onGrant)
+	n.tso = tso.NewManager()
+	n.detector = probe.NewDetector(probe.SiteID(id), (*probeHost)(n))
+	for _, k := range []TxnKind{LRO, LU, DRO, DU} {
+		n.commits[k] = &stats.Counter{}
+		n.recordsDone[k] = &stats.Counter{}
+		n.respTime[k] = &stats.Tally{}
+		n.respHist[k] = stats.NewHistogram(1, 1.05) // ms buckets, ~5% error
+		n.submissions[k] = &stats.Counter{}
+	}
+	return n
+}
+
+// onGrant wakes the process parked on a lock wait at this site.
+func (n *node) onGrant(txn lock.TxnID, _ lock.GranuleID) {
+	if ev, ok := n.grantEv[txn]; ok {
+		delete(n.grantEv, txn)
+		ev.Trigger(nil)
+	}
+}
+
+// tmStep models one TM server message-processing step: the TM is a critical
+// section (Section 5.5) whose body is a burst of CPU time.
+func (n *node) tmStep(p *sim.Proc, cpuTime float64) error {
+	if err := n.tm.Acquire(p); err != nil {
+		return err
+	}
+	err := n.cpu.Use(p, cpuTime)
+	n.tm.Release()
+	return err
+}
+
+// recordCommit counts one committed transaction of the kind at time t,
+// feeding both the plain counter and the batch-means rate estimator.
+func (n *node) recordCommit(k TxnKind, t float64) {
+	n.commits[k].Inc()
+	if wr, ok := n.commitRate[k]; ok {
+		wr.Add(t)
+	}
+}
+
+// dbDiskFor returns the stripe holding block g.
+func (n *node) dbDiskFor(g int) *disk.Device {
+	return n.dbDisks[g%len(n.dbDisks)]
+}
+
+// releaseTxn drops the transaction's concurrency-control state at this
+// site: all locks (2PL family) and the TO bookkeeping.
+func (n *node) releaseTxn(gid int64) {
+	n.locks.ReleaseAll(lock.TxnID(gid))
+	n.tso.Finish(tso.TxnID(gid))
+}
+
+// separateLog reports whether the log has its own device.
+func (n *node) separateLog() bool { return n.logDisk != n.dbDisks[0] }
+
+// totalDIO returns the combined database+log I/O count.
+func (n *node) totalDIO() int64 {
+	var total int64
+	for _, d := range n.dbDisks {
+		r, w, l := d.Counts()
+		total += r + w + l
+	}
+	if n.separateLog() {
+		r2, w2, l2 := n.logDisk.Counts()
+		total += r2 + w2 + l2
+	}
+	return total
+}
+
+// resetStats truncates every measurement window at time t (end of warmup).
+func (n *node) resetStats(t float64) {
+	n.cpu.ResetStats(t)
+	n.tm.ResetStats(t)
+	n.dmPool.ResetStats(t)
+	for _, d := range n.dbDisks {
+		d.ResetStats(t)
+	}
+	if n.separateLog() {
+		n.logDisk.ResetStats(t)
+	}
+	window := (n.sys.cfg.Duration - n.sys.cfg.Warmup) / 20
+	for _, k := range []TxnKind{LRO, LU, DRO, DU} {
+		if window > 0 {
+			if n.commitRate == nil {
+				n.commitRate = make(map[TxnKind]*stats.WindowedRate)
+			}
+			n.commitRate[k] = stats.NewWindowedRate(window, t)
+		}
+		n.commits[k].ResetAt(t)
+		n.recordsDone[k].ResetAt(t)
+		n.respTime[k].Reset()
+		n.respHist[k].Reset()
+		n.submissions[k].ResetAt(t)
+	}
+	n.lockWaits.Reset()
+	n.deadlocks.ResetAt(t)
+	n.globalDead.ResetAt(t)
+	n.msgs.ResetAt(t)
+}
+
+// probeHost adapts a node to the probe.Host interface.
+type probeHost node
+
+// WaitsFor implements probe.Host using the site lock manager. Transaction
+// ids are global, so lock.TxnID converts directly.
+func (h *probeHost) WaitsFor(t probe.TxnID) []probe.TxnID {
+	deps := (*node)(h).locks.WaitsFor(lock.TxnID(t))
+	out := make([]probe.TxnID, len(deps))
+	for i, d := range deps {
+		out[i] = probe.TxnID(d)
+	}
+	return out
+}
+
+// ActiveSite implements probe.Host from the system-wide registry.
+func (h *probeHost) ActiveSite(t probe.TxnID) (probe.SiteID, bool) {
+	st, ok := (*node)(h).sys.reg[int64(t)]
+	if !ok || st.finished {
+		return 0, false
+	}
+	return probe.SiteID(st.activeNode), true
+}

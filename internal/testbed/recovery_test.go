@@ -1,0 +1,141 @@
+package testbed
+
+import (
+	"testing"
+
+	"carat/internal/storage"
+)
+
+// TestCrashRecoveryConsistency crashes a busy distributed system mid-run
+// and checks that restart recovery leaves every site consistent: losers
+// are only in-flight transactions, every in-doubt branch resolves to its
+// coordinator's outcome, and committed work survives.
+func TestCrashRecoveryConsistency(t *testing.T) {
+	cfg := twoNodeConfig(mb4Users(), 8, 13)
+	cfg.Duration = 500_000
+	cfg.Layout = storage.Layout{Granules: 500, RecordsPerGran: 6}
+
+	committed := map[int64]bool{}
+	cfg.Trace = func(ev TraceEvent) {
+		if ev.Ev == EvForceCommit {
+			committed[ev.Txn] = true
+		}
+	}
+	sys, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sys.Run() // clock stops mid-transaction for most users
+
+	inFlight := map[int64]bool{}
+	for gid := range sys.reg {
+		inFlight[gid] = true
+	}
+
+	rep := sys.CrashRecover()
+
+	var losers, doubts int
+	for i := range rep.Losers {
+		for _, gid := range rep.Losers[i] {
+			losers++
+			if committed[gid] {
+				t.Errorf("node %d undid committed txn %d", i, gid)
+			}
+		}
+		doubts += len(rep.InDoubt[i])
+	}
+	// Every in-doubt branch must resolve to the coordinator's outcome.
+	for gid, outcome := range rep.Resolved {
+		if outcome != committed[gid] {
+			t.Errorf("in-doubt txn %d resolved to %v but coordinator committed=%v",
+				gid, outcome, committed[gid])
+		}
+	}
+	// Losers exist: the crash caught work in flight.
+	if losers == 0 && doubts == 0 {
+		t.Fatal("crash found nothing in flight — run too idle for this test")
+	}
+	// Losers are a subset of in-flight transactions (never finished ones).
+	for i := range rep.Losers {
+		for _, gid := range rep.Losers[i] {
+			if !inFlight[gid] && committed[gid] {
+				t.Errorf("loser %d at node %d was already committed", gid, i)
+			}
+		}
+	}
+}
+
+// TestCrashRecoveryInDoubtBranches engineers the in-doubt window: stop the
+// clock often and look for runs where a DU transaction prepared at the
+// slave but the coordinator's commit record was or wasn't yet durable.
+func TestCrashRecoveryInDoubtBranches(t *testing.T) {
+	foundDoubt := false
+	for seed := uint64(1); seed <= 40 && !foundDoubt; seed++ {
+		users := []UserSpec{
+			{Kind: DU, Home: 0, Remote: 1},
+			{Kind: DU, Home: 1, Remote: 0},
+			{Kind: LU, Home: 0},
+			{Kind: LU, Home: 1},
+		}
+		cfg := twoNodeConfig(users, 8, seed)
+		// Stop at an arbitrary point; with DU commits taking ~100s ms the
+		// prepared-but-uncommitted window is regularly hit.
+		cfg.Duration = 50_000 + float64(seed)*7_919
+		cfg.Warmup = 0
+		sys, err := New(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sys.Run()
+		rep := sys.CrashRecover()
+		for i := range rep.InDoubt {
+			if len(rep.InDoubt[i]) > 0 {
+				foundDoubt = true
+			}
+		}
+	}
+	if !foundDoubt {
+		t.Fatal("no in-doubt branch found across 40 crash points — prepare records not being written?")
+	}
+}
+
+// TestCrashRecoveryIdempotentState verifies recovery twice in a row leaves
+// the stores untouched the second time (no work left undone or redone).
+func TestCrashRecoveryIdempotentState(t *testing.T) {
+	cfg := twoNodeConfig(mb4Users(), 8, 21)
+	cfg.Duration = 300_000
+	sys, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sys.Run()
+	sys.CrashRecover()
+	before := snapshotStores(sys)
+	rep := sys.CrashRecover()
+	for i := range rep.Losers {
+		if len(rep.Losers[i]) != 0 || len(rep.InDoubt[i]) != 0 {
+			t.Fatalf("second recovery found work at node %d: losers=%v inDoubt=%v",
+				i, rep.Losers[i], rep.InDoubt[i])
+		}
+	}
+	after := snapshotStores(sys)
+	for i := range before {
+		for g := range before[i] {
+			if before[i][g] != after[i][g] {
+				t.Fatalf("node %d block %d changed on idempotent recovery", i, g)
+			}
+		}
+	}
+}
+
+func snapshotStores(sys *System) [][]uint64 {
+	out := make([][]uint64, len(sys.nodes))
+	for i, n := range sys.nodes {
+		blocks := make([]uint64, n.store.Layout().Granules)
+		for g := range blocks {
+			blocks[g] = n.store.ReadBlock(g)
+		}
+		out[i] = blocks
+	}
+	return out
+}

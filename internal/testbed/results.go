@@ -1,0 +1,109 @@
+package testbed
+
+// NodeResults carries one site's measurements over the post-warmup window.
+// Rates are per second (the simulation runs in milliseconds internally),
+// matching the units of the paper's tables: TR-XPUT in transactions/second,
+// Total-DIO in block I/Os per second, Total-CPU as a utilization fraction.
+type NodeResults struct {
+	// TxnThroughput is the commit rate per transaction kind for users
+	// homed at this node, in transactions/second.
+	TxnThroughput map[TxnKind]float64
+	// TotalTxnThroughput is the sum over kinds (the tables' TR-XPUT).
+	TotalTxnThroughput float64
+	// RecordThroughput is the normalized throughput of Figures 5 and 8:
+	// commit rate times records accessed per transaction, in records/second.
+	RecordThroughput float64
+	// CPUUtilization is the busy fraction of the node's CPU (Total-CPU).
+	CPUUtilization float64
+	// DiskIORate is the combined database+log disk operation rate in
+	// block I/Os per second (Total-DIO).
+	DiskIORate float64
+	// DBDiskUtilization and LogDiskUtilization are device busy fractions;
+	// they coincide when the log shares the database disk.
+	DBDiskUtilization  float64
+	LogDiskUtilization float64
+	// TMUtilization is the busy fraction of the TM server critical
+	// section — the serialization the model deliberately ignores.
+	TMUtilization float64
+	// MeanResponse is the mean user response time per kind in ms,
+	// including aborted executions and resubmissions (the paper's R).
+	MeanResponse map[TxnKind]float64
+	// P95Response is the 95th-percentile response time per kind in ms
+	// (histogram estimate, ~5% relative error).
+	P95Response map[TxnKind]float64
+	// ThroughputCI is the 95% batch-means half-width around TxnThroughput
+	// per kind, in transactions/second (+Inf when the run is too short for
+	// two batch windows).
+	ThroughputCI map[TxnKind]float64
+	// Commits and Submissions count per kind; Submissions/Commits
+	// estimates the model's N_s.
+	Commits     map[TxnKind]int64
+	Submissions map[TxnKind]int64
+	// LocalDeadlocks counts victims of wait-for-graph cycles detected at
+	// this site; GlobalDeadlocks counts probe-detected victims that were
+	// waiting here.
+	LocalDeadlocks  int64
+	GlobalDeadlocks int64
+	// MeanLockWait is the mean blocked time per lock wait at this site, ms.
+	MeanLockWait float64
+	// LockWaits is the number of lock waits observed at this site.
+	LockWaits int64
+	// Messages counts protocol messages sent or received by this node.
+	Messages int64
+}
+
+// Results is a full measurement run.
+type Results struct {
+	Nodes []NodeResults
+	// Window is the measurement window length in ms.
+	Window float64
+}
+
+// collect snapshots every node's statistics at the current time.
+func (s *System) collect() Results {
+	t := s.env.Now()
+	res := Results{Window: t - s.cfg.Warmup}
+	for _, n := range s.nodes {
+		nr := NodeResults{
+			TxnThroughput: make(map[TxnKind]float64),
+			ThroughputCI:  make(map[TxnKind]float64),
+			MeanResponse:  make(map[TxnKind]float64),
+			P95Response:   make(map[TxnKind]float64),
+			Commits:       make(map[TxnKind]int64),
+			Submissions:   make(map[TxnKind]int64),
+		}
+		for _, k := range []TxnKind{LRO, LU, DRO, DU} {
+			x := n.commits[k].Rate(t) * 1000 // per ms -> per s
+			nr.TxnThroughput[k] = x
+			if wr, ok := n.commitRate[k]; ok {
+				_, half := wr.Rate(t)
+				nr.ThroughputCI[k] = half * 1000
+			}
+			nr.TotalTxnThroughput += x
+			nr.RecordThroughput += n.recordsDone[k].Rate(t) * 1000
+			nr.MeanResponse[k] = n.respTime[k].Mean()
+			nr.P95Response[k] = n.respHist[k].Quantile(0.95)
+			nr.Commits[k] = n.commits[k].N()
+			nr.Submissions[k] = n.submissions[k].N()
+		}
+		nr.CPUUtilization = n.cpu.Utilization(t)
+		nr.TMUtilization = n.tm.Utilization(t)
+		for _, d := range n.dbDisks {
+			nr.DBDiskUtilization += d.Utilization(t) / float64(len(n.dbDisks))
+			nr.DiskIORate += d.IORate(t) * 1000
+		}
+		if n.separateLog() {
+			nr.LogDiskUtilization = n.logDisk.Utilization(t)
+			nr.DiskIORate += n.logDisk.IORate(t) * 1000
+		} else {
+			nr.LogDiskUtilization = nr.DBDiskUtilization
+		}
+		nr.LocalDeadlocks = n.deadlocks.N()
+		nr.GlobalDeadlocks = n.globalDead.N()
+		nr.MeanLockWait = n.lockWaits.Mean()
+		nr.LockWaits = n.lockWaits.N()
+		nr.Messages = n.msgs.N()
+		res.Nodes = append(res.Nodes, nr)
+	}
+	return res
+}

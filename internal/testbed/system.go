@@ -1,0 +1,190 @@
+package testbed
+
+import (
+	"errors"
+	"fmt"
+
+	"carat/internal/comm"
+	"carat/internal/probe"
+	"carat/internal/rng"
+	"carat/internal/sim"
+)
+
+// errDeadlockVictim is the interrupt cause delivered to a transaction
+// chosen as a (local or global) deadlock victim while it waits for a lock.
+var errDeadlockVictim = errors.New("testbed: deadlock victim")
+
+// txnState is the system-wide registry entry for one in-flight transaction,
+// used by global deadlock detection to locate and kill victims.
+type txnState struct {
+	gid        int64
+	kind       TxnKind
+	home       NodeID
+	activeNode NodeID
+	proc       *sim.Proc
+	doomed     bool
+	finished   bool
+	// parked is true exactly while the transaction's process is blocked in
+	// a lock wait; global deadlock victims are only killed in that state
+	// (a probe that arrives after its victim was granted the lock is
+	// stale: the cycle it observed no longer exists).
+	parked bool
+	// committing is true from TEND processing onward: past that point the
+	// transaction may no longer be wounded or killed (under 2PL it holds
+	// every lock it needs, so it cannot be on any deadlock cycle).
+	committing bool
+}
+
+// System is a complete simulated CARAT installation.
+type System struct {
+	cfg   Config
+	env   *sim.Env
+	nodes []*node
+	rnd   *rng.Rand
+
+	txnSeq   int64
+	reg      map[int64]*txnState
+	users    []*user
+	netBytes int64 // inter-site payload bytes, for load-aware delay models
+}
+
+// New builds a system from the configuration (validating it first).
+func New(cfg Config) (*System, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	sys := &System{
+		cfg: cfg,
+		env: sim.NewEnv(),
+		rnd: rng.New(cfg.Seed),
+		reg: make(map[int64]*txnState),
+	}
+	for i := range cfg.Nodes {
+		sys.nodes = append(sys.nodes, newNode(sys, NodeID(i), cfg.Nodes[i], cfg.Layout, sys.rnd.Split(uint64(i))))
+	}
+	for i, spec := range cfg.Users {
+		u := &user{
+			sys:  sys,
+			spec: spec,
+			id:   i,
+			rnd:  sys.rnd.Split(uint64(10000 + i)),
+		}
+		sys.users = append(sys.users, u)
+		sys.env.Spawn(fmt.Sprintf("user-%d-%v", i, spec.Kind), u.run)
+	}
+	return sys, nil
+}
+
+// Env exposes the simulation environment (tests and tracing).
+func (s *System) Env() *sim.Env { return s.env }
+
+// Run executes the configured warmup and measurement window and returns
+// the collected results.
+func (s *System) Run() Results {
+	if s.cfg.Warmup > 0 {
+		s.env.Run(s.cfg.Warmup)
+	}
+	s.resetStats()
+	s.env.Run(s.cfg.Duration)
+	return s.collect()
+}
+
+// resetStats truncates all statistics at the current time (end of warmup).
+func (s *System) resetStats() {
+	t := s.env.Now()
+	for _, n := range s.nodes {
+		n.resetStats(t)
+	}
+}
+
+// nextTxnID allocates a global transaction id.
+func (s *System) nextTxnID() int64 {
+	s.txnSeq++
+	return s.txnSeq
+}
+
+// hop returns the one-way network delay for a message of the given size and
+// counts it against both endpoints. For a load-aware model (the Ethernet of
+// [ALME79]) the current channel utilization is estimated from the bytes
+// sent so far.
+func (s *System) hop(from, to NodeID, bytes int) float64 {
+	s.nodes[from].msgs.Inc()
+	s.nodes[to].msgs.Inc()
+	if from == to {
+		return 0
+	}
+	s.netBytes += int64(bytes)
+	util := 0.0
+	if e, ok := s.cfg.Network.(comm.Ethernet); ok && s.env.Now() > 0 {
+		util = float64(s.netBytes) * 8 / s.env.Now() / e.BandwidthBitsPerMS
+		if util > 0.95 {
+			util = 0.95
+		}
+	}
+	return s.cfg.Network.Delay(bytes, util)
+}
+
+// sendProbes delivers probe messages to their destination detectors after
+// the network delay, recursing on any forwards. Detection kills the victim.
+func (s *System) sendProbes(from NodeID, probes []probe.Probe) {
+	for _, pr := range probes {
+		pr := pr
+		d := s.hop(from, NodeID(pr.Dest), probeMsgBytes)
+		deliver := func() {
+			dest := s.nodes[pr.Dest]
+			fwd, victim, found := dest.detector.Receive(pr)
+			if found {
+				dest.globalDead.Inc()
+				s.killTxn(int64(victim))
+			}
+			s.sendProbes(NodeID(pr.Dest), fwd)
+		}
+		if d <= 0 {
+			// Still defer through the event queue so detector state
+			// mutations never interleave with a running process.
+			s.env.After(0, deliver)
+		} else {
+			s.env.After(d, deliver)
+		}
+	}
+}
+
+// killTxn aborts a deadlock victim. Victims are interrupted only while
+// parked in a lock wait; a kill arriving in any other state is treated as
+// stale (the wait edge that formed the cycle is gone) and ignored.
+func (s *System) killTxn(gid int64) {
+	st, ok := s.reg[gid]
+	if !ok || st.finished || st.doomed || !st.parked {
+		return
+	}
+	st.doomed = true
+	st.proc.Interrupt(errDeadlockVictim)
+}
+
+// woundTxn aborts a wound-wait victim. Unlike deadlock victims, a wounded
+// transaction may be actively executing: it is doomed immediately, and
+// interrupted only if it is parked in a lock wait (any other blocking —
+// CPU queue, disk queue, commit fan-out — runs to completion and the doom
+// is noticed at the next phase boundary). A transaction past its commit
+// point is spared — it holds everything it needs and will release shortly.
+func (s *System) woundTxn(gid int64) {
+	st, ok := s.reg[gid]
+	if !ok || st.finished || st.doomed || st.committing {
+		return
+	}
+	st.doomed = true
+	if st.parked {
+		st.proc.Interrupt(errDeadlockVictim)
+	}
+}
+
+// Message size constants (bytes) used for network delay and accounting.
+// Request/response messages carry parameters or one response set; protocol
+// messages are small. Sizes only matter when a non-zero DelayModel is
+// configured.
+const (
+	requestMsgBytes  = 256
+	responseMsgBytes = 512
+	controlMsgBytes  = 64
+	probeMsgBytes    = 32
+)

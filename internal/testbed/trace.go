@@ -1,0 +1,80 @@
+package testbed
+
+import "fmt"
+
+// TraceKind tags protocol events emitted by the simulator when a Trace
+// callback is configured. The event stream makes protocol-order properties
+// (strict two-phase locking, two-phase commit sequencing, rollback before
+// release) directly checkable — the testbed's equivalent of CARAT's
+// instrumentation.
+type TraceKind int
+
+const (
+	// EvBegin marks a transaction submission (one per attempt).
+	EvBegin TraceKind = iota
+	// EvLockWait marks a lock request blocking.
+	EvLockWait
+	// EvLockGrant marks a lock acquired (immediately or after a wait).
+	EvLockGrant
+	// EvDeadlock marks the transaction's selection as a deadlock victim.
+	EvDeadlock
+	// EvRollback marks the start of undo at a node.
+	EvRollback
+	// EvPrepareAck marks a slave's acknowledgment of PREPARE.
+	EvPrepareAck
+	// EvForceCommit marks the coordinator's force-written commit record —
+	// the commit point.
+	EvForceCommit
+	// EvSlaveCommit marks a slave processing the COMMIT message.
+	EvSlaveCommit
+	// EvRelease marks a node releasing all of the transaction's locks.
+	EvRelease
+	// EvCommitted marks successful completion of the attempt.
+	EvCommitted
+	// EvAborted marks the end of the abort path for the attempt.
+	EvAborted
+)
+
+var traceNames = map[TraceKind]string{
+	EvBegin:       "begin",
+	EvLockWait:    "lock-wait",
+	EvLockGrant:   "lock-grant",
+	EvDeadlock:    "deadlock-victim",
+	EvRollback:    "rollback",
+	EvPrepareAck:  "prepare-ack",
+	EvForceCommit: "force-commit-record",
+	EvSlaveCommit: "slave-commit",
+	EvRelease:     "release-locks",
+	EvCommitted:   "committed",
+	EvAborted:     "aborted",
+}
+
+// String names the event.
+func (k TraceKind) String() string {
+	if s, ok := traceNames[k]; ok {
+		return s
+	}
+	return fmt.Sprintf("TraceKind(%d)", int(k))
+}
+
+// TraceEvent is one protocol event.
+type TraceEvent struct {
+	T       float64 // simulation time, ms
+	Txn     int64   // global transaction id (one per attempt)
+	Kind    TxnKind
+	Node    NodeID
+	Ev      TraceKind
+	Granule int // lock events only; -1 otherwise
+}
+
+func (e TraceEvent) String() string {
+	return fmt.Sprintf("%10.1f txn=%d %v node=%d %v g=%d", e.T, e.Txn, e.Kind, e.Node, e.Ev, e.Granule)
+}
+
+// trace emits an event if tracing is configured.
+func (s *System) trace(txn int64, kind TxnKind, node NodeID, ev TraceKind, granule int) {
+	if s.cfg.Trace == nil {
+		return
+	}
+	s.cfg.Trace(TraceEvent{T: s.env.Now(), Txn: txn, Kind: kind, Node: node, Ev: ev, Granule: granule})
+}

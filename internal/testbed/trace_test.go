@@ -1,0 +1,218 @@
+package testbed
+
+import (
+	"testing"
+
+	"carat/internal/storage"
+)
+
+// collectTrace runs a contended MB4-style workload with tracing and
+// returns the event stream grouped by transaction.
+func collectTrace(t *testing.T, n int, seed uint64) (all []TraceEvent, byTxn map[int64][]TraceEvent) {
+	t.Helper()
+	cfg := twoNodeConfig(mb4Users(), n, seed)
+	cfg.Duration = 400_000
+	cfg.Warmup = 0
+	cfg.Layout = storage.Layout{Granules: 400, RecordsPerGran: 6} // force conflicts
+	cfg.Trace = func(ev TraceEvent) { all = append(all, ev) }
+	sys, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sys.Run()
+	byTxn = make(map[int64][]TraceEvent)
+	for _, ev := range all {
+		byTxn[ev.Txn] = append(byTxn[ev.Txn], ev)
+	}
+	return all, byTxn
+}
+
+// terminal returns the transaction's final outcome event, or -1 if it was
+// still in flight when the simulation clock stopped.
+func terminal(evs []TraceEvent) TraceKind {
+	for _, ev := range evs {
+		if ev.Ev == EvCommitted || ev.Ev == EvAborted {
+			return ev.Ev
+		}
+	}
+	return -1
+}
+
+func TestTraceEveryAttemptTerminates(t *testing.T) {
+	_, byTxn := collectTrace(t, 8, 3)
+	inflight := 0
+	for txn, evs := range byTxn {
+		if evs[0].Ev != EvBegin {
+			t.Fatalf("txn %d first event %v, want begin", txn, evs[0].Ev)
+		}
+		if terminal(evs) == -1 {
+			inflight++
+		}
+	}
+	// At most one in-flight attempt per user when the clock stops.
+	if inflight > len(mb4Users()) {
+		t.Fatalf("%d unterminated attempts for %d users", inflight, len(mb4Users()))
+	}
+	if len(byTxn) < 50 {
+		t.Fatalf("only %d attempts traced; workload too idle for the test", len(byTxn))
+	}
+}
+
+// TestTraceStrictTwoPhaseLocking: locks are released only after the commit
+// point (force-written commit record) or after rollback began — never
+// between lock acquisition and the outcome decision.
+func TestTraceStrictTwoPhaseLocking(t *testing.T) {
+	_, byTxn := collectTrace(t, 8, 4)
+	for txn, evs := range byTxn {
+		decided := false
+		for _, ev := range evs {
+			switch ev.Ev {
+			case EvForceCommit, EvRollback, EvDeadlock:
+				decided = true
+			case EvLockGrant:
+				if decided {
+					t.Fatalf("txn %d acquires lock after outcome decided:\n%v", txn, evs)
+				}
+			case EvRelease:
+				if !decided {
+					t.Fatalf("txn %d releases locks before outcome decided:\n%v", txn, evs)
+				}
+			}
+		}
+	}
+}
+
+// TestTraceTwoPhaseCommitOrder: for every committed distributed
+// transaction, all prepare acknowledgments precede the coordinator's
+// force-written commit record, which precedes every slave commit.
+func TestTraceTwoPhaseCommitOrder(t *testing.T) {
+	_, byTxn := collectTrace(t, 8, 5)
+	checked := 0
+	for txn, evs := range byTxn {
+		if !evs[0].Kind.Distributed() || terminal(evs) != EvCommitted {
+			continue
+		}
+		var lastPrepare, forceAt, firstSlaveCommit float64 = -1, -1, -1
+		prepares, slaveCommits := 0, 0
+		for _, ev := range evs {
+			switch ev.Ev {
+			case EvPrepareAck:
+				prepares++
+				if ev.T > lastPrepare {
+					lastPrepare = ev.T
+				}
+			case EvForceCommit:
+				forceAt = ev.T
+			case EvSlaveCommit:
+				slaveCommits++
+				if firstSlaveCommit < 0 || ev.T < firstSlaveCommit {
+					firstSlaveCommit = ev.T
+				}
+			}
+		}
+		if prepares == 0 || slaveCommits == 0 || forceAt < 0 {
+			t.Fatalf("txn %d committed without full 2PC: %d prepares, %d slave commits, force=%v",
+				txn, prepares, slaveCommits, forceAt)
+		}
+		if prepares != slaveCommits {
+			t.Fatalf("txn %d: %d prepares but %d slave commits", txn, prepares, slaveCommits)
+		}
+		if lastPrepare > forceAt {
+			t.Fatalf("txn %d: prepare ack at %v after commit point %v", txn, lastPrepare, forceAt)
+		}
+		if firstSlaveCommit < forceAt {
+			t.Fatalf("txn %d: slave commit at %v before commit point %v", txn, firstSlaveCommit, forceAt)
+		}
+		checked++
+	}
+	if checked == 0 {
+		t.Fatal("no committed distributed transactions to check")
+	}
+}
+
+// TestTraceLocalTxnsSkip2PC: local transactions never emit prepare or
+// slave-commit events.
+func TestTraceLocalTxnsSkip2PC(t *testing.T) {
+	_, byTxn := collectTrace(t, 8, 6)
+	for txn, evs := range byTxn {
+		if evs[0].Kind.Distributed() {
+			continue
+		}
+		for _, ev := range evs {
+			if ev.Ev == EvPrepareAck || ev.Ev == EvSlaveCommit {
+				t.Fatalf("local txn %d ran 2PC: %v", txn, ev)
+			}
+			if ev.Node != evs[0].Node {
+				t.Fatalf("local txn %d touched node %d", txn, ev.Node)
+			}
+		}
+	}
+}
+
+// TestTraceDeadlockVictimsRollBack: every deadlock victim rolls back and
+// releases at every node it touched, and ends aborted.
+func TestTraceDeadlockVictimsRollBack(t *testing.T) {
+	_, byTxn := collectTrace(t, 12, 7)
+	victims := 0
+	for txn, evs := range byTxn {
+		hasDeadlock := false
+		for _, ev := range evs {
+			if ev.Ev == EvDeadlock {
+				hasDeadlock = true
+			}
+		}
+		if !hasDeadlock {
+			continue
+		}
+		victims++
+		if got := terminal(evs); got != EvAborted {
+			t.Fatalf("victim %d terminal = %v, want aborted:\n%v", txn, got, evs)
+		}
+		// Rollback precedes the aborted event.
+		sawRollback := false
+		for _, ev := range evs {
+			if ev.Ev == EvRollback {
+				sawRollback = true
+			}
+			if ev.Ev == EvAborted && !sawRollback {
+				t.Fatalf("victim %d aborted without rollback", txn)
+			}
+		}
+	}
+	if victims == 0 {
+		t.Fatal("no deadlock victims at n=12 on a 400-granule database — suspicious")
+	}
+}
+
+// TestTraceWaitsEventuallyResolve: every lock-wait event is followed by a
+// grant or a deadlock for that granule (no lost wakeups), unless the run
+// ended first.
+func TestTraceWaitsEventuallyResolve(t *testing.T) {
+	_, byTxn := collectTrace(t, 10, 8)
+	for txn, evs := range byTxn {
+		if terminal(evs) == -1 {
+			continue // in flight at clock stop
+		}
+		pending := map[int]bool{}
+		for _, ev := range evs {
+			switch ev.Ev {
+			case EvLockWait:
+				pending[ev.Granule] = true
+			case EvLockGrant, EvDeadlock:
+				delete(pending, ev.Granule)
+			}
+		}
+		if len(pending) > 0 {
+			t.Fatalf("txn %d finished with unresolved lock waits %v:\n%v", txn, pending, evs)
+		}
+	}
+}
+
+// TestTraceEventStrings exercises the event formatting used by trace dumps.
+func TestTraceEventStrings(t *testing.T) {
+	ev := TraceEvent{T: 12.5, Txn: 3, Kind: DU, Node: 1, Ev: EvForceCommit, Granule: -1}
+	s := ev.String()
+	if s == "" || EvBegin.String() != "begin" || TraceKind(99).String() == "" {
+		t.Fatal("trace formatting broken")
+	}
+}

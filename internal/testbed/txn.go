@@ -1,0 +1,496 @@
+package testbed
+
+import (
+	"fmt"
+
+	"carat/internal/disk"
+	"carat/internal/lock"
+	"carat/internal/probe"
+	"carat/internal/rng"
+	"carat/internal/sim"
+	"carat/internal/storage"
+	"carat/internal/tso"
+)
+
+// user is one TR application process: it submits transactions of one kind
+// sequentially, in a closed loop with optional think time, resubmitting
+// after deadlock aborts until each transaction commits (Figure 3).
+type user struct {
+	sys  *System
+	spec UserSpec
+	id   int
+	rnd  *rng.Rand
+	// curTS is the prevention timestamp of the current user transaction:
+	// the gid of its first submission, kept across deadlock restarts so
+	// wait-die and wound-wait make progress.
+	curTS int64
+}
+
+// run is the TR process body: an endless submit-commit loop. The
+// simulation clock bound ends it.
+func (u *user) run(p *sim.Proc) {
+	home := u.sys.nodes[u.spec.Home]
+	costs := u.sys.cfg.Params.CostsFor(home.id, u.spec.Kind)
+	for {
+		if costs.ThinkTime > 0 {
+			p.Hold(costs.ThinkTime)
+		}
+		u.execOne(p)
+	}
+}
+
+// execOne drives one user transaction from first submission to commit,
+// looping through deadlock aborts. It records the response time (including
+// aborts and inter-submission think times, the paper's R) at the home node.
+func (u *user) execOne(p *sim.Proc) {
+	home := u.sys.nodes[u.spec.Home]
+	costs := u.sys.cfg.Params.CostsFor(home.id, u.spec.Kind)
+	start := p.Now()
+	u.curTS = 0
+	for {
+		committed := u.attempt(p)
+		if committed {
+			break
+		}
+		if costs.ThinkTime > 0 {
+			p.Hold(costs.ThinkTime)
+		}
+	}
+	home.respTime[u.spec.Kind].Add(p.Now() - start)
+	home.respHist[u.spec.Kind].Add(p.Now() - start)
+	home.recordCommit(u.spec.Kind, p.Now())
+	home.recordsDone[u.spec.Kind].Addn(int64(u.sys.cfg.RequestsPerTxn * u.sys.cfg.RecordsPerRequest))
+}
+
+// attempt executes one submission of the transaction. It returns true on
+// commit and false if the transaction was aborted (and rolled back) as a
+// deadlock victim.
+func (u *user) attempt(p *sim.Proc) bool {
+	sys := u.sys
+	cfg := &sys.cfg
+	kind := u.spec.Kind
+	home := sys.nodes[u.spec.Home]
+	var remotes []*node
+	for _, r := range u.spec.RemoteSites() {
+		remotes = append(remotes, sys.nodes[r])
+	}
+	costs := cfg.Params.CostsFor(home.id, kind)
+
+	gid := sys.nextTxnID()
+	st := &txnState{gid: gid, kind: kind, home: home.id, activeNode: home.id, proc: p}
+	sys.reg[gid] = st
+	defer func() {
+		st.finished = true
+		delete(sys.reg, gid)
+	}()
+	home.submissions[kind].Inc()
+	sys.trace(gid, kind, home.id, EvBegin, -1)
+	if u.curTS == 0 {
+		u.curTS = gid
+	}
+	if cfg.Concurrency == CCWaitDie || cfg.Concurrency == CCWoundWait {
+		home.locks.RegisterTxn(lock.TxnID(gid), u.curTS)
+		for _, remote := range remotes {
+			remote.locks.RegisterTxn(lock.TxnID(gid), u.curTS)
+		}
+	}
+
+	// --- INIT phase: TBEGIN and DBOPEN processing; DM allocation. ---
+	dmHeld := []*node{home}
+	mustAcquire(home.dmPool, p)
+	mustUse(home, p, func() error { return home.tmStep(p, costs.InitCPU) })
+	for _, remote := range remotes {
+		rcosts := cfg.Params.CostsFor(remote.id, kind)
+		p.Hold(sys.hop(home.id, remote.id, controlMsgBytes))
+		mustUse(remote, p, func() error { return remote.tmStep(p, rcosts.TMCPU) })
+		mustAcquire(remote.dmPool, p)
+		dmHeld = append(dmHeld, remote)
+		p.Hold(sys.hop(remote.id, home.id, controlMsgBytes))
+	}
+	releaseDMs := func() {
+		for _, nd := range dmHeld {
+			nd.dmPool.Release()
+		}
+	}
+
+	// --- Request sequence: n requests, a shuffled mix of local and remote. ---
+	schedule := u.requestSchedule(len(remotes))
+	aborted := false
+	for _, dest := range schedule {
+		// U phase: the user application prepares the request.
+		st.activeNode = home.id
+		mustUse(home, p, func() error { return home.cpu.Use(p, costs.UCPU) })
+		// TM phase: the coordinator TM routes the TDO.
+		mustUse(home, p, func() error { return home.tmStep(p, costs.TMCPU) })
+
+		exec := home
+		if dest >= 0 {
+			exec = remotes[dest]
+			rcosts := cfg.Params.CostsFor(exec.id, kind)
+			p.Hold(sys.hop(home.id, exec.id, requestMsgBytes))
+			// Slave TM receives the REMDO and forwards to the slave DM.
+			mustUse(exec, p, func() error { return exec.tmStep(p, rcosts.TMCPU) })
+		}
+
+		if err := u.dmRequest(p, st, exec); err != nil {
+			aborted = true
+		}
+
+		if !aborted && dest >= 0 {
+			rcosts := cfg.Params.CostsFor(exec.id, kind)
+			// Slave TM routes the response back to the coordinator.
+			mustUse(exec, p, func() error { return exec.tmStep(p, rcosts.TMCPU) })
+			p.Hold(sys.hop(exec.id, home.id, responseMsgBytes))
+		}
+		if !aborted {
+			st.activeNode = home.id
+			// Coordinator TM processes the DOSTEP_K / REMDO_K.
+			mustUse(home, p, func() error { return home.tmStep(p, costs.TMCPU) })
+		}
+		if st.doomed {
+			aborted = true
+		}
+		if aborted {
+			break
+		}
+	}
+
+	if aborted {
+		u.rollback(p, st, dmHeld)
+		sys.trace(gid, kind, home.id, EvAborted, -1)
+		releaseDMs()
+		return false
+	}
+
+	// --- Commit: TEND through the TM, then the commit protocol. ---
+	st.committing = true
+	mustUse(home, p, func() error { return home.tmStep(p, costs.TMCPU) })
+	if len(remotes) == 0 {
+		u.commitLocal(p, st, home, costs)
+	} else {
+		u.twoPhaseCommit(p, st, home, remotes)
+	}
+	sys.trace(gid, kind, home.id, EvCommitted, -1)
+	releaseDMs()
+	return true
+}
+
+// requestSchedule returns the destination of each of the n requests: -1
+// for local, otherwise an index into the user's remote sites. The remote
+// count is round(RemoteFrac * n), spread over the slave sites by
+// RemoteSplit; positions are shuffled per submission.
+func (u *user) requestSchedule(remotes int) []int {
+	n := u.sys.cfg.RequestsPerTxn
+	schedule := make([]int, n)
+	for i := range schedule {
+		schedule[i] = -1
+	}
+	if !u.spec.Kind.Distributed() || remotes == 0 {
+		return schedule
+	}
+	nRemote := int(u.sys.cfg.RemoteFrac*float64(n) + 0.5)
+	if nRemote > n {
+		nRemote = n
+	}
+	split := RemoteSplit(nRemote, remotes)
+	pos := 0
+	for site, cnt := range split {
+		for i := 0; i < cnt; i++ {
+			schedule[pos] = site
+			pos++
+		}
+	}
+	perm := u.rnd.Perm(n)
+	shuffled := make([]int, n)
+	for i, j := range perm {
+		shuffled[j] = schedule[i]
+	}
+	return shuffled
+}
+
+// dmRequest executes one database request at node nd: the DM/LR/DMIO phase
+// loop over the request's granules, acquiring locks and performing block
+// I/O. It returns errDeadlockVictim if the transaction must abort.
+func (u *user) dmRequest(p *sim.Proc, st *txnState, nd *node) error {
+	sys := u.sys
+	cfg := &sys.cfg
+	kind := u.spec.Kind
+	costs := cfg.Params.CostsFor(nd.id, kind)
+	st.activeNode = nd.id
+
+	recs := cfg.Pattern.Pick(u.rnd, cfg.Layout, cfg.RecordsPerRequest)
+	grans := storage.GranulesOf(cfg.Layout, recs)
+
+	mode := lock.Shared
+	if kind.Update() {
+		mode = lock.Exclusive
+	}
+
+	// DM phase: processing before the first lock request.
+	mustUse(nd, p, func() error { return nd.cpu.Use(p, costs.DMCPU) })
+
+	for _, g := range grans {
+		// LR phase: concurrency-control request processing (lock request
+		// with local deadlock detection under 2PL, timestamp check under
+		// TO); its CPU cost is LRCPU, per the paper.
+		mustUse(nd, p, func() error { return nd.cpu.Use(p, costs.LRCPU) })
+		if err := u.ccAccess(p, st, nd, g, mode); err != nil {
+			return err
+		}
+		if st.doomed {
+			return errDeadlockVictim
+		}
+
+		// DMIO phase: the block I/O burst for this granule.
+		mustUse(nd, p, func() error { return nd.cpu.Use(p, costs.DMIOCPU) })
+		if err := u.granuleIO(p, st, nd, g, kind); err != nil {
+			return err
+		}
+
+		// DM phase: processing between lock requests.
+		mustUse(nd, p, func() error { return nd.cpu.Use(p, costs.DMCPU) })
+		if st.doomed {
+			return errDeadlockVictim
+		}
+	}
+	return nil
+}
+
+// ccAccess admits one granule access under the configured concurrency
+// control protocol: a lock request under the 2PL family (with detection or
+// prevention per the lock manager's discipline) or a timestamp check under
+// basic TO. It returns errDeadlockVictim when the protocol aborts the
+// requester.
+func (u *user) ccAccess(p *sim.Proc, st *txnState, nd *node, g int, mode lock.Mode) error {
+	sys := u.sys
+	kind := u.spec.Kind
+	if sys.cfg.Concurrency == CCTimestamp {
+		// Basic TO: no blocking; the attempt's gid is its timestamp, so a
+		// restart naturally carries a fresh, larger timestamp.
+		if nd.tso.Read(tso.TxnID(st.gid), st.gid, tso.GranuleID(g)) == tso.Reject {
+			nd.deadlocks.Inc()
+			sys.trace(st.gid, kind, nd.id, EvDeadlock, g)
+			return errDeadlockVictim
+		}
+		if mode == lock.Exclusive {
+			if out, _ := nd.tso.Write(tso.TxnID(st.gid), st.gid, tso.GranuleID(g)); out == tso.Reject {
+				nd.deadlocks.Inc()
+				sys.trace(st.gid, kind, nd.id, EvDeadlock, g)
+				return errDeadlockVictim
+			}
+		}
+		sys.trace(st.gid, kind, nd.id, EvLockGrant, g)
+		return nil
+	}
+
+	out, victims := nd.locks.Request(lock.TxnID(st.gid), lock.GranuleID(g), mode)
+	for _, v := range victims {
+		if sys.cfg.Concurrency == CCWoundWait {
+			sys.woundTxn(int64(v))
+		} else {
+			sys.killTxn(int64(v))
+		}
+	}
+	switch out {
+	case lock.Granted:
+		sys.trace(st.gid, kind, nd.id, EvLockGrant, g)
+	case lock.Deadlock:
+		nd.deadlocks.Inc()
+		sys.trace(st.gid, kind, nd.id, EvDeadlock, g)
+		return errDeadlockVictim
+	case lock.Wait:
+		sys.trace(st.gid, kind, nd.id, EvLockWait, g)
+		if err := u.lockWait(p, st, nd); err != nil {
+			sys.trace(st.gid, kind, nd.id, EvDeadlock, g)
+			return err
+		}
+		sys.trace(st.gid, kind, nd.id, EvLockGrant, g)
+	}
+	return nil
+}
+
+// lockWait parks the process until the site lock manager grants the queued
+// request, initiating global deadlock probes first. It returns
+// errDeadlockVictim if the transaction is killed while waiting.
+func (u *user) lockWait(p *sim.Proc, st *txnState, nd *node) error {
+	sys := u.sys
+	ltxn := lock.TxnID(st.gid)
+	ev := sim.NewEvent(sys.env, fmt.Sprintf("grant-%d", st.gid))
+	nd.grantEv[ltxn] = ev
+	st.parked = true
+	sys.sendProbes(nd.id, nd.detector.Initiate(probe.TxnID(st.gid)))
+
+	t0 := p.Now()
+	err := ev.Wait(p)
+	st.parked = false
+	nd.lockWaits.Add(p.Now() - t0)
+	nd.detector.ClearTxn(probe.TxnID(st.gid))
+	if err != nil {
+		delete(nd.grantEv, ltxn)
+		nd.globalDead.Inc()
+		return errDeadlockVictim
+	}
+	return nil
+}
+
+// granuleIO performs the disk work for one granule access: one read for
+// read-only kinds; read + before-image journal write + in-place write for
+// update kinds (the three I/Os behind Table 2's tripled DMIO disk time).
+// A configured buffer pool can absorb the read.
+func (u *user) granuleIO(p *sim.Proc, st *txnState, nd *node, g int, kind TxnKind) error {
+	cfg := &u.sys.cfg
+	bufferHit := cfg.BufferHitRatio > 0 && u.rnd.Bool(cfg.BufferHitRatio)
+	if !bufferHit {
+		mustUse(nd, p, func() error { return nd.dbDiskFor(g).Do(p, disk.Read, g) })
+	}
+	if kind.Update() {
+		nd.journal.LogBeforeImage(st.gid, nd.store, g)
+		mustUse(nd, p, func() error { return nd.logDisk.Do(p, disk.LogWrite, g) })
+		nd.store.Touch(g)
+		mustUse(nd, p, func() error { return nd.dbDiskFor(g).Do(p, disk.Write, g) })
+	}
+	return nil
+}
+
+// rollback undoes a deadlock victim at every participating site: the TA
+// (rollback CPU) and TAIO (one database write per before-image) phases,
+// then lock release, in participation order with message hops between
+// sites for distributed transactions.
+func (u *user) rollback(p *sim.Proc, st *txnState, participants []*node) {
+	sys := u.sys
+	home := participants[0]
+	for i, nd := range participants {
+		costs := sys.cfg.Params.CostsFor(nd.id, u.spec.Kind)
+		if i > 0 {
+			p.Hold(sys.hop(home.id, nd.id, controlMsgBytes))
+			mustUse(nd, p, func() error { return nd.tmStep(p, costs.TMCPU) })
+		}
+		st.activeNode = nd.id
+		sys.trace(st.gid, u.spec.Kind, nd.id, EvRollback, -1)
+		mustUse(nd, p, func() error { return nd.cpu.Use(p, costs.AbortCPU) })
+		undo := nd.journal.Rollback(st.gid, nd.store)
+		for _, g := range undo {
+			g := g
+			mustUse(nd, p, func() error { return nd.cpu.Use(p, costs.DMIOCPU) })
+			mustUse(nd, p, func() error { return nd.dbDiskFor(g).Do(p, disk.Write, g) })
+		}
+		mustUse(nd, p, func() error { return nd.cpu.Use(p, costs.UnlockCPU) })
+		nd.releaseTxn(st.gid)
+		sys.trace(st.gid, u.spec.Kind, nd.id, EvRelease, -1)
+		nd.detector.ClearTxn(probe.TxnID(st.gid))
+		if i > 0 {
+			p.Hold(sys.hop(nd.id, home.id, controlMsgBytes))
+		}
+	}
+	st.activeNode = home.id
+}
+
+// commitLocal commits a local transaction: TC processing, the force-written
+// commit record (TCIO), and unlock (UL).
+func (u *user) commitLocal(p *sim.Proc, st *txnState, home *node, costs PhaseCosts) {
+	mustUse(home, p, func() error { return home.cpu.Use(p, costs.CommitCPU) })
+	for i := 0; i < costs.CommitIOs; i++ {
+		mustUse(home, p, func() error { return home.logDisk.Do(p, disk.ForceWrite, 0) })
+	}
+	rec := home.journal.Commit(st.gid)
+	home.journal.Force(rec.LSN)
+	u.sys.trace(st.gid, u.spec.Kind, home.id, EvForceCommit, -1)
+	mustUse(home, p, func() error { return home.cpu.Use(p, costs.UnlockCPU) })
+	home.releaseTxn(st.gid)
+	u.sys.trace(st.gid, u.spec.Kind, home.id, EvRelease, -1)
+}
+
+// twoPhaseCommit runs the centralized two-phase commit protocol of
+// [GRAY79]: PREPARE to every slave (in parallel), a force-written commit
+// record at the coordinator, COMMIT to every slave, then local unlock. The
+// coordinator's waits for slave acknowledgments are the CW phase.
+func (u *user) twoPhaseCommit(p *sim.Proc, st *txnState, home *node, slaves []*node) {
+	sys := u.sys
+	kind := u.spec.Kind
+	costs := sys.cfg.Params.CostsFor(home.id, kind)
+
+	// TC: coordinator builds and sends PREPARE.
+	mustUse(home, p, func() error { return home.cpu.Use(p, costs.CommitCPU) })
+
+	// Phase 1: PREPARE processed in parallel at the slaves.
+	u.fanOut(p, "prepare", slaves, func(hp *sim.Proc, nd *node) {
+		rcosts := sys.cfg.Params.CostsFor(nd.id, kind)
+		hp.Hold(sys.hop(home.id, nd.id, controlMsgBytes))
+		mustUse(nd, hp, func() error { return nd.tmStep(hp, rcosts.TMCPU) })
+		mustUse(nd, hp, func() error { return nd.cpu.Use(hp, rcosts.CommitCPU) })
+		if sys.cfg.Params.SlaveCommitIOs[kind] > 0 {
+			// The slave's prepared record: force-written before voting
+			// yes, so a crash leaves the branch in doubt rather than
+			// presumed aborted.
+			nd.journal.Prepare(st.gid)
+		}
+		for i := 0; i < sys.cfg.Params.SlaveCommitIOs[kind]; i++ {
+			mustUse(nd, hp, func() error { return nd.logDisk.Do(hp, disk.ForceWrite, 0) })
+		}
+		sys.trace(st.gid, kind, nd.id, EvPrepareAck, -1)
+		hp.Hold(sys.hop(nd.id, home.id, controlMsgBytes))
+	})
+
+	// The commit point: force-write the commit record at the coordinator.
+	for i := 0; i < costs.CommitIOs; i++ {
+		mustUse(home, p, func() error { return home.logDisk.Do(p, disk.ForceWrite, 0) })
+	}
+	rec := home.journal.Commit(st.gid)
+	home.journal.Force(rec.LSN)
+	sys.trace(st.gid, kind, home.id, EvForceCommit, -1)
+
+	// Phase 2: COMMIT processed in parallel at the slaves; each slave
+	// writes its commit record lazily, releases its locks and acks.
+	u.fanOut(p, "commit", slaves, func(hp *sim.Proc, nd *node) {
+		rcosts := sys.cfg.Params.CostsFor(nd.id, kind)
+		hp.Hold(sys.hop(home.id, nd.id, controlMsgBytes))
+		mustUse(nd, hp, func() error { return nd.tmStep(hp, rcosts.TMCPU) })
+		sys.trace(st.gid, kind, nd.id, EvSlaveCommit, -1)
+		nd.journal.Commit(st.gid)
+		mustUse(nd, hp, func() error { return nd.cpu.Use(hp, rcosts.UnlockCPU) })
+		nd.releaseTxn(st.gid)
+		sys.trace(st.gid, kind, nd.id, EvRelease, -1)
+		hp.Hold(sys.hop(nd.id, home.id, controlMsgBytes))
+	})
+
+	// UL at the coordinator.
+	mustUse(home, p, func() error { return home.cpu.Use(p, costs.UnlockCPU) })
+	home.releaseTxn(st.gid)
+	sys.trace(st.gid, kind, home.id, EvRelease, -1)
+}
+
+// fanOut runs fn for every slave in parallel helper processes and blocks
+// the coordinator until all complete — the synchronization the CW delay
+// center models.
+func (u *user) fanOut(p *sim.Proc, label string, slaves []*node, fn func(hp *sim.Proc, nd *node)) {
+	env := u.sys.env
+	done := make([]*sim.Event, len(slaves))
+	for i, nd := range slaves {
+		i, nd := i, nd
+		done[i] = sim.NewEvent(env, label)
+		env.Spawn(fmt.Sprintf("%s-%d", label, nd.id), func(hp *sim.Proc) {
+			fn(hp, nd)
+			done[i].Trigger(nil)
+		})
+	}
+	for _, ev := range done {
+		if err := ev.Wait(p); err != nil {
+			panic("testbed: commit fan-out interrupted: " + err.Error())
+		}
+	}
+}
+
+// mustAcquire obtains a pool server; the wait must never be interrupted
+// (transactions are only killed while parked in lock waits).
+func mustAcquire(r *sim.Resource, p *sim.Proc) {
+	if err := r.Acquire(p); err != nil {
+		panic("testbed: unexpected interrupt acquiring " + r.Name() + ": " + err.Error())
+	}
+}
+
+// mustUse runs a service step that must never be interrupted.
+func mustUse(nd *node, _ *sim.Proc, fn func() error) {
+	if err := fn(); err != nil {
+		panic(fmt.Sprintf("testbed: unexpected interrupt at node %d: %v", nd.id, err))
+	}
+}

@@ -1,0 +1,145 @@
+package tso
+
+import (
+	"testing"
+	"testing/quick"
+
+	"carat/internal/rng"
+)
+
+func TestReadAfterLaterWriteRejected(t *testing.T) {
+	m := NewManager()
+	if out, _ := m.Write(2, 20, 5); out != OK {
+		t.Fatal("first write must pass")
+	}
+	if out := m.Read(1, 10, 5); out != Reject {
+		t.Fatal("read with ts 10 after write ts 20 must be rejected")
+	}
+	if out := m.Read(3, 30, 5); out != OK {
+		t.Fatal("read with ts 30 must pass")
+	}
+	s := m.Stats()
+	if s.Reads != 2 || s.ReadRejects != 1 || s.Writes != 1 {
+		t.Fatalf("stats = %+v", s)
+	}
+}
+
+func TestWriteAfterLaterReadRejected(t *testing.T) {
+	m := NewManager()
+	if out := m.Read(2, 20, 5); out != OK {
+		t.Fatal("read must pass")
+	}
+	if out, _ := m.Write(1, 10, 5); out != Reject {
+		t.Fatal("write ts 10 after read ts 20 must be rejected")
+	}
+	if out, _ := m.Write(3, 30, 5); out != OK {
+		t.Fatal("write ts 30 must pass")
+	}
+}
+
+func TestWriteAfterLaterWriteRejectedWithoutThomas(t *testing.T) {
+	m := NewManager()
+	m.Write(2, 20, 5)
+	if out, _ := m.Write(1, 10, 5); out != Reject {
+		t.Fatal("basic TO rejects obsolete writes")
+	}
+}
+
+func TestThomasWriteRuleSkips(t *testing.T) {
+	m := NewManager()
+	m.ThomasWriteRule = true
+	m.Write(2, 20, 5)
+	out, skip := m.Write(1, 10, 5)
+	if out != OK || !skip {
+		t.Fatalf("Thomas rule: out=%v skip=%v, want OK/skip", out, skip)
+	}
+	// But a conflicting later read still rejects.
+	m2 := NewManager()
+	m2.ThomasWriteRule = true
+	m2.Read(3, 30, 5)
+	if out, _ := m2.Write(1, 10, 5); out != Reject {
+		t.Fatal("Thomas rule must not bypass read conflicts")
+	}
+}
+
+func TestTimestampsPersistAcrossFinish(t *testing.T) {
+	m := NewManager()
+	m.Write(2, 20, 5)
+	m.Finish(2)
+	// A restarted old transaction still sees the granule timestamps.
+	if out, _ := m.Write(1, 10, 5); out != Reject {
+		t.Fatal("granule timestamps must survive Finish")
+	}
+}
+
+func TestFinishReturnsTouchedGranules(t *testing.T) {
+	m := NewManager()
+	m.Read(1, 10, 7)
+	m.Write(1, 10, 3)
+	m.Read(1, 10, 3)
+	got := m.Finish(1)
+	if len(got) != 2 || got[0] != 3 || got[1] != 7 {
+		t.Fatalf("touched = %v, want [3 7]", got)
+	}
+	if m.Live() != 0 {
+		t.Fatal("bookkeeping not cleared")
+	}
+	if got := m.Finish(1); len(got) != 0 {
+		t.Fatal("double Finish must be empty")
+	}
+}
+
+// TestPropertySerializability: admitted operations, ordered by timestamp,
+// must be conflict-equivalent to their admission order. For basic TO that
+// reduces to: per granule, the sequences of admitted read and write
+// timestamps are such that no admitted operation conflicts with an
+// already-admitted one carrying a larger timestamp.
+func TestPropertySerializability(t *testing.T) {
+	f := func(seed uint64) bool {
+		r := rng.New(seed)
+		m := NewManager()
+		type op struct {
+			ts    int64
+			write bool
+			g     GranuleID
+		}
+		var admitted []op
+		for i := 0; i < 300; i++ {
+			o := op{
+				ts:    int64(1 + r.Intn(100)),
+				write: r.Bool(0.4),
+				g:     GranuleID(r.Intn(8)),
+			}
+			var ok bool
+			if o.write {
+				out, _ := m.Write(TxnID(o.ts), o.ts, o.g)
+				ok = out == OK
+			} else {
+				ok = m.Read(TxnID(o.ts), o.ts, o.g) == OK
+			}
+			if ok {
+				// Conflict check against everything already admitted on
+				// this granule with a LARGER timestamp.
+				for _, prev := range admitted {
+					if prev.g != o.g || prev.ts <= o.ts {
+						continue
+					}
+					if prev.write || o.write {
+						return false // admitted a conflicting late op
+					}
+				}
+				admitted = append(admitted, o)
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestOutcomeString(t *testing.T) {
+	if OK.String() != "ok" || Reject.String() != "reject" {
+		t.Fatal("outcome names wrong")
+	}
+}

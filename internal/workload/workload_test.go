@@ -1,0 +1,233 @@
+package workload
+
+import (
+	"testing"
+
+	"carat/internal/core"
+	"carat/internal/testbed"
+)
+
+func countKind(us []testbed.UserSpec, k testbed.TxnKind, home testbed.NodeID) int {
+	n := 0
+	for _, u := range us {
+		if u.Kind == k && u.Home == home {
+			n++
+		}
+	}
+	return n
+}
+
+func TestWorkloadCompositions(t *testing.T) {
+	cases := []struct {
+		wl      Workload
+		perNode map[testbed.TxnKind]int
+		total   int
+	}{
+		{LB8(8), map[testbed.TxnKind]int{testbed.LRO: 4, testbed.LU: 4, testbed.DRO: 0, testbed.DU: 0}, 16},
+		{MB4(8), map[testbed.TxnKind]int{testbed.LRO: 1, testbed.LU: 1, testbed.DRO: 1, testbed.DU: 1}, 8},
+		{MB8(8), map[testbed.TxnKind]int{testbed.LRO: 2, testbed.LU: 2, testbed.DRO: 2, testbed.DU: 2}, 16},
+		{UB6(8), map[testbed.TxnKind]int{testbed.LRO: 2, testbed.LU: 2, testbed.DRO: 1, testbed.DU: 1}, 12},
+	}
+	for _, tc := range cases {
+		if len(tc.wl.Users) != tc.total {
+			t.Errorf("%s: %d users, want %d", tc.wl.Name, len(tc.wl.Users), tc.total)
+		}
+		for node := testbed.NodeID(0); node < 2; node++ {
+			for k, want := range tc.perNode {
+				if got := countKind(tc.wl.Users, k, node); got != want {
+					t.Errorf("%s node %d: %d %v users, want %d", tc.wl.Name, node, got, k, want)
+				}
+			}
+		}
+	}
+}
+
+func TestDistributedUsersPointAcross(t *testing.T) {
+	for _, u := range MB8(4).Users {
+		if u.Kind.Distributed() && u.Remote == u.Home {
+			t.Fatalf("user %+v points at itself", u)
+		}
+	}
+}
+
+func TestByName(t *testing.T) {
+	for _, name := range []string{"LB8", "MB4", "MB8", "UB6", "lb8"} {
+		wl, err := ByName(name, 8)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if wl.RequestsPerTxn != 8 {
+			t.Fatalf("%s: n=%d", name, wl.RequestsPerTxn)
+		}
+	}
+	if _, err := ByName("NOPE", 8); err == nil {
+		t.Fatal("unknown workload must fail")
+	}
+}
+
+func TestTestbedConfigValidates(t *testing.T) {
+	for _, name := range []string{"LB8", "MB4", "MB8", "UB6"} {
+		wl, _ := ByName(name, 8)
+		cfg := wl.TestbedConfig(1, 1000, 10_000)
+		if err := cfg.Validate(); err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+	}
+}
+
+func TestModelChainsMB4(t *testing.T) {
+	wl := MB4(8)
+	m, err := wl.Model()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, site := range m.Sites {
+		// One of each local chain, one coordinator of each distributed
+		// kind, one slave of each distributed kind (from the other node).
+		for _, ty := range core.Types() {
+			c := site.Chains[ty]
+			if c == nil {
+				t.Fatalf("site %d missing %v", i, ty)
+			}
+			if c.Population != 1 {
+				t.Fatalf("site %d %v population %d, want 1", i, ty, c.Population)
+			}
+		}
+		// l = r = 4 at n = 8 with RemoteFrac 0.5.
+		if c := site.Chains[core.DUC]; c.Local != 4 || c.Remote != 4 {
+			t.Fatalf("site %d DUC l=%d r=%d, want 4/4", i, c.Local, c.Remote)
+		}
+		if c := site.Chains[core.DUS]; c.Local != 4 || c.Remote != 0 {
+			t.Fatalf("site %d DUS l=%d r=%d, want 4/0", i, c.Local, c.Remote)
+		}
+		// Slaves have no INIT or U phase costs.
+		if c := site.Chains[core.DROS]; c.InitCPU != 0 || c.UCPU != 0 {
+			t.Fatalf("site %d DROS has INIT/U costs", i)
+		}
+		// Read-only slaves write no prepare record; update slaves force one.
+		if c := site.Chains[core.DROS]; c.CommitOps != 0 {
+			t.Fatalf("DROS CommitOps = %d, want 0", c.CommitOps)
+		}
+		if c := site.Chains[core.DUS]; c.CommitOps != 1 {
+			t.Fatalf("DUS CommitOps = %d, want 1", c.CommitOps)
+		}
+	}
+	// Disk speeds differ by node (RM05 vs RP06).
+	if m.Sites[0].DiskTime != 28 || m.Sites[1].DiskTime != 40 {
+		t.Fatalf("disk times = %v/%v, want 28/40", m.Sites[0].DiskTime, m.Sites[1].DiskTime)
+	}
+}
+
+func TestModelRemoteSplitMatchesTestbed(t *testing.T) {
+	// The model's l/r split must match the testbed's request scheduler for
+	// every n, including odd ones.
+	for n := 1; n <= 21; n++ {
+		wl := MB4(n)
+		m, err := wl.Model()
+		if err != nil {
+			t.Fatal(err)
+		}
+		c := m.Sites[0].Chains[core.DUC]
+		wantR := int(0.5*float64(n) + 0.5)
+		if c.Remote != wantR || c.Local != n-wantR {
+			t.Fatalf("n=%d: model l=%d r=%d, want %d/%d", n, c.Local, c.Remote, n-wantR, wantR)
+		}
+	}
+}
+
+func TestLB8ModelHasOnlyLocalChains(t *testing.T) {
+	m, err := LB8(8).Model()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, site := range m.Sites {
+		if len(site.Chains) != 2 {
+			t.Fatalf("site %d has %d chains, want 2 (LRO, LU)", i, len(site.Chains))
+		}
+		if site.Chains[core.LRO].Population != 4 || site.Chains[core.LU].Population != 4 {
+			t.Fatalf("site %d populations wrong", i)
+		}
+	}
+}
+
+func TestInconsistentSlaveSplitsRejected(t *testing.T) {
+	// Two DU users homed at node 0: one with a single slave, one spreading
+	// over two slaves. Their DUS chains at node 1 would need different
+	// request counts — the model must refuse the aggregation.
+	wl := MB4(8)
+	wl.NumNodes = 3
+	wl.DBDisks = append(wl.DBDisks, wl.DBDisks[1])
+	wl.LogDisks = append(wl.LogDisks, nil)
+	wl.Params = testbed.DefaultParams(3)
+	wl.Users = []testbed.UserSpec{
+		{Kind: testbed.DU, Home: 0, Remote: 1},
+		{Kind: testbed.DU, Home: 0, Remotes: []testbed.NodeID{1, 2}},
+	}
+	if _, err := wl.Model(); err == nil {
+		t.Fatal("conflicting slave splits must be rejected")
+	}
+	// The simulator has no such restriction: per-user splits are fine.
+	cfg := wl.TestbedConfig(1, 1000, 50_000)
+	if err := cfg.Validate(); err != nil {
+		t.Fatalf("testbed should accept heterogeneous users: %v", err)
+	}
+}
+
+func TestThreeNodeModel(t *testing.T) {
+	wl := MB4(8)
+	wl.NumNodes = 3
+	wl.DBDisks = append(wl.DBDisks, wl.DBDisks[1])
+	wl.LogDisks = append(wl.LogDisks, nil)
+	wl.Params = testbed.DefaultParams(3)
+	var users []testbed.UserSpec
+	for home := testbed.NodeID(0); home < 3; home++ {
+		others := []testbed.NodeID{}
+		for j := testbed.NodeID(0); j < 3; j++ {
+			if j != home {
+				others = append(others, j)
+			}
+		}
+		users = append(users,
+			testbed.UserSpec{Kind: testbed.LU, Home: home},
+			testbed.UserSpec{Kind: testbed.DU, Home: home, Remotes: others},
+		)
+	}
+	wl.Users = users
+	m, err := wl.Model()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Each site hosts one DUC (two slave sites) and two DUS chains (one
+	// per other node's coordinator)... the aggregation gives a DUS chain
+	// with population 2 at each site.
+	for i, site := range m.Sites {
+		duc := site.Chains[core.DUC]
+		if duc == nil || len(duc.SlaveSites) != 2 {
+			t.Fatalf("site %d DUC slave sites: %+v", i, duc)
+		}
+		dus := site.Chains[core.DUS]
+		if dus == nil || dus.Population != 2 {
+			t.Fatalf("site %d DUS population: %+v", i, dus)
+		}
+		// r=4 split over 2 sites -> 2 requests per slave chain.
+		if dus.Local != 2 {
+			t.Fatalf("site %d DUS local = %d, want 2", i, dus.Local)
+		}
+	}
+}
+
+func TestTable2DefaultsFlowThrough(t *testing.T) {
+	// Table 2 values must reach the model chains unchanged.
+	m, err := MB4(8).Model()
+	if err != nil {
+		t.Fatal(err)
+	}
+	lro := m.Sites[0].Chains[core.LRO]
+	if lro.UCPU != 7.8 || lro.TMCPU != 8.0 || lro.DMCPU != 5.4 || lro.LRCPU != 2.2 || lro.DMIOCPU != 1.5 {
+		t.Fatalf("LRO costs = %+v", lro)
+	}
+	duc := m.Sites[0].Chains[core.DUC]
+	if duc.TMCPU != 12.0 || duc.DMCPU != 8.6 || duc.DMIOCPU != 2.5 || duc.DMIOOps != 3 {
+		t.Fatalf("DUC costs = %+v", duc)
+	}
+}

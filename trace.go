@@ -1,0 +1,42 @@
+package carat
+
+import (
+	"carat/internal/testbed"
+)
+
+// TraceEvent is one protocol event from a traced simulation run: lock
+// acquisitions and waits, deadlock victim selections, rollbacks, two-phase
+// commit steps and transaction outcomes. Times are simulation
+// milliseconds.
+type TraceEvent struct {
+	TimeMS  float64
+	Txn     int64
+	Type    TxnType
+	Node    int
+	Event   string // begin, lock-wait, lock-grant, deadlock-victim, rollback, prepare-ack, force-commit-record, slave-commit, release-locks, committed, aborted
+	Granule int    // lock events only; -1 otherwise
+}
+
+// SimulateWithTrace runs the simulator like Simulate while streaming every
+// protocol event to fn. Tracing slows long runs; it is intended for
+// protocol inspection and debugging.
+func SimulateWithTrace(w Workload, opts SimOptions, fn func(TraceEvent)) (*Measurement, error) {
+	e := opts.fill()
+	cfg := w.w.TestbedConfig(e.Seed, e.Warmup, e.Duration)
+	cfg.Trace = func(ev testbed.TraceEvent) {
+		fn(TraceEvent{
+			TimeMS:  ev.T,
+			Txn:     ev.Txn,
+			Type:    TxnType(ev.Kind.String()),
+			Node:    int(ev.Node),
+			Event:   ev.Ev.String(),
+			Granule: ev.Granule,
+		})
+	}
+	sys, err := testbed.New(cfg)
+	if err != nil {
+		return nil, err
+	}
+	res := sys.Run()
+	return measurementFrom(res), nil
+}

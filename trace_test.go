@@ -1,0 +1,36 @@
+package carat
+
+import "testing"
+
+func TestSimulateWithTrace(t *testing.T) {
+	var events []TraceEvent
+	meas, err := SimulateWithTrace(WorkloadMB4(4),
+		SimOptions{Seed: 1, WarmupMS: 1, DurationMS: 60_000},
+		func(ev TraceEvent) { events = append(events, ev) })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if meas.Nodes[0].TxnPerSec <= 0 {
+		t.Fatal("traced run produced no throughput")
+	}
+	if len(events) == 0 {
+		t.Fatal("no trace events")
+	}
+	kinds := map[string]bool{}
+	var lastT float64
+	for _, ev := range events {
+		kinds[ev.Event] = true
+		if ev.TimeMS < lastT {
+			t.Fatalf("events out of time order: %v after %v", ev.TimeMS, lastT)
+		}
+		lastT = ev.TimeMS
+		if ev.Txn <= 0 {
+			t.Fatalf("event without transaction id: %+v", ev)
+		}
+	}
+	for _, want := range []string{"begin", "lock-grant", "committed", "force-commit-record", "prepare-ack"} {
+		if !kinds[want] {
+			t.Fatalf("trace missing %q events; saw %v", want, kinds)
+		}
+	}
+}
