@@ -26,6 +26,7 @@ import (
 	"carat/internal/core"
 	"carat/internal/disk"
 	"carat/internal/experiment"
+	"carat/internal/stats"
 	"carat/internal/storage"
 	"carat/internal/testbed"
 	"carat/internal/workload"
@@ -320,6 +321,21 @@ type SimOptions struct {
 	// DurationMS is total simulated time including warmup (default 62
 	// minutes, giving a one-hour measurement window).
 	DurationMS float64
+	// Replications is the number of independent runs per experiment point
+	// (0 or 1 means a single run, the historical behavior). Replication 0
+	// uses Seed; replication r > 0 uses a seed derived through independent
+	// substreams, so replications are uncorrelated yet individually
+	// reproducible. With more than one replication, figures and tables
+	// report across-replication means with 95% confidence half-widths, and
+	// SimulateReplicated aggregates full measurements.
+	Replications int
+	// Workers bounds how many simulations run concurrently in replicated
+	// mode (0 means GOMAXPROCS). The results are bit-identical for any
+	// worker count.
+	Workers int
+	// Progress, when non-nil, receives (completed, total) run counts as a
+	// replicated experiment advances. Calls are serialized.
+	Progress func(done, total int)
 }
 
 func (o SimOptions) fill() experiment.SimOptions {
@@ -333,6 +349,9 @@ func (o SimOptions) fill() experiment.SimOptions {
 	if o.DurationMS > 0 {
 		e.Duration = o.DurationMS
 	}
+	e.Replications = o.Replications
+	e.Workers = o.Workers
+	e.Progress = o.Progress
 	return e
 }
 
@@ -505,6 +524,87 @@ func measurementFrom(res testbed.Results) *Measurement {
 		m.Nodes = append(m.Nodes, nm)
 	}
 	return m
+}
+
+// Estimate is an across-replication estimate: the mean over independent
+// runs and the two-sided 95% Student-t confidence half-width around it
+// (+Inf with fewer than two replications).
+type Estimate struct {
+	Mean      float64
+	HalfWidth float64
+}
+
+// ReplicatedNodeMetrics carries one node's across-replication estimates, in
+// the units of NodeMetrics.
+type ReplicatedNodeMetrics struct {
+	TxnPerSec       Estimate
+	TxnPerSecByType map[TxnType]Estimate
+	RecordsPerSec   Estimate
+	CPUUtilization  Estimate
+	DiskIOPerSec    Estimate
+	MeanResponseMS  map[TxnType]Estimate
+}
+
+// ReplicatedMeasurement is the output of SimulateReplicated: per-node
+// estimates over the replications, plus every underlying run.
+type ReplicatedMeasurement struct {
+	// Replications is the number of independent runs aggregated.
+	Replications int
+	// Seeds[r] is the seed replication r ran with (replication 0 runs with
+	// the base seed, so Runs[0] equals a plain Simulate with these options).
+	Seeds []uint64
+	// WindowMS is the per-run measurement window length.
+	WindowMS float64
+	Nodes    []ReplicatedNodeMetrics
+	// Runs holds each replication's full measurement, in replication order.
+	Runs []*Measurement
+}
+
+// SimulateReplicated runs opts.Replications independent simulations of the
+// workload across opts.Workers parallel workers (each with its own
+// simulation environment and derived seed) and aggregates them into means
+// with 95% confidence half-widths. The output is bit-identical for any
+// worker count.
+func SimulateReplicated(w Workload, opts SimOptions) (*ReplicatedMeasurement, error) {
+	e := opts.fill()
+	rc, err := experiment.RunReplicated(w.w, e)
+	if err != nil {
+		return nil, err
+	}
+	rm := &ReplicatedMeasurement{
+		Replications: len(rc.Reps),
+		Seeds:        rc.Seeds,
+	}
+	for _, res := range rc.Reps {
+		rm.Runs = append(rm.Runs, measurementFrom(res))
+	}
+	rm.WindowMS = rm.Runs[0].WindowMS
+	for node := range rm.Runs[0].Nodes {
+		nm := ReplicatedNodeMetrics{
+			TxnPerSec:       estimateOver(rm.Runs, func(m *Measurement) float64 { return m.Nodes[node].TxnPerSec }),
+			RecordsPerSec:   estimateOver(rm.Runs, func(m *Measurement) float64 { return m.Nodes[node].RecordsPerSec }),
+			CPUUtilization:  estimateOver(rm.Runs, func(m *Measurement) float64 { return m.Nodes[node].CPUUtilization }),
+			DiskIOPerSec:    estimateOver(rm.Runs, func(m *Measurement) float64 { return m.Nodes[node].DiskIOPerSec }),
+			TxnPerSecByType: map[TxnType]Estimate{},
+			MeanResponseMS:  map[TxnType]Estimate{},
+		}
+		for ty := range rm.Runs[0].Nodes[node].TxnPerSecByType {
+			ty := ty
+			nm.TxnPerSecByType[ty] = estimateOver(rm.Runs, func(m *Measurement) float64 { return m.Nodes[node].TxnPerSecByType[ty] })
+			nm.MeanResponseMS[ty] = estimateOver(rm.Runs, func(m *Measurement) float64 { return m.Nodes[node].MeanResponseMS[ty] })
+		}
+		rm.Nodes = append(rm.Nodes, nm)
+	}
+	return rm, nil
+}
+
+// estimateOver tallies one scalar across the replications.
+func estimateOver(runs []*Measurement, get func(*Measurement) float64) Estimate {
+	var t stats.Tally
+	for _, m := range runs {
+		t.Add(get(m))
+	}
+	return Estimate{Mean: t.Mean(), HalfWidth: t.CI95()}
 }
 
 // Compare solves the model and runs the simulator for the workload.

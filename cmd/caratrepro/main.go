@@ -9,6 +9,7 @@
 //	caratrepro              # everything (several simulated hours; ~10 s wall)
 //	caratrepro -only fig5   # one artifact: fig5..fig10, table1..table5
 //	caratrepro -seed 7 -minutes 30
+//	caratrepro -reps 8 -workers 4   # mean ±95% CI columns, parallel runs
 package main
 
 import (
@@ -25,13 +26,21 @@ func main() {
 		only    = flag.String("only", "", "one artifact: fig5..fig10 or table1..table5 (default all)")
 		seed    = flag.Uint64("seed", 1, "simulation seed")
 		minutes = flag.Float64("minutes", 60, "simulated measurement minutes per data point")
+		reps    = flag.Int("reps", 1, "independent replications per data point; >1 adds ±95% CI columns")
+		workers = flag.Int("workers", 0, "parallel simulation workers for -reps (0 = GOMAXPROCS)")
 		format  = flag.String("format", "text", "output format: text or markdown")
 	)
 	flag.Parse()
 	markdown := strings.EqualFold(*format, "markdown") || strings.EqualFold(*format, "md")
 
 	warmup := 120_000.0
-	opts := carat.SimOptions{Seed: *seed, WarmupMS: warmup, DurationMS: warmup + *minutes*60_000}
+	opts := carat.SimOptions{
+		Seed:         *seed,
+		WarmupMS:     warmup,
+		DurationMS:   warmup + *minutes*60_000,
+		Replications: *reps,
+		Workers:      *workers,
+	}
 
 	type artifact struct {
 		name string
@@ -78,6 +87,15 @@ func main() {
 			continue
 		}
 		matched = true
+		// The artifact closures read the shared opts, so installing a
+		// per-artifact progress line here is seen by the run below.
+		name := a.name
+		opts.Progress = func(done, total int) {
+			fmt.Fprintf(os.Stderr, "\r%s: %d/%d runs", name, done, total)
+			if done == total {
+				fmt.Fprintln(os.Stderr)
+			}
+		}
 		out, err := a.run()
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "%s: %v\n", a.name, err)

@@ -5,6 +5,7 @@
 // Usage:
 //
 //	caratsim [-workload MB4] [-n 8] [-seed 1] [-minutes 60] [-logdisk] ...
+//	caratsim -workload MB4 -sweep -reps 8 -workers 4   # mean ±95% CI per point
 package main
 
 import (
@@ -32,6 +33,8 @@ func main() {
 		hot     = flag.Float64("hot", 0, "hotspot: fraction of records that are hot (0 = uniform)")
 		hotfrac = flag.Float64("hotfrac", 0.8, "hotspot: fraction of accesses aimed at the hot set")
 		cc      = flag.String("cc", "2PL", "concurrency control: 2PL, wait-die, wound-wait, timestamp-ordering")
+		reps    = flag.Int("reps", 1, "independent replications per point; >1 reports mean ±95% CI")
+		workers = flag.Int("workers", 0, "parallel simulation workers for -reps (0 = GOMAXPROCS)")
 		asJSON  = flag.Bool("json", false, "emit measurements as JSON")
 	)
 	flag.Parse()
@@ -42,9 +45,11 @@ func main() {
 	}
 	warmup := 120_000.0
 	opts := carat.SimOptions{
-		Seed:       *seed,
-		WarmupMS:   warmup,
-		DurationMS: warmup + *minutes*60_000,
+		Seed:         *seed,
+		WarmupMS:     warmup,
+		DurationMS:   warmup + *minutes*60_000,
+		Replications: *reps,
+		Workers:      *workers,
 	}
 	for _, size := range ns {
 		wl, err := carat.WorkloadByName(*name, size)
@@ -74,6 +79,10 @@ func main() {
 			wl = wl.WithHotspot(*hot, *hotfrac)
 		}
 		wl = wl.WithConcurrencyControl(carat.ConcurrencyControl(*cc))
+		if *reps > 1 {
+			runReplicated(wl, size, opts, *asJSON)
+			continue
+		}
 		meas, err := carat.Simulate(wl, opts)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, err)
@@ -107,4 +116,51 @@ func main() {
 		}
 		fmt.Println()
 	}
+}
+
+// runReplicated runs one sweep point with -reps > 1: independent parallel
+// replications aggregated into mean ±95% CI per metric. A progress line on
+// stderr tracks the worker pool.
+func runReplicated(wl carat.Workload, size int, opts carat.SimOptions, asJSON bool) {
+	opts.Progress = func(done, total int) {
+		fmt.Fprintf(os.Stderr, "\r%s n=%d: %d/%d replications", wl.Name(), size, done, total)
+		if done == total {
+			fmt.Fprintln(os.Stderr)
+		}
+	}
+	rm, err := carat.SimulateReplicated(wl, opts)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	if asJSON {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(struct {
+			Workload string
+			N        int
+			Seed     uint64
+			*carat.ReplicatedMeasurement
+		}{wl.Name(), size, opts.Seed, rm}); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		return
+	}
+	fmt.Printf("%s  n=%d  seed=%d  reps=%d  window=%.0f min  (95%% CI over replications)\n",
+		wl.Name(), size, opts.Seed, rm.Replications, rm.WindowMS/60000)
+	for i, node := range rm.Nodes {
+		fmt.Printf("  Node %c: TR-XPUT %.3f ±%.3f txn/s  records %.1f ±%.1f/s  CPU %.3f ±%.3f  DIO %.1f ±%.1f/s\n",
+			'A'+i, node.TxnPerSec.Mean, node.TxnPerSec.HalfWidth,
+			node.RecordsPerSec.Mean, node.RecordsPerSec.HalfWidth,
+			node.CPUUtilization.Mean, node.CPUUtilization.HalfWidth,
+			node.DiskIOPerSec.Mean, node.DiskIOPerSec.HalfWidth)
+		for _, ty := range []carat.TxnType{carat.LocalReadOnly, carat.LocalUpdate, carat.DistributedRead, carat.DistributedUpdate} {
+			if x, ok := node.TxnPerSecByType[ty]; ok {
+				r := node.MeanResponseMS[ty]
+				fmt.Printf("    %-4s X=%.3f ±%.3f/s  R=%.0f ±%.0f ms\n", ty, x.Mean, x.HalfWidth, r.Mean, r.HalfWidth)
+			}
+		}
+	}
+	fmt.Println()
 }

@@ -138,3 +138,44 @@ func TestReproduceFigureMarkdownQuick(t *testing.T) {
 		t.Fatalf("markdown figure broken:\n%s", out)
 	}
 }
+
+func TestSimulateReplicatedFacade(t *testing.T) {
+	opts := SimOptions{
+		Seed:         1,
+		WarmupMS:     10_000,
+		DurationMS:   130_000,
+		Replications: 3,
+		Workers:      2,
+	}
+	rm, err := SimulateReplicated(WorkloadMB4(8), opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rm.Replications != 3 || len(rm.Seeds) != 3 || len(rm.Runs) != 3 {
+		t.Fatalf("replication bookkeeping wrong: %d reps, %d seeds, %d runs",
+			rm.Replications, len(rm.Seeds), len(rm.Runs))
+	}
+	if rm.Seeds[0] != opts.Seed {
+		t.Fatalf("Seeds[0] = %d, want the base seed %d", rm.Seeds[0], opts.Seed)
+	}
+	for i, node := range rm.Nodes {
+		if node.TxnPerSec.Mean <= 0 {
+			t.Fatalf("node %d: nonpositive mean throughput", i)
+		}
+		if node.TxnPerSec.HalfWidth < 0 {
+			t.Fatalf("node %d: negative CI half-width", i)
+		}
+		if node.CPUUtilization.Mean <= 0 || node.CPUUtilization.Mean > 1 {
+			t.Fatalf("node %d: CPU utilization %v out of range", i, node.CPUUtilization.Mean)
+		}
+	}
+	// Replication 0 must reproduce the plain Simulate run exactly.
+	single, err := Simulate(WorkloadMB4(8), SimOptions{Seed: 1, WarmupMS: 10_000, DurationMS: 130_000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rm.Runs[0].Nodes[0].TxnPerSec != single.Nodes[0].TxnPerSec {
+		t.Fatalf("replication 0 throughput %v != serial Simulate %v",
+			rm.Runs[0].Nodes[0].TxnPerSec, single.Nodes[0].TxnPerSec)
+	}
+}

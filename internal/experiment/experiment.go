@@ -23,6 +23,23 @@ type SimOptions struct {
 	Seed     uint64
 	Warmup   float64 // ms of simulated warmup discarded
 	Duration float64 // ms of simulated time including warmup
+
+	// Replications is the number of independent simulation runs per sweep
+	// point (0 or 1 means a single run). Replication 0 always runs with
+	// Seed itself — so a single run reproduces the historical serial
+	// behavior exactly — and replication r > 0 runs with the derived seed
+	// RepSeed(Seed, n, r). With more than one replication the figure and
+	// table builders report across-replication means with 95% Student-t
+	// confidence half-widths next to the model values.
+	Replications int
+	// Workers bounds the number of concurrent simulations in replicated
+	// runs (0 means GOMAXPROCS). Results are independent of Workers: every
+	// (point, replication) pair has a fixed seed and a fixed output slot.
+	Workers int
+	// Progress, when non-nil, is called after each completed replication
+	// run with the completed and total run counts. Calls are serialized but
+	// may come from worker goroutines.
+	Progress func(done, total int)
 }
 
 // DefaultSimOptions simulates one hour of testbed time after a two-minute
@@ -106,6 +123,9 @@ var TxnThroughput = Metric{
 
 // Sweep runs a workload constructor over the transaction sizes, producing
 // one comparison per point. The paper sweeps n over {4, 8, 12, 16, 20}.
+// Every point runs serially with opts.Seed (the historical single-run
+// behavior, pinned by golden tests); for independent replications with
+// derived per-replication seeds and parallel execution, use SweepReplicated.
 func Sweep(mk func(n int) workload.Workload, ns []int, opts SimOptions) ([]*Comparison, error) {
 	out := make([]*Comparison, 0, len(ns))
 	for _, n := range ns {

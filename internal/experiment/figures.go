@@ -11,11 +11,14 @@ import (
 )
 
 // Series is one line of a figure: model or measured values over the
-// transaction-size sweep.
+// transaction-size sweep. CI, when non-nil, holds the 95% confidence
+// half-width around each Y value (replicated measured series only; nil for
+// model series and single-run figures).
 type Series struct {
 	Name string
 	X    []float64
 	Y    []float64
+	CI   []float64
 }
 
 // Figure reproduces one of the paper's figures as data plus an ASCII
@@ -29,13 +32,51 @@ type Figure struct {
 }
 
 // figureSweep builds a two-series (model vs. simulation) figure for one
-// metric at one node.
+// metric at one node. With opts.Replications > 1 the sweep runs on the
+// parallel replicated engine and the simulation series carries confidence
+// half-widths; otherwise it is the historical serial single-run path.
 func figureSweep(id, title string, mk func(int) workload.Workload, node int, metric Metric, ns []int, opts SimOptions) (*Figure, error) {
+	if opts.Replications > 1 {
+		rcs, err := SweepReplicated(mk, ns, opts)
+		if err != nil {
+			return nil, err
+		}
+		return figureFromReps(id, title, rcs, []int{node}, metric), nil
+	}
 	comps, err := Sweep(mk, ns, opts)
 	if err != nil {
 		return nil, err
 	}
 	return figureFromComparisons(id, title, comps, node, metric), nil
+}
+
+// figureFromReps lays replicated measurements (mean ± 95% CI) against the
+// model over the sweep, one model+simulation series pair per node.
+func figureFromReps(id, title string, rcs []*RepComparison, nodes []int, metric Metric) *Figure {
+	f := &Figure{
+		ID:     id,
+		Title:  title,
+		XLabel: "transaction size n (requests/transaction)",
+		YLabel: metric.Name + " (" + metric.Unit + ")",
+	}
+	for _, node := range nodes {
+		model := Series{Name: "Model"}
+		meas := Series{Name: "Simulation"}
+		if len(nodes) > 1 {
+			model.Name = fmt.Sprintf("Model (Node %c)", 'A'+node)
+			meas.Name = fmt.Sprintf("Simulation (Node %c)", 'A'+node)
+		}
+		for _, rc := range rcs {
+			mo, est := rc.Estimate(metric, node)
+			model.X = append(model.X, float64(rc.N))
+			model.Y = append(model.Y, mo)
+			meas.X = append(meas.X, float64(rc.N))
+			meas.Y = append(meas.Y, est.Mean)
+			meas.CI = append(meas.CI, est.HalfWidth)
+		}
+		f.Series = append(f.Series, model, meas)
+	}
+	return f
 }
 
 func figureFromComparisons(id, title string, comps []*Comparison, node int, metric Metric) *Figure {
@@ -77,6 +118,13 @@ func Figure7(ns []int, opts SimOptions) (*Figure, error) {
 
 // mb4Figure builds an MB4 figure with per-node model and simulation series.
 func mb4Figure(id, title string, metric Metric, ns []int, opts SimOptions) (*Figure, error) {
+	if opts.Replications > 1 {
+		rcs, err := SweepReplicated(workload.MB4, ns, opts)
+		if err != nil {
+			return nil, err
+		}
+		return figureFromReps(id, title, rcs, []int{0, 1}, metric), nil
+	}
 	comps, err := Sweep(workload.MB4, ns, opts)
 	if err != nil {
 		return nil, err
@@ -154,12 +202,21 @@ func (f *Figure) ASCII() string {
 		for i, x := range f.Series[0].X {
 			fmt.Fprintf(&b, "%6.0f", x)
 			for _, s := range f.Series {
-				fmt.Fprintf(&b, "  %22.3f", s.Y[i])
+				fmt.Fprintf(&b, "  %22s", s.cell(i))
 			}
 			b.WriteString("\n")
 		}
 	}
 	return b.String()
+}
+
+// cell formats point i as a value, with its ± confidence half-width when
+// the series carries one.
+func (s *Series) cell(i int) string {
+	if s.CI != nil && !math.IsInf(s.CI[i], 1) {
+		return fmt.Sprintf("%.3f ±%.3f", s.Y[i], s.CI[i])
+	}
+	return fmt.Sprintf("%.3f", s.Y[i])
 }
 
 // Markdown formats the figure's data as a GitHub-flavored Markdown table
@@ -180,7 +237,7 @@ func (f *Figure) Markdown() string {
 		for i, x := range f.Series[0].X {
 			fmt.Fprintf(&b, "| %.0f |", x)
 			for _, s := range f.Series {
-				fmt.Fprintf(&b, " %.3f |", s.Y[i])
+				fmt.Fprintf(&b, " %s |", s.cell(i))
 			}
 			b.WriteString("\n")
 		}

@@ -1,0 +1,197 @@
+package experiment
+
+import (
+	"fmt"
+	"math"
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"carat/internal/core"
+	"carat/internal/rng"
+	"carat/internal/stats"
+	"carat/internal/testbed"
+	"carat/internal/workload"
+)
+
+// RepSeed returns the simulation seed for replication rep (0-based) of the
+// sweep point with transaction size n.
+//
+// The scheme is fixed and documented so any replication can be reproduced
+// in isolation with the single-run CLI:
+//
+//	rep 0:  the base seed itself, at every point — byte-identical to the
+//	        historical serial Sweep/Run path (and its golden tests).
+//	rep r>0: rng.SeedStream(base, id) with stream id = n<<32 | r, so
+//	        every (point, replication) pair owns a provably distinct
+//	        substream label and streams are effectively uncorrelated.
+func RepSeed(base uint64, n, rep int) uint64 {
+	if rep == 0 {
+		return base
+	}
+	return rng.SeedStream(base, uint64(n)<<32|uint64(rep))
+}
+
+// Estimate is an across-replication estimate of one scalar: the sample mean
+// over independent runs with a two-sided 95% Student-t confidence
+// half-width (+Inf when fewer than two replications ran).
+type Estimate struct {
+	Mean      float64
+	HalfWidth float64
+	Reps      int
+}
+
+// String formats the estimate as "mean ±half".
+func (e Estimate) String() string {
+	if math.IsInf(e.HalfWidth, 1) {
+		return fmt.Sprintf("%.3f", e.Mean)
+	}
+	return fmt.Sprintf("%.3f ±%.3f", e.Mean, e.HalfWidth)
+}
+
+// RepComparison pairs the model's predictions with a set of independent
+// simulation replications for one workload at one transaction size. The
+// model side is deterministic and solved once; the measured side carries
+// one Results per replication, in replication order.
+type RepComparison struct {
+	Workload string
+	N        int
+	Model    *core.Result
+	// Seeds[r] is the seed replication r ran with (RepSeed(base, N, r)).
+	Seeds []uint64
+	// Reps[r] is replication r's measurement.
+	Reps []testbed.Results
+}
+
+// Comparison returns the single-run view of replication rep, for code (and
+// metrics) that consume the serial Comparison shape.
+func (rc *RepComparison) Comparison(rep int) *Comparison {
+	return &Comparison{Workload: rc.Workload, N: rc.N, Model: rc.Model, Measured: rc.Reps[rep]}
+}
+
+// First returns replication 0's view — byte-identical to what the serial
+// Run would have produced with the base seed.
+func (rc *RepComparison) First() *Comparison { return rc.Comparison(0) }
+
+// Estimate extracts one metric at one node from every replication and
+// returns the model's value alongside the across-replication estimate.
+func (rc *RepComparison) Estimate(metric Metric, node int) (model float64, est Estimate) {
+	var t stats.Tally
+	for rep := range rc.Reps {
+		mo, me := metric.Get(rc.Comparison(rep), node)
+		model = mo
+		t.Add(me)
+	}
+	return model, Estimate{Mean: t.Mean(), HalfWidth: t.CI95(), Reps: int(t.N())}
+}
+
+// RunReplicated is the replication-aware Run: it solves the model once and
+// runs opts.Replications independent simulations of the workload on a
+// worker pool, each with its own environment and derived seed.
+func RunReplicated(wl workload.Workload, opts SimOptions) (*RepComparison, error) {
+	out, err := SweepReplicated(func(int) workload.Workload { return wl }, []int{wl.RequestsPerTxn}, opts)
+	if err != nil {
+		return nil, err
+	}
+	return out[0], nil
+}
+
+// SweepReplicated is the replication-aware Sweep: it fans the sweep's
+// (point, replication) grid across a GOMAXPROCS-bounded worker pool. Each
+// job builds its own workload, testbed.System and sim.Env, so nothing
+// mutable is shared between concurrent simulations; each runs with the
+// seed RepSeed(opts.Seed, n, rep). Results land in fixed (point,
+// replication) slots, so the output is bit-identical for any worker count.
+func SweepReplicated(mk func(n int) workload.Workload, ns []int, opts SimOptions) ([]*RepComparison, error) {
+	reps := opts.Replications
+	if reps < 1 {
+		reps = 1
+	}
+	workers := opts.Workers
+	if workers < 1 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if total := len(ns) * reps; workers > total {
+		workers = total
+	}
+
+	// The model side is deterministic: solve each point once, serially.
+	out := make([]*RepComparison, len(ns))
+	for i, n := range ns {
+		wl := mk(n)
+		m, err := wl.Model()
+		if err != nil {
+			return nil, fmt.Errorf("experiment: n=%d: building model: %w", n, err)
+		}
+		res, err := core.Solve(m)
+		if err != nil {
+			return nil, fmt.Errorf("experiment: n=%d: solving model: %w", n, err)
+		}
+		rc := &RepComparison{
+			Workload: wl.Name,
+			N:        wl.RequestsPerTxn,
+			Model:    res,
+			Seeds:    make([]uint64, reps),
+			Reps:     make([]testbed.Results, reps),
+		}
+		for r := 0; r < reps; r++ {
+			rc.Seeds[r] = RepSeed(opts.Seed, n, r)
+		}
+		out[i] = rc
+	}
+
+	type job struct{ point, rep int }
+	jobs := make(chan job)
+	total := len(ns) * reps
+	var (
+		wg       sync.WaitGroup
+		mu       sync.Mutex // guards done and firstErr, serializes Progress
+		done     int
+		failed   atomic.Bool
+		firstErr error
+	)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := range jobs {
+				if failed.Load() {
+					continue
+				}
+				rc := out[j.point]
+				// A fresh workload per job: constructors build their own
+				// parameter maps, so concurrent simulations share nothing.
+				wl := mk(rc.N)
+				cfg := wl.TestbedConfig(rc.Seeds[j.rep], opts.Warmup, opts.Duration)
+				sys, err := testbed.New(cfg)
+				if err != nil {
+					failed.Store(true)
+					mu.Lock()
+					if firstErr == nil {
+						firstErr = fmt.Errorf("experiment: n=%d rep %d: %w", rc.N, j.rep, err)
+					}
+					mu.Unlock()
+					continue
+				}
+				rc.Reps[j.rep] = sys.Run()
+				mu.Lock()
+				done++
+				if opts.Progress != nil {
+					opts.Progress(done, total)
+				}
+				mu.Unlock()
+			}
+		}()
+	}
+	for point := range out {
+		for rep := 0; rep < reps; rep++ {
+			jobs <- job{point: point, rep: rep}
+		}
+	}
+	close(jobs)
+	wg.Wait()
+	if firstErr != nil {
+		return nil, firstErr
+	}
+	return out, nil
+}

@@ -51,6 +51,16 @@ func (r *Rand) Split(id uint64) *Rand {
 	return New(st ^ id)
 }
 
+// SeedStream derives an independent seed for substream id of a base seed,
+// without advancing any generator state. It is how the experiment layer
+// labels replication streams: SeedStream(base, id) and SeedStream(base, id')
+// for id != id' seed effectively uncorrelated generators, and the mapping is
+// a pure function of (base, id), so a replication can be reproduced in
+// isolation.
+func SeedStream(base, id uint64) uint64 {
+	return New(base).Split(id).Uint64()
+}
+
 func rotl(x uint64, k uint) uint64 { return (x << k) | (x >> (64 - k)) }
 
 // Uint64 returns the next 64 random bits (xoshiro256++).

@@ -192,3 +192,33 @@ func TestBoolProbability(t *testing.T) {
 		t.Fatalf("Bool(0.25) frequency = %v", got)
 	}
 }
+
+func TestSeedStream(t *testing.T) {
+	// Deterministic: same (base, id) always gives the same seed.
+	if SeedStream(42, 7) != SeedStream(42, 7) {
+		t.Fatal("SeedStream must be deterministic")
+	}
+	// Distinct across ids and bases.
+	seen := map[uint64]uint64{}
+	for id := uint64(0); id < 1000; id++ {
+		s := SeedStream(42, id)
+		if prev, dup := seen[s]; dup {
+			t.Fatalf("SeedStream(42, %d) collides with id %d", id, prev)
+		}
+		seen[s] = id
+	}
+	if SeedStream(1, 5) == SeedStream(2, 5) {
+		t.Fatal("different bases must give different streams")
+	}
+	// Streams seeded from different ids must not be correlated.
+	a, b := New(SeedStream(9, 1)), New(SeedStream(9, 2))
+	same := 0
+	for i := 0; i < 1000; i++ {
+		if a.Uint64() == b.Uint64() {
+			same++
+		}
+	}
+	if same > 2 {
+		t.Fatalf("derived streams collide %d/1000 times", same)
+	}
+}

@@ -40,6 +40,15 @@ func (e *InterruptError) Error() string {
 // Unwrap reports ErrInterrupted so errors.Is(err, ErrInterrupted) holds.
 func (e *InterruptError) Unwrap() error { return ErrInterrupted }
 
+// errKilled is delivered on a process's resume channel by Shutdown. It never
+// reaches model code: yield converts it into a killSentinel panic that
+// unwinds the process goroutine, and the spawn wrapper swallows the sentinel.
+var errKilled = errors.New("sim: environment shut down")
+
+// killSentinel is the panic value used to unwind a process goroutine during
+// Shutdown. It is recovered (and discarded) by the spawn wrapper.
+type killSentinel struct{}
+
 // event is a scheduled callback. Events at equal times fire in schedule order.
 type event struct {
 	t   float64
@@ -82,14 +91,16 @@ type Env struct {
 	done chan struct{}
 
 	running   bool
-	nlive     int // live (spawned, not yet terminated) processes
+	nlive     int             // live (spawned, not yet terminated) processes
+	procs     map[int64]*Proc // live processes by id, for Shutdown
+	dead      bool            // set by Shutdown; the environment is finished
 	panicked  interface{}
 	panicProc string
 }
 
 // NewEnv returns an empty environment with the clock at zero.
 func NewEnv() *Env {
-	return &Env{done: make(chan struct{})}
+	return &Env{done: make(chan struct{}), procs: make(map[int64]*Proc)}
 }
 
 // Now returns the current simulation time.
@@ -156,6 +167,54 @@ func (e *Env) RunAll() float64 {
 // Live returns the number of spawned processes that have not terminated.
 func (e *Env) Live() int { return e.nlive }
 
+// Terminated reports whether Shutdown has begun. Model code unwinding
+// during a shutdown can test this to distinguish an abrupt teardown (a
+// simulated crash: leave shared state frozen) from a normal completion.
+func (e *Env) Terminated() bool { return e.dead }
+
+// Shutdown terminates the simulation: every live process goroutine is
+// unwound (via a kill sentinel panic recovered in the spawn wrapper) and
+// all pending events are discarded. Without it, any process still parked
+// when Run stops at its time bound is a goroutine blocked forever — a
+// leak that compounds across repeated simulations in one OS process.
+//
+// Deferred functions of unwound processes do run; they may schedule events
+// (discarded) or block again (the process is simply killed again). The
+// environment must not be used after Shutdown. Calling Shutdown on an
+// already-drained or already-shut-down environment is a no-op.
+func (e *Env) Shutdown() {
+	if e.running {
+		panic("sim: Shutdown called from inside Run")
+	}
+	e.dead = true
+	for len(e.procs) > 0 {
+		// Kill in ascending id order so teardown is deterministic.
+		var victim *Proc
+		for _, p := range e.procs {
+			if victim == nil || p.id < victim.id {
+				victim = p
+			}
+		}
+		if !victim.started {
+			// Its start event never fired, so no goroutine exists yet.
+			e.nlive--
+			delete(e.procs, victim.id)
+			continue
+		}
+		// The goroutine is parked in yield's resume receive (the kernel is
+		// stopped, so no process is mid-run). Deliver the kill and wait for
+		// the wrapper's exit handshake. A process whose deferred functions
+		// block again re-enters e.procs-visible parked state and is killed
+		// again on the next iteration.
+		victim.resume <- errKilled
+		<-e.done
+	}
+	e.events = nil
+	if e.panicked != nil {
+		panic(fmt.Sprintf("sim: process %s panicked during shutdown: %v", e.panicProc, e.panicked))
+	}
+}
+
 // Proc is the handle a process function uses to interact with the kernel.
 // It is valid only inside the process function it was passed to.
 type Proc struct {
@@ -164,6 +223,10 @@ type Proc struct {
 	name string
 
 	resume chan error
+
+	// started flips once the start event fires and the goroutine exists;
+	// Shutdown must not deliver a kill to a process that was never started.
+	started bool
 
 	// cancel detaches the process from whatever waiter list it is parked
 	// on. It is set by interruptible blocking primitives and nil while the
@@ -194,16 +257,19 @@ func (e *Env) SpawnAt(t float64, name string, fn func(p *Proc)) *Proc {
 	e.procSeq++
 	p := &Proc{env: e, id: e.procSeq, name: name, resume: make(chan error)}
 	e.nlive++
-	started := false
+	e.procs[p.id] = p
 	e.schedule(t, func() {
-		started = true
+		p.started = true
 		go func() {
 			defer func() {
 				if r := recover(); r != nil {
-					e.panicked = r
-					e.panicProc = p.name
+					if _, killed := r.(killSentinel); !killed {
+						e.panicked = r
+						e.panicProc = p.name
+					}
 				}
 				e.nlive--
+				delete(e.procs, p.id)
 				e.done <- struct{}{}
 			}()
 			if err := <-p.resume; err != nil {
@@ -216,17 +282,21 @@ func (e *Env) SpawnAt(t float64, name string, fn func(p *Proc)) *Proc {
 		p.resume <- nil
 		<-e.done
 	})
-	_ = started
 	return p
 }
 
 // yield hands control from the running process back to the kernel and
 // blocks until some event resumes this process. The returned error is the
 // value passed to wake (nil for normal wakeups, an *InterruptError for
-// interrupts).
+// interrupts). A kill delivered by Shutdown never returns: it unwinds the
+// goroutine with a sentinel panic the spawn wrapper recovers.
 func (p *Proc) yield() error {
 	p.env.done <- struct{}{}
-	return <-p.resume
+	err := <-p.resume
+	if err == errKilled {
+		panic(killSentinel{})
+	}
+	return err
 }
 
 // wake schedules process p to resume at the current time with err as the

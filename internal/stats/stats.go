@@ -67,6 +67,39 @@ func (t *Tally) Sum() float64 { return t.mean * float64(t.n) }
 // Reset discards all observations.
 func (t *Tally) Reset() { *t = Tally{} }
 
+// CI95 returns the two-sided 95% Student-t confidence half-width around
+// Mean, treating the observations as independent (appropriate for
+// across-replication estimates, where each observation is one independent
+// run). It returns +Inf with fewer than two observations.
+func (t *Tally) CI95() float64 {
+	if t.n < 2 {
+		return math.Inf(1)
+	}
+	return TCrit95(t.n-1) * t.StdDev() / math.Sqrt(float64(t.n))
+}
+
+// tCrit95 holds two-sided 95% Student-t critical values for 1..30 degrees
+// of freedom.
+var tCrit95 = [30]float64{
+	12.706, 4.303, 3.182, 2.776, 2.571, 2.447, 2.365, 2.306, 2.262, 2.228,
+	2.201, 2.179, 2.160, 2.145, 2.131, 2.120, 2.110, 2.101, 2.093, 2.086,
+	2.080, 2.074, 2.069, 2.064, 2.060, 2.056, 2.052, 2.048, 2.045, 2.042,
+}
+
+// TCrit95 returns the two-sided 95% Student-t critical value for the given
+// degrees of freedom: exact to three decimals for df <= 30, and a smooth
+// monotone approximation decaying to the normal value 1.96 beyond that
+// (error under 0.5%). Non-positive df returns +Inf.
+func TCrit95(df int64) float64 {
+	if df < 1 {
+		return math.Inf(1)
+	}
+	if df <= 30 {
+		return tCrit95[df-1]
+	}
+	return 1.96 + (tCrit95[29]-1.96)*30/float64(df)
+}
+
 func (t *Tally) String() string {
 	return fmt.Sprintf("n=%d mean=%.4g sd=%.4g min=%.4g max=%.4g", t.n, t.Mean(), t.StdDev(), t.min, t.max)
 }

@@ -200,3 +200,61 @@ func TestBatchMeansFewBatches(t *testing.T) {
 		t.Fatal("one batch must give infinite half-width")
 	}
 }
+
+func TestTCrit95(t *testing.T) {
+	cases := []struct {
+		df   int64
+		want float64
+	}{
+		{1, 12.706}, {2, 4.303}, {9, 2.262}, {30, 2.042},
+	}
+	for _, c := range cases {
+		if got := TCrit95(c.df); math.Abs(got-c.want) > 1e-9 {
+			t.Errorf("TCrit95(%d) = %v, want %v", c.df, got, c.want)
+		}
+	}
+	if !math.IsInf(TCrit95(0), 1) || !math.IsInf(TCrit95(-3), 1) {
+		t.Error("non-positive df must give +Inf")
+	}
+	// Beyond the table: monotone decreasing toward the normal 1.96.
+	prev := TCrit95(30)
+	for _, df := range []int64{31, 40, 60, 120, 1000, 1 << 30} {
+		got := TCrit95(df)
+		if got >= prev || got < 1.96 {
+			t.Fatalf("TCrit95(%d) = %v, want in [1.96, %v)", df, got, prev)
+		}
+		prev = got
+	}
+	// 120 df is 1.980 in the standard table; the approximation stays close.
+	if got := TCrit95(120); math.Abs(got-1.980) > 0.01 {
+		t.Errorf("TCrit95(120) = %v, want ~1.980", got)
+	}
+}
+
+func TestTallyCI95(t *testing.T) {
+	var ta Tally
+	if !math.IsInf(ta.CI95(), 1) {
+		t.Fatal("empty tally must give +Inf half-width")
+	}
+	ta.Add(5)
+	if !math.IsInf(ta.CI95(), 1) {
+		t.Fatal("single observation must give +Inf half-width")
+	}
+	// {2,4,6}: mean 4, sample sd 2, se 2/sqrt(3), t(2) = 4.303.
+	var tb Tally
+	for _, x := range []float64{2, 4, 6} {
+		tb.Add(x)
+	}
+	want := 4.303 * 2 / math.Sqrt(3)
+	if got := tb.CI95(); math.Abs(got-want) > 1e-9 {
+		t.Fatalf("CI95 = %v, want %v", got, want)
+	}
+	// Identical observations: zero-width interval.
+	var tc Tally
+	for i := 0; i < 5; i++ {
+		tc.Add(3.5)
+	}
+	if got := tc.CI95(); got != 0 {
+		t.Fatalf("constant observations CI95 = %v, want 0", got)
+	}
+}

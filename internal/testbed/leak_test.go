@@ -1,0 +1,59 @@
+package testbed
+
+import (
+	"runtime"
+	"testing"
+	"time"
+)
+
+// TestRunLeavesNoGoroutines is the regression test for the goroutine leak:
+// System.Run used to return with every user/transaction process still
+// parked on its resume channel, so each completed run pinned its whole
+// process population forever. Run now shuts the simulation environment
+// down, so repeated runs must return the process count to baseline.
+func TestRunLeavesNoGoroutines(t *testing.T) {
+	cfg := twoNodeConfig(mb4Users(), 8, 7)
+	cfg.Warmup = 10_000
+	cfg.Duration = 60_000
+
+	// Warm up once so lazy runtime goroutines don't count against us.
+	sys, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sys.Run()
+
+	baseline := settledGoroutines()
+	const runs = 20
+	for i := 0; i < runs; i++ {
+		cfg.Seed = uint64(100 + i)
+		sys, err := New(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sys.Run()
+	}
+	after := settledGoroutines()
+	// Each leaked run pinned dozens of goroutines (users, transactions,
+	// servers), so any real regression blows well past this slack.
+	if after > baseline+5 {
+		t.Fatalf("goroutines grew from %d to %d over %d runs: System.Run leaks simulation processes",
+			baseline, after, runs)
+	}
+}
+
+// settledGoroutines samples runtime.NumGoroutine after letting exiting
+// goroutines finish their teardown.
+func settledGoroutines() int {
+	n := runtime.NumGoroutine()
+	for i := 0; i < 50; i++ {
+		runtime.GC()
+		time.Sleep(time.Millisecond)
+		m := runtime.NumGoroutine()
+		if m >= n {
+			return m
+		}
+		n = m
+	}
+	return n
+}

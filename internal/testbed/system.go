@@ -79,14 +79,21 @@ func New(cfg Config) (*System, error) {
 func (s *System) Env() *sim.Env { return s.env }
 
 // Run executes the configured warmup and measurement window and returns
-// the collected results.
+// the collected results. The simulation is torn down before returning:
+// stopping the clock at cfg.Duration parks every user process mid-flight,
+// and each parked process is a goroutine that would otherwise be blocked
+// forever — across a replicated sweep those leaks compound into thousands
+// of dead goroutines. The teardown models a crash: journal, store and the
+// in-flight transaction registry stay frozen for CrashRecover.
 func (s *System) Run() Results {
 	if s.cfg.Warmup > 0 {
 		s.env.Run(s.cfg.Warmup)
 	}
 	s.resetStats()
 	s.env.Run(s.cfg.Duration)
-	return s.collect()
+	res := s.collect()
+	s.env.Shutdown()
+	return res
 }
 
 // resetStats truncates all statistics at the current time (end of warmup).

@@ -80,6 +80,12 @@ func (u *user) attempt(p *sim.Proc) bool {
 	st := &txnState{gid: gid, kind: kind, home: home.id, activeNode: home.id, proc: p}
 	sys.reg[gid] = st
 	defer func() {
+		if sys.env.Terminated() {
+			// Shutdown is unwinding this process: the run ended with the
+			// transaction in flight. Leave it registered so CrashRecover
+			// sees the same frozen state a real crash would.
+			return
+		}
 		st.finished = true
 		delete(sys.reg, gid)
 	}()
