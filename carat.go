@@ -22,6 +22,8 @@ package carat
 
 import (
 	"fmt"
+	"strconv"
+	"strings"
 
 	"carat/internal/core"
 	"carat/internal/disk"
@@ -311,6 +313,159 @@ func (w Workload) WithNetworkDelay(alphaMS float64) Workload {
 	return w
 }
 
+// SiteCrash schedules one explicit crash in a FaultPlan: site Site loses
+// its volatile state at AtMS and begins restart recovery DownForMS later.
+type SiteCrash struct {
+	Site      int
+	AtMS      float64
+	DownForMS float64
+}
+
+// FaultPlan injects mid-run faults into simulator runs: site crashes
+// (explicit schedule and/or an exponential crash process), message loss and
+// extra delay on the inter-site network, and the protocol timeouts surviving
+// sites use to degrade gracefully. Fault timing is driven by a dedicated RNG
+// stream derived from Seed, so it is deterministic and independent of the
+// workload seed. A zero plan is fully inert. All times are milliseconds.
+type FaultPlan struct {
+	// Seed drives the fault RNG (zero selects a fixed default stream).
+	Seed uint64
+	// Crashes lists explicit crash/restart events.
+	Crashes []SiteCrash
+	// CrashMTTFMS > 0 adds a random crash process per site with this mean
+	// time to failure; each outage lasts an exponential time with mean
+	// CrashMTTRMS (default 5000) before restart recovery begins.
+	CrashMTTFMS float64
+	CrashMTTRMS float64
+	// MsgLossProb loses each inter-site message with this probability,
+	// adding MsgRetransmitMS (default 10) per retransmission.
+	MsgLossProb     float64
+	MsgRetransmitMS float64
+	// MsgExtraDelayProb adds, with this probability, an exponential extra
+	// delay of mean MsgExtraDelayMS (default 5) to an inter-site hop.
+	MsgExtraDelayProb float64
+	MsgExtraDelayMS   float64
+	// PrepareTimeoutMS bounds the 2PC coordinator's wait for PREPARE
+	// acknowledgments (presumed abort on expiry); zero disables it.
+	PrepareTimeoutMS float64
+	// LockWaitTimeoutMS bounds every lock wait; zero disables it.
+	LockWaitTimeoutMS float64
+	// RetryBackoffMS is how long a user whose slave site is down waits
+	// between submission attempts (default 500).
+	RetryBackoffMS float64
+}
+
+// WithFaults attaches a fault plan to the workload's simulator runs; the
+// analytical model ignores it. Availability metrics appear in
+// NodeMetrics and Measurement.
+func (w Workload) WithFaults(f FaultPlan) Workload {
+	fp := &testbed.FaultPlan{
+		Seed:              f.Seed,
+		CrashMTTFMS:       f.CrashMTTFMS,
+		CrashMTTRMS:       f.CrashMTTRMS,
+		MsgLossProb:       f.MsgLossProb,
+		MsgRetransmitMS:   f.MsgRetransmitMS,
+		MsgExtraDelayProb: f.MsgExtraDelayProb,
+		MsgExtraDelayMS:   f.MsgExtraDelayMS,
+		PrepareTimeoutMS:  f.PrepareTimeoutMS,
+		LockWaitTimeoutMS: f.LockWaitTimeoutMS,
+		RetryBackoffMS:    f.RetryBackoffMS,
+	}
+	for _, c := range f.Crashes {
+		fp.Crashes = append(fp.Crashes, testbed.SiteCrash{
+			Site: testbed.NodeID(c.Site), AtMS: c.AtMS, DownForMS: c.DownForMS,
+		})
+	}
+	w.w.Faults = fp
+	return w
+}
+
+// ParseFaultPlan parses the comma-separated key=value fault syntax shared
+// by the command-line tools (caratsim -faults, carattrace -faults):
+//
+//	crash=SITE@AT+DOWN  crash site SITE at AT ms for DOWN ms (repeatable)
+//	mttf=MS             random crashes: mean time to failure per site
+//	mttr=MS             mean outage before restart recovery (default 5000)
+//	loss=P              per-message loss probability in [0,1)
+//	retrans=MS          retransmission delay per lost message (default 10)
+//	delayp=P            probability of extra delay on a hop
+//	delayms=MS          mean of the extra exponential delay (default 5)
+//	prepto=MS           2PC prepare timeout (presumed abort on expiry)
+//	lockto=MS           lock wait timeout
+//	backoff=MS          user retry backoff while a slave site is down
+//	fseed=N             fault RNG seed (default: a fixed stream)
+func ParseFaultPlan(s string) (FaultPlan, error) {
+	var f FaultPlan
+	for _, part := range strings.Split(s, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		key, val, ok := strings.Cut(part, "=")
+		if !ok {
+			return f, fmt.Errorf("faults: %q is not key=value", part)
+		}
+		if key == "crash" {
+			rest, down, ok := strings.Cut(val, "+")
+			if !ok {
+				return f, fmt.Errorf("faults: crash wants SITE@AT+DOWN, got %q", val)
+			}
+			site, at, ok := strings.Cut(rest, "@")
+			if !ok {
+				return f, fmt.Errorf("faults: crash wants SITE@AT+DOWN, got %q", val)
+			}
+			sc := SiteCrash{}
+			var err error
+			if sc.Site, err = strconv.Atoi(site); err != nil {
+				return f, fmt.Errorf("faults: crash site %q: %w", site, err)
+			}
+			if sc.AtMS, err = strconv.ParseFloat(at, 64); err != nil {
+				return f, fmt.Errorf("faults: crash time %q: %w", at, err)
+			}
+			if sc.DownForMS, err = strconv.ParseFloat(down, 64); err != nil {
+				return f, fmt.Errorf("faults: crash duration %q: %w", down, err)
+			}
+			f.Crashes = append(f.Crashes, sc)
+			continue
+		}
+		if key == "fseed" {
+			n, err := strconv.ParseUint(val, 10, 64)
+			if err != nil {
+				return f, fmt.Errorf("faults: fseed %q: %w", val, err)
+			}
+			f.Seed = n
+			continue
+		}
+		x, err := strconv.ParseFloat(val, 64)
+		if err != nil {
+			return f, fmt.Errorf("faults: %s value %q: %w", key, val, err)
+		}
+		switch key {
+		case "mttf":
+			f.CrashMTTFMS = x
+		case "mttr":
+			f.CrashMTTRMS = x
+		case "loss":
+			f.MsgLossProb = x
+		case "retrans":
+			f.MsgRetransmitMS = x
+		case "delayp":
+			f.MsgExtraDelayProb = x
+		case "delayms":
+			f.MsgExtraDelayMS = x
+		case "prepto":
+			f.PrepareTimeoutMS = x
+		case "lockto":
+			f.LockWaitTimeoutMS = x
+		case "backoff":
+			f.RetryBackoffMS = x
+		default:
+			return f, fmt.Errorf("faults: unknown key %q", key)
+		}
+	}
+	return f, nil
+}
+
 // SimOptions controls a simulation run.
 type SimOptions struct {
 	// Seed makes runs reproducible; equal seeds give identical results.
@@ -388,6 +543,27 @@ type NodeMetrics struct {
 	// P95ResponseMS is the 95th-percentile response time per type in ms
 	// (simulation only).
 	P95ResponseMS map[TxnType]float64
+
+	// Availability metrics (simulation only; all zero without WithFaults).
+
+	// Crashes counts this site's crashes in the window, and DowntimeMS the
+	// total time it was down; Availability is 1 - DowntimeMS/WindowMS.
+	Crashes      int64
+	DowntimeMS   float64
+	Availability float64
+	// CrashAborts and TimeoutAborts count aborted submissions of
+	// transactions homed here, by cause (deadlock aborts are in Deadlocks).
+	CrashAborts   int64
+	TimeoutAborts int64
+	// InDoubtCommitted and InDoubtAborted count prepared 2PC branches this
+	// site resolved during restart recovery.
+	InDoubtCommitted int64
+	InDoubtAborted   int64
+	// MessagesLost counts lost (and retransmitted) messages leaving here.
+	MessagesLost int64
+	// DegradedCommits counts commits recorded here while some site was
+	// down — the goodput under partial outage.
+	DegradedCommits int64
 }
 
 // DemandBreakdown decomposes one transaction type's commit cycle into the
@@ -420,6 +596,9 @@ type Measurement struct {
 	Nodes []NodeMetrics
 	// WindowMS is the measurement window length.
 	WindowMS float64
+	// DegradedMS is the time within the window during which at least one
+	// site was down (zero without WithFaults).
+	DegradedMS float64
 }
 
 // Comparison pairs the two for one workload.
@@ -494,7 +673,7 @@ func Simulate(w Workload, opts SimOptions) (*Measurement, error) {
 }
 
 func measurementFrom(res testbed.Results) *Measurement {
-	m := &Measurement{WindowMS: res.Window}
+	m := &Measurement{WindowMS: res.Window, DegradedMS: res.DegradedMS}
 	for _, n := range res.Nodes {
 		nm := NodeMetrics{
 			TxnPerSec:            n.TotalTxnThroughput,
@@ -508,6 +687,15 @@ func measurementFrom(res testbed.Results) *Measurement {
 			SubmissionsPerCommit: map[TxnType]float64{},
 			TxnPerSecCI:          map[TxnType]float64{},
 			P95ResponseMS:        map[TxnType]float64{},
+			Crashes:              n.Crashes,
+			DowntimeMS:           n.DowntimeMS,
+			Availability:         n.Availability,
+			CrashAborts:          n.CrashAborts,
+			TimeoutAborts:        n.TimeoutAborts,
+			InDoubtCommitted:     n.InDoubtCommitted,
+			InDoubtAborted:       n.InDoubtAborted,
+			MessagesLost:         n.MessagesLost,
+			DegradedCommits:      n.DegradedCommits,
 		}
 		for _, k := range []testbed.TxnKind{testbed.LRO, testbed.LU, testbed.DRO, testbed.DU} {
 			tt := TxnType(k.String())

@@ -6,6 +6,21 @@
 //
 //	caratsim [-workload MB4] [-n 8] [-seed 1] [-minutes 60] [-logdisk] ...
 //	caratsim -workload MB4 -sweep -reps 8 -workers 4   # mean ±95% CI per point
+//	caratsim -workload MB4 -faults 'crash=1@60000+10000,lockto=5000'
+//
+// The -faults argument is a comma-separated list of key=value settings:
+//
+//	crash=SITE@AT+DOWN  crash site SITE at AT ms for DOWN ms (repeatable)
+//	mttf=MS             random crashes: mean time to failure per site
+//	mttr=MS             mean outage before restart recovery (default 5000)
+//	loss=P              per-message loss probability in [0,1)
+//	retrans=MS          retransmission delay per lost message (default 10)
+//	delayp=P            probability of extra delay on a hop
+//	delayms=MS          mean of the extra exponential delay (default 5)
+//	prepto=MS           2PC prepare timeout (presumed abort on expiry)
+//	lockto=MS           lock wait timeout
+//	backoff=MS          user retry backoff while a slave site is down
+//	fseed=N             fault RNG seed (default: fixed stream)
 package main
 
 import (
@@ -35,9 +50,20 @@ func main() {
 		cc      = flag.String("cc", "2PL", "concurrency control: 2PL, wait-die, wound-wait, timestamp-ordering")
 		reps    = flag.Int("reps", 1, "independent replications per point; >1 reports mean ±95% CI")
 		workers = flag.Int("workers", 0, "parallel simulation workers for -reps (0 = GOMAXPROCS)")
+		faults  = flag.String("faults", "", "fault plan, e.g. 'crash=1@60000+10000,lockto=5000' (see doc comment)")
 		asJSON  = flag.Bool("json", false, "emit measurements as JSON")
 	)
 	flag.Parse()
+
+	var faultPlan *carat.FaultPlan
+	if *faults != "" {
+		fp, err := carat.ParseFaultPlan(*faults)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		faultPlan = &fp
+	}
 
 	ns := []int{*n}
 	if *sweep {
@@ -79,6 +105,9 @@ func main() {
 			wl = wl.WithHotspot(*hot, *hotfrac)
 		}
 		wl = wl.WithConcurrencyControl(carat.ConcurrencyControl(*cc))
+		if faultPlan != nil {
+			wl = wl.WithFaults(*faultPlan)
+		}
 		if *reps > 1 {
 			runReplicated(wl, size, opts, *asJSON)
 			continue
@@ -113,6 +142,20 @@ func main() {
 						ty, x, node.TxnPerSecCI[ty], node.MeanResponseMS[ty], node.P95ResponseMS[ty])
 				}
 			}
+			if faultPlan != nil {
+				fmt.Printf("    avail %.4f  crashes %d  down %.0f ms  aborts crash/timeout %d/%d  in-doubt C/A %d/%d  lost msgs %d\n",
+					node.Availability, node.Crashes, node.DowntimeMS,
+					node.CrashAborts, node.TimeoutAborts,
+					node.InDoubtCommitted, node.InDoubtAborted, node.MessagesLost)
+			}
+		}
+		if faultPlan != nil {
+			var degraded int64
+			for _, node := range meas.Nodes {
+				degraded += node.DegradedCommits
+			}
+			fmt.Printf("  degraded: %.0f ms with a site down, %d commits during outages\n",
+				meas.DegradedMS, degraded)
 		}
 		fmt.Println()
 	}

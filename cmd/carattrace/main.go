@@ -8,8 +8,11 @@
 // Usage:
 //
 //	carattrace [-workload MB4] [-n 8] [-seconds 30] [-txn 17] [-cc 2PL]
+//	carattrace -faults 'crash=1@10000+5000,lockto=8000' -seconds 30
 //
-// With -txn only that transaction's events print.
+// With -txn only that transaction's events print. With -faults (same
+// syntax as caratsim; see carat.ParseFaultPlan) the stream also carries
+// the site-level crash, restart and timeout-abort events.
 package main
 
 import (
@@ -29,6 +32,7 @@ func main() {
 		txn     = flag.Int64("txn", 0, "print only this transaction id (0 = all)")
 		cc      = flag.String("cc", "2PL", "concurrency control: 2PL, wait-die, wound-wait, timestamp-ordering")
 		dbsize  = flag.Int("dbsize", 0, "database blocks per site (0 = paper's 3000)")
+		faults  = flag.String("faults", "", "fault plan, e.g. 'crash=1@10000+5000,lockto=8000' (caratsim syntax)")
 	)
 	flag.Parse()
 
@@ -40,6 +44,14 @@ func main() {
 	wl = wl.WithConcurrencyControl(carat.ConcurrencyControl(*cc))
 	if *dbsize > 0 {
 		wl = wl.WithDatabaseSize(*dbsize)
+	}
+	if *faults != "" {
+		fp, err := carat.ParseFaultPlan(*faults)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		wl = wl.WithFaults(fp)
 	}
 	opts := carat.SimOptions{Seed: *seed, WarmupMS: 1, DurationMS: *seconds * 1000}
 

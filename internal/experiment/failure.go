@@ -1,0 +1,63 @@
+package experiment
+
+import (
+	"fmt"
+
+	"carat/internal/testbed"
+	"carat/internal/workload"
+)
+
+// FailurePoint is one point of a failure sweep: the workload simulated under
+// a crash process with the given mean time to failure.
+type FailurePoint struct {
+	// MTTFMS is the per-site mean time to failure at this point (0 is the
+	// fault-free baseline).
+	MTTFMS float64
+	// Results is the full simulator measurement.
+	Results testbed.Results
+	// TxnPerSec is the system-wide commit rate (goodput) in txn/s.
+	TxnPerSec float64
+	// Availability is the mean per-site availability over the window.
+	Availability float64
+	// System-wide abort and recovery counts.
+	Crashes          int64
+	CrashAborts      int64
+	TimeoutAborts    int64
+	InDoubtCommitted int64
+	InDoubtAborted   int64
+}
+
+// FailureSweep simulates the workload at fixed transaction size under an
+// increasing crash rate: for each mean time to failure the plan's
+// CrashMTTFMS is overridden and the simulator run with opts. An MTTF of 0
+// disables the random crash process at that point — with an otherwise-zero
+// plan, that point is the fault-free baseline the degraded points compare
+// against. The plan's timeouts, message faults and explicit crashes apply at
+// every point.
+func FailureSweep(wl workload.Workload, mttfs []float64, plan testbed.FaultPlan, opts SimOptions) ([]FailurePoint, error) {
+	out := make([]FailurePoint, 0, len(mttfs))
+	for _, mttf := range mttfs {
+		p := plan
+		p.CrashMTTFMS = mttf
+		wl := wl
+		wl.Faults = &p
+		cfg := wl.TestbedConfig(opts.Seed, opts.Warmup, opts.Duration)
+		sys, err := testbed.New(cfg)
+		if err != nil {
+			return nil, fmt.Errorf("experiment: failure sweep mttf=%v: %w", mttf, err)
+		}
+		res := sys.Run()
+		fp := FailurePoint{MTTFMS: mttf, Results: res}
+		for _, n := range res.Nodes {
+			fp.TxnPerSec += n.TotalTxnThroughput
+			fp.Availability += n.Availability / float64(len(res.Nodes))
+			fp.Crashes += n.Crashes
+			fp.CrashAborts += n.CrashAborts
+			fp.TimeoutAborts += n.TimeoutAborts
+			fp.InDoubtCommitted += n.InDoubtCommitted
+			fp.InDoubtAborted += n.InDoubtAborted
+		}
+		out = append(out, fp)
+	}
+	return out, nil
+}

@@ -75,7 +75,7 @@ func TestShutdownRekillsReparkedProcess(t *testing.T) {
 	q2 := NewQueue[int](e, "q2")
 	e.Spawn("stubborn", func(p *Proc) {
 		defer func() {
-			recover() // swallow the first kill...
+			recover()        // swallow the first kill...
 			_, _ = q2.Get(p) // ...and park again
 		}()
 		_, _ = q1.Get(p)

@@ -26,6 +26,10 @@ import (
 // TxnKind is one of the four workload transaction types (Section 2).
 type TxnKind int
 
+// KindNone tags trace events not tied to a transaction (site crash and
+// restart events).
+const KindNone TxnKind = -1
+
 const (
 	// LRO is a local read-only transaction.
 	LRO TxnKind = iota
@@ -40,6 +44,8 @@ const (
 // String returns the paper's abbreviation for the kind.
 func (k TxnKind) String() string {
 	switch k {
+	case KindNone:
+		return "-"
 	case LRO:
 		return "LRO"
 	case LU:
@@ -308,6 +314,11 @@ type Config struct {
 	// Tracing is synchronous and can slow long runs; intended for protocol
 	// validation and debugging.
 	Trace func(TraceEvent)
+
+	// Faults, when non-nil and active, injects site crashes, message loss
+	// and protocol timeouts into the run (see FaultPlan). A nil or zero
+	// plan leaves the simulation byte-identical to a fault-free build.
+	Faults *FaultPlan
 }
 
 // Validate checks the configuration and fills defaults in place.
@@ -384,6 +395,11 @@ func (c *Config) Validate() error {
 	}
 	if c.Params.Costs == nil {
 		c.Params = DefaultParams(len(c.Nodes))
+	}
+	if c.Faults != nil {
+		if err := c.Faults.validate(len(c.Nodes)); err != nil {
+			return err
+		}
 	}
 	return nil
 }

@@ -1,0 +1,387 @@
+package testbed
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+
+	"carat/internal/disk"
+	"carat/internal/rng"
+	"carat/internal/sim"
+	"carat/internal/wal"
+)
+
+// Fault causes delivered to transactions doomed by the fault injector.
+// errDeadlockVictim (system.go) completes the abort-cause taxonomy.
+var (
+	// errSiteCrash dooms every transaction with a crashed participant site.
+	errSiteCrash = errors.New("testbed: participant site crashed")
+	// errLockTimeout aborts a transaction whose lock wait exceeded the
+	// plan's bound.
+	errLockTimeout = errors.New("testbed: lock wait timed out")
+	// errPrepareTimeout aborts a two-phase commit whose prepare
+	// acknowledgments did not all arrive in time (presumed abort).
+	errPrepareTimeout = errors.New("testbed: 2PC prepare timed out")
+)
+
+// SiteCrash schedules one explicit crash: site Site loses volatile state at
+// AtMS and begins restart recovery DownForMS later.
+type SiteCrash struct {
+	Site      NodeID
+	AtMS      float64
+	DownForMS float64
+}
+
+// FaultPlan injects mid-run faults into a simulation: site crashes (explicit
+// schedule and/or an exponential crash process), message loss and extra
+// delay on the inter-site network, and the protocol timeouts surviving sites
+// use to degrade gracefully instead of wedging.
+//
+// Fault timing is driven by a dedicated RNG stream derived from Seed, so it
+// is deterministic and independent of the workload seed: the same plan
+// crashes the same sites at the same instants whatever workload runs under
+// it. A nil or zero plan is fully inert — the simulation is byte-identical
+// to one configured without it.
+type FaultPlan struct {
+	// Seed drives the fault RNG streams (crash timing, message faults).
+	// Zero selects a fixed default stream, still independent of the
+	// workload seed.
+	Seed uint64
+
+	// Crashes lists explicit crash/restart events. A crash while the site
+	// is already down is ignored.
+	Crashes []SiteCrash
+
+	// CrashMTTFMS > 0 adds a random crash process per site: time to the
+	// next crash is exponential with this mean, and each outage lasts an
+	// exponential time with mean CrashMTTRMS (default 5000 ms) before
+	// restart recovery begins.
+	CrashMTTFMS float64
+	CrashMTTRMS float64
+
+	// MsgLossProb is the per-message loss probability on inter-site hops;
+	// each loss adds MsgRetransmitMS (default 10 ms) to the delivery delay
+	// and the message is re-sent (geometric retransmission).
+	MsgLossProb     float64
+	MsgRetransmitMS float64
+
+	// MsgExtraDelayProb adds, with this probability, an exponential extra
+	// delay of mean MsgExtraDelayMS (default 5 ms) to an inter-site hop.
+	MsgExtraDelayProb float64
+	MsgExtraDelayMS   float64
+
+	// PrepareTimeoutMS bounds the coordinator's wait for PREPARE
+	// acknowledgments; on expiry the transaction is aborted under presumed
+	// abort. Zero disables the timeout (crashed slaves still fail fast via
+	// the crash notification).
+	PrepareTimeoutMS float64
+
+	// LockWaitTimeoutMS bounds every lock wait; a transaction blocked
+	// longer is aborted with a timeout cause. Zero disables it.
+	LockWaitTimeoutMS float64
+
+	// RetryBackoffMS is how long a user whose slave site is down waits
+	// between submission attempts (default 500 ms). Users homed at a down
+	// site park until its restart completes instead.
+	RetryBackoffMS float64
+}
+
+// Active reports whether the plan injects anything at all.
+func (f *FaultPlan) Active() bool {
+	if f == nil {
+		return false
+	}
+	return len(f.Crashes) > 0 || f.CrashMTTFMS > 0 ||
+		f.MsgLossProb > 0 || f.MsgExtraDelayProb > 0 ||
+		f.PrepareTimeoutMS > 0 || f.LockWaitTimeoutMS > 0
+}
+
+// validate checks the plan against the node count and fills scalar defaults
+// in place. The Crashes slice is never mutated (plans may be shared across
+// replications; TestbedConfig hands each run its own scalar copy).
+func (f *FaultPlan) validate(nodes int) error {
+	for i, c := range f.Crashes {
+		if int(c.Site) < 0 || int(c.Site) >= nodes {
+			return fmt.Errorf("testbed: fault plan crash %d: site %d out of range", i, c.Site)
+		}
+		if c.AtMS < 0 {
+			return fmt.Errorf("testbed: fault plan crash %d: negative time %v", i, c.AtMS)
+		}
+		if c.DownForMS <= 0 {
+			return fmt.Errorf("testbed: fault plan crash %d: DownForMS must be positive", i)
+		}
+	}
+	if f.CrashMTTFMS < 0 || f.CrashMTTRMS < 0 {
+		return fmt.Errorf("testbed: fault plan MTTF/MTTR must be non-negative")
+	}
+	if f.MsgLossProb < 0 || f.MsgLossProb >= 1 {
+		return fmt.Errorf("testbed: fault plan MsgLossProb %v out of [0,1)", f.MsgLossProb)
+	}
+	if f.MsgExtraDelayProb < 0 || f.MsgExtraDelayProb > 1 {
+		return fmt.Errorf("testbed: fault plan MsgExtraDelayProb %v out of [0,1]", f.MsgExtraDelayProb)
+	}
+	if f.PrepareTimeoutMS < 0 || f.LockWaitTimeoutMS < 0 {
+		return fmt.Errorf("testbed: fault plan timeouts must be non-negative")
+	}
+	if f.CrashMTTFMS > 0 && f.CrashMTTRMS == 0 {
+		f.CrashMTTRMS = 5000
+	}
+	if f.MsgRetransmitMS <= 0 {
+		f.MsgRetransmitMS = 10
+	}
+	if f.MsgExtraDelayMS <= 0 {
+		f.MsgExtraDelayMS = 5
+	}
+	if f.RetryBackoffMS <= 0 {
+		f.RetryBackoffMS = 500
+	}
+	return nil
+}
+
+// interruptCause extracts the cause of a sim interrupt delivered to a parked
+// process, distinguishing fault-injected aborts (crash, timeout) from
+// deadlock kills.
+func interruptCause(err error) (error, bool) {
+	var ie *sim.InterruptError
+	if errors.As(err, &ie) {
+		return ie.Cause, true
+	}
+	return nil, false
+}
+
+// faultStreamSalt separates the fault RNG universe from every workload
+// stream (workload substreams are Split off rng.New(cfg.Seed) directly).
+const faultStreamSalt = 0xFA5E17
+
+// faultState is the per-run fault injector: the validated plan plus its
+// dedicated RNG substreams (one for message faults, one per site for crash
+// timing), all derived from the plan seed alone.
+type faultState struct {
+	plan     FaultPlan
+	msgRnd   *rng.Rand
+	crashRnd []*rng.Rand
+}
+
+// initFaults installs an active fault plan: RNG streams are derived and the
+// initial crash events scheduled. Called from New before user processes are
+// spawned, so the event order at time zero is fixed.
+func (s *System) initFaults(plan FaultPlan) {
+	seed := plan.Seed
+	if seed == 0 {
+		seed = 0x9E3779B97F4A7C15
+	}
+	root := rng.New(rng.SeedStream(seed, faultStreamSalt))
+	f := &faultState{plan: plan, msgRnd: root.Split(1)}
+	for i := range s.nodes {
+		f.crashRnd = append(f.crashRnd, root.Split(uint64(1000+i)))
+	}
+	s.faults = f
+	for _, c := range plan.Crashes {
+		c := c
+		s.env.At(c.AtMS, func() { s.crashSite(c.Site, c.DownForMS) })
+	}
+	if plan.CrashMTTFMS > 0 {
+		for i := range s.nodes {
+			s.scheduleRandomCrash(NodeID(i))
+		}
+	}
+}
+
+// scheduleRandomCrash draws the site's next (crash time, outage length) pair
+// from its dedicated stream and schedules the crash. Both values are drawn
+// now, so each site's crash schedule is a fixed function of the plan seed.
+func (s *System) scheduleRandomCrash(id NodeID) {
+	f := s.faults
+	at := f.crashRnd[id].Exp(f.plan.CrashMTTFMS)
+	down := f.crashRnd[id].Exp(f.plan.CrashMTTRMS)
+	if down < 1 {
+		down = 1
+	}
+	s.env.After(at, func() { s.crashSite(id, down) })
+}
+
+// msgPenalty returns the extra delay fault injection adds to one inter-site
+// hop leaving node from: geometric retransmissions for lost messages plus an
+// occasional exponential extra delay.
+func (s *System) msgPenalty(from NodeID) float64 {
+	f := s.faults
+	var extra float64
+	if f.plan.MsgLossProb > 0 {
+		for f.msgRnd.Bool(f.plan.MsgLossProb) {
+			s.nodes[from].msgsLost.Inc()
+			extra += f.plan.MsgRetransmitMS
+		}
+	}
+	if f.plan.MsgExtraDelayProb > 0 && f.msgRnd.Bool(f.plan.MsgExtraDelayProb) {
+		extra += f.msgRnd.Exp(f.plan.MsgExtraDelayMS)
+	}
+	return extra
+}
+
+// crashSite fails a site: its volatile state (lock table, timestamp state,
+// probe detector, pending grants) is lost, every in-flight transaction with
+// the site among its participants is doomed with a crash cause, and restart
+// recovery is scheduled downFor later. A crash while the site is already
+// down is ignored.
+func (s *System) crashSite(id NodeID, downFor float64) {
+	nd := s.nodes[id]
+	if nd.down {
+		return
+	}
+	nd.crashes.Inc()
+	s.markDown(nd)
+	s.trace(-1, KindNone, id, EvCrash, -1)
+
+	// Doom in ascending gid order so the interleaving of victim wakeups is
+	// deterministic (s.reg is a map).
+	gids := make([]int64, 0, len(s.reg))
+	for gid := range s.reg {
+		gids = append(gids, gid)
+	}
+	sort.Slice(gids, func(i, j int) bool { return gids[i] < gids[j] })
+	for _, gid := range gids {
+		st := s.reg[gid]
+		if st.finished || !st.hasParticipant(id) {
+			continue
+		}
+		if !st.doomed {
+			st.doomed = true
+			st.cause = errSiteCrash
+		}
+		if st.parked {
+			// Only lock waits are force-interrupted (mirroring killTxn);
+			// anything else notices the doom at its next phase boundary.
+			st.proc.Interrupt(errSiteCrash)
+		}
+	}
+	nd.wipeVolatile()
+	s.env.After(downFor, func() { s.restartSite(id) })
+}
+
+// restartSite spawns the site's restart recovery process: WAL recovery
+// undoes the losers (charging the undo I/O), in-doubt two-phase-commit
+// branches are resolved against the coordinators' durable logs, and the
+// site rejoins. The site counts as down until recovery completes.
+func (s *System) restartSite(id NodeID) {
+	nd := s.nodes[id]
+	s.env.Spawn(fmt.Sprintf("recover-%d", id), func(p *sim.Proc) {
+		costs := s.cfg.Params.CostsFor(id, LU)
+		undo := durableLoserBlocks(nd.journal)
+		losers, inDoubt := nd.journal.Recover(nd.store)
+		_ = losers
+		for _, g := range undo {
+			g := g
+			mustUse(nd, p, func() error { return nd.cpu.Use(p, costs.DMIOCPU) })
+			mustUse(nd, p, func() error { return nd.dbDiskFor(g).Do(p, disk.Write, g) })
+		}
+		for _, gid := range inDoubt {
+			commit := s.coordinatorCommitted(gid)
+			if commit {
+				mustUse(nd, p, func() error { return nd.logDisk.Do(p, disk.ForceWrite, 0) })
+				nd.inDoubtCommit.Inc()
+			} else {
+				k := nd.journal.BeforeImageCount(gid)
+				for i := 0; i < k; i++ {
+					mustUse(nd, p, func() error { return nd.cpu.Use(p, costs.DMIOCPU) })
+					mustUse(nd, p, func() error { return nd.dbDiskFor(0).Do(p, disk.Write, 0) })
+				}
+				nd.inDoubtAbort.Inc()
+			}
+			nd.journal.ResolveInDoubt(gid, commit, nd.store)
+		}
+		s.markUp(nd)
+		s.trace(-1, KindNone, id, EvRestart, -1)
+		if s.faults.plan.CrashMTTFMS > 0 {
+			s.scheduleRandomCrash(id)
+		}
+	})
+}
+
+// markDown flags the node down and starts the downtime/degraded clocks.
+func (s *System) markDown(nd *node) {
+	nd.down = true
+	nd.downSince = s.env.Now()
+	if nd.upEv == nil {
+		nd.upEv = sim.NewEvent(s.env, fmt.Sprintf("up-%d", nd.id))
+	}
+	if s.downCount == 0 {
+		s.degradedSince = s.env.Now()
+	}
+	s.downCount++
+}
+
+// markUp flags the node up again, settles the downtime/degraded clocks and
+// releases users parked on the restart.
+func (s *System) markUp(nd *node) {
+	now := s.env.Now()
+	nd.down = false
+	nd.downtimeMS += now - nd.downSince
+	s.downCount--
+	if s.downCount == 0 {
+		s.degradedMS += now - s.degradedSince
+	}
+	if nd.upEv != nil {
+		nd.upEv.Trigger(nil)
+		nd.upEv = nil
+	}
+}
+
+// durableLoserBlocks returns the blocks restart recovery will undo, in undo
+// order: the durable before-images of every transaction with neither a
+// durable resolution nor a durable prepared record. It mirrors wal.Recover's
+// loser selection so the restart process can charge the undo I/O.
+func durableLoserBlocks(l *wal.Log) []int {
+	flushed := l.FlushedLSN()
+	recs := l.Records()
+	resolved := make(map[int64]bool)
+	prepared := make(map[int64]bool)
+	for _, r := range recs {
+		if r.LSN > flushed {
+			continue
+		}
+		switch r.Kind {
+		case wal.Commit, wal.Abort:
+			resolved[r.Txn] = true
+		case wal.Prepared:
+			prepared[r.Txn] = true
+		}
+	}
+	var blocks []int
+	for i := len(recs) - 1; i >= 0; i-- {
+		r := recs[i]
+		if r.Kind == wal.BeforeImage && r.LSN <= flushed && !resolved[r.Txn] && !prepared[r.Txn] {
+			blocks = append(blocks, r.Block)
+		}
+	}
+	return blocks
+}
+
+// hasParticipant reports whether the site participates in the transaction.
+func (st *txnState) hasParticipant(id NodeID) bool {
+	for _, p := range st.parts {
+		if p == id {
+			return true
+		}
+	}
+	return false
+}
+
+// awaitFaults is the degraded-mode throttle in the user's retry loop: a user
+// homed at a down site parks until its restart completes; a user whose slave
+// site is down backs off before retrying, so outages do not spin the closed
+// loop. No-op while every relevant site is up.
+func (u *user) awaitFaults(p *sim.Proc) {
+	sys := u.sys
+	home := sys.nodes[u.spec.Home]
+	for home.down && home.upEv != nil {
+		if err := home.upEv.Wait(p); err != nil {
+			return
+		}
+	}
+	for _, r := range u.spec.RemoteSites() {
+		if sys.nodes[r].down {
+			p.Hold(sys.faults.plan.RetryBackoffMS)
+			return
+		}
+	}
+}

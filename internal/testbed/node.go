@@ -40,6 +40,13 @@ type node struct {
 	// triggers it.
 	grantEv map[lock.TxnID]*sim.Event
 
+	// Fault state: down is true from a crash until its restart recovery
+	// completes; upEv (non-nil only while down) releases users parked on
+	// the restart.
+	down      bool
+	downSince float64
+	upEv      *sim.Event
+
 	// Measurement state.
 	commitRate  map[TxnKind]*stats.WindowedRate // non-nil after warmup
 	commits     map[TxnKind]*stats.Counter
@@ -51,6 +58,16 @@ type node struct {
 	deadlocks   stats.Counter
 	globalDead  stats.Counter
 	msgs        stats.Counter
+
+	// Availability measurement state (fault-injection runs).
+	crashes         stats.Counter
+	crashAborts     stats.Counter // aborts of txns homed here caused by a participant crash
+	timeoutAborts   stats.Counter // aborts of txns homed here caused by lock/prepare timeouts
+	inDoubtCommit   stats.Counter // in-doubt branches resolved to commit at restart
+	inDoubtAbort    stats.Counter // in-doubt branches resolved to abort at restart
+	msgsLost        stats.Counter // messages lost (and retransmitted) leaving this node
+	degradedCommits stats.Counter // commits recorded here while some site was down
+	downtimeMS      float64
 }
 
 func newNode(sys *System, id NodeID, cfg NodeConfig, layout storage.Layout, r *rng.Rand) *node {
@@ -78,14 +95,7 @@ func newNode(sys *System, id NodeID, cfg NodeConfig, layout storage.Layout, r *r
 	} else {
 		n.logDisk = n.dbDisks[0]
 	}
-	discipline := lock.Detect
-	switch sys.cfg.Concurrency {
-	case CCWaitDie:
-		discipline = lock.WaitDie
-	case CCWoundWait:
-		discipline = lock.WoundWait
-	}
-	n.locks = lock.NewManagerWithDiscipline(discipline, lock.VictimRequester, n.onGrant)
+	n.locks = lock.NewManagerWithDiscipline(sys.lockDiscipline(), lock.VictimRequester, n.onGrant)
 	n.tso = tso.NewManager()
 	n.detector = probe.NewDetector(probe.SiteID(id), (*probeHost)(n))
 	for _, k := range []TxnKind{LRO, LU, DRO, DU} {
@@ -96,6 +106,29 @@ func newNode(sys *System, id NodeID, cfg NodeConfig, layout storage.Layout, r *r
 		n.submissions[k] = &stats.Counter{}
 	}
 	return n
+}
+
+// lockDiscipline maps the configured concurrency protocol to the lock
+// manager's discipline.
+func (s *System) lockDiscipline() lock.Discipline {
+	switch s.cfg.Concurrency {
+	case CCWaitDie:
+		return lock.WaitDie
+	case CCWoundWait:
+		return lock.WoundWait
+	default:
+		return lock.Detect
+	}
+}
+
+// wipeVolatile models the loss of the site's volatile memory at a crash:
+// the lock table, timestamp bookkeeping, probe detector state and pending
+// lock grants are gone. The journal and store survive (stable storage).
+func (n *node) wipeVolatile() {
+	n.locks = lock.NewManagerWithDiscipline(n.sys.lockDiscipline(), lock.VictimRequester, n.onGrant)
+	n.tso = tso.NewManager()
+	n.detector = probe.NewDetector(probe.SiteID(n.id), (*probeHost)(n))
+	n.grantEv = make(map[lock.TxnID]*sim.Event)
 }
 
 // onGrant wakes the process parked on a lock wait at this site.
@@ -123,6 +156,9 @@ func (n *node) recordCommit(k TxnKind, t float64) {
 	n.commits[k].Inc()
 	if wr, ok := n.commitRate[k]; ok {
 		wr.Add(t)
+	}
+	if n.sys.downCount > 0 {
+		n.degradedCommits.Inc()
 	}
 }
 
@@ -184,6 +220,17 @@ func (n *node) resetStats(t float64) {
 	n.deadlocks.ResetAt(t)
 	n.globalDead.ResetAt(t)
 	n.msgs.ResetAt(t)
+	n.crashes.ResetAt(t)
+	n.crashAborts.ResetAt(t)
+	n.timeoutAborts.ResetAt(t)
+	n.inDoubtCommit.ResetAt(t)
+	n.inDoubtAbort.ResetAt(t)
+	n.msgsLost.ResetAt(t)
+	n.degradedCommits.ResetAt(t)
+	n.downtimeMS = 0
+	if n.down {
+		n.downSince = t
+	}
 }
 
 // probeHost adapts a node to the probe.Host interface.

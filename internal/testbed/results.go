@@ -50,6 +50,30 @@ type NodeResults struct {
 	LockWaits int64
 	// Messages counts protocol messages sent or received by this node.
 	Messages int64
+
+	// Availability measurements (all zero without an active fault plan).
+
+	// Crashes counts this site's crashes in the window.
+	Crashes int64
+	// DowntimeMS is the site's total time down (crash until restart
+	// recovery completed) within the window, in ms.
+	DowntimeMS float64
+	// Availability is 1 - DowntimeMS/Window.
+	Availability float64
+	// CrashAborts and TimeoutAborts count aborted submissions of
+	// transactions homed here, by cause (deadlock aborts are counted by
+	// LocalDeadlocks/GlobalDeadlocks).
+	CrashAborts   int64
+	TimeoutAborts int64
+	// InDoubtCommitted and InDoubtAborted count prepared two-phase-commit
+	// branches this site resolved during restart recovery.
+	InDoubtCommitted int64
+	InDoubtAborted   int64
+	// MessagesLost counts lost (and retransmitted) messages leaving here.
+	MessagesLost int64
+	// DegradedCommits counts commits recorded at this site while at least
+	// one site in the system was down — the goodput under partial outage.
+	DegradedCommits int64
 }
 
 // Results is a full measurement run.
@@ -57,6 +81,9 @@ type Results struct {
 	Nodes []NodeResults
 	// Window is the measurement window length in ms.
 	Window float64
+	// DegradedMS is the time within the window during which at least one
+	// site was down (zero without an active fault plan).
+	DegradedMS float64
 }
 
 // collect snapshots every node's statistics at the current time.
@@ -103,7 +130,26 @@ func (s *System) collect() Results {
 		nr.MeanLockWait = n.lockWaits.Mean()
 		nr.LockWaits = n.lockWaits.N()
 		nr.Messages = n.msgs.N()
+		nr.Crashes = n.crashes.N()
+		nr.DowntimeMS = n.downtimeMS
+		if n.down {
+			nr.DowntimeMS += t - n.downSince
+		}
+		nr.Availability = 1
+		if res.Window > 0 {
+			nr.Availability = 1 - nr.DowntimeMS/res.Window
+		}
+		nr.CrashAborts = n.crashAborts.N()
+		nr.TimeoutAborts = n.timeoutAborts.N()
+		nr.InDoubtCommitted = n.inDoubtCommit.N()
+		nr.InDoubtAborted = n.inDoubtAbort.N()
+		nr.MessagesLost = n.msgsLost.N()
+		nr.DegradedCommits = n.degradedCommits.N()
 		res.Nodes = append(res.Nodes, nr)
+	}
+	res.DegradedMS = s.degradedMS
+	if s.downCount > 0 {
+		res.DegradedMS += t - s.degradedSince
 	}
 	return res
 }

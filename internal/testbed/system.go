@@ -33,6 +33,12 @@ type txnState struct {
 	// transaction may no longer be wounded or killed (under 2PL it holds
 	// every lock it needs, so it cannot be on any deadlock cycle).
 	committing bool
+	// cause records why the transaction was doomed (deadlock, site crash,
+	// timeout) for the aborts-by-cause accounting. Nil until doomed.
+	cause error
+	// parts lists the participant sites (home first); populated only when a
+	// fault plan is active, for crash dooming.
+	parts []NodeID
 }
 
 // System is a complete simulated CARAT installation.
@@ -46,6 +52,12 @@ type System struct {
 	reg      map[int64]*txnState
 	users    []*user
 	netBytes int64 // inter-site payload bytes, for load-aware delay models
+
+	// Fault injection state (nil without an active FaultPlan).
+	faults        *faultState
+	downCount     int     // sites currently down
+	degradedSince float64 // when downCount last rose from zero
+	degradedMS    float64 // accumulated time with at least one site down
 }
 
 // New builds a system from the configuration (validating it first).
@@ -61,6 +73,9 @@ func New(cfg Config) (*System, error) {
 	}
 	for i := range cfg.Nodes {
 		sys.nodes = append(sys.nodes, newNode(sys, NodeID(i), cfg.Nodes[i], cfg.Layout, sys.rnd.Split(uint64(i))))
+	}
+	if cfg.Faults.Active() {
+		sys.initFaults(*cfg.Faults)
 	}
 	for i, spec := range cfg.Users {
 		u := &user{
@@ -102,6 +117,10 @@ func (s *System) resetStats() {
 	for _, n := range s.nodes {
 		n.resetStats(t)
 	}
+	s.degradedMS = 0
+	if s.downCount > 0 {
+		s.degradedSince = t
+	}
 }
 
 // nextTxnID allocates a global transaction id.
@@ -128,7 +147,11 @@ func (s *System) hop(from, to NodeID, bytes int) float64 {
 			util = 0.95
 		}
 	}
-	return s.cfg.Network.Delay(bytes, util)
+	d := s.cfg.Network.Delay(bytes, util)
+	if s.faults != nil {
+		d += s.msgPenalty(from)
+	}
+	return d
 }
 
 // sendProbes delivers probe messages to their destination detectors after
@@ -165,6 +188,7 @@ func (s *System) killTxn(gid int64) {
 		return
 	}
 	st.doomed = true
+	st.cause = errDeadlockVictim
 	st.proc.Interrupt(errDeadlockVictim)
 }
 
@@ -180,6 +204,7 @@ func (s *System) woundTxn(gid int64) {
 		return
 	}
 	st.doomed = true
+	st.cause = errDeadlockVictim
 	if st.parked {
 		st.proc.Interrupt(errDeadlockVictim)
 	}

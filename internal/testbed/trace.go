@@ -33,20 +33,31 @@ const (
 	EvCommitted
 	// EvAborted marks the end of the abort path for the attempt.
 	EvAborted
+	// EvCrash marks a site crash (fault injection; Txn is -1).
+	EvCrash
+	// EvRestart marks a site completing restart recovery and rejoining
+	// (fault injection; Txn is -1).
+	EvRestart
+	// EvTimeoutAbort marks a transaction doomed by a lock-wait or 2PC
+	// prepare timeout (fault injection).
+	EvTimeoutAbort
 )
 
 var traceNames = map[TraceKind]string{
-	EvBegin:       "begin",
-	EvLockWait:    "lock-wait",
-	EvLockGrant:   "lock-grant",
-	EvDeadlock:    "deadlock-victim",
-	EvRollback:    "rollback",
-	EvPrepareAck:  "prepare-ack",
-	EvForceCommit: "force-commit-record",
-	EvSlaveCommit: "slave-commit",
-	EvRelease:     "release-locks",
-	EvCommitted:   "committed",
-	EvAborted:     "aborted",
+	EvBegin:        "begin",
+	EvLockWait:     "lock-wait",
+	EvLockGrant:    "lock-grant",
+	EvDeadlock:     "deadlock-victim",
+	EvRollback:     "rollback",
+	EvPrepareAck:   "prepare-ack",
+	EvForceCommit:  "force-commit-record",
+	EvSlaveCommit:  "slave-commit",
+	EvRelease:      "release-locks",
+	EvCommitted:    "committed",
+	EvAborted:      "aborted",
+	EvCrash:        "crash",
+	EvRestart:      "restart",
+	EvTimeoutAbort: "timeout-abort",
 }
 
 // String names the event.

@@ -45,6 +45,9 @@ func (u *user) run(p *sim.Proc) {
 func (u *user) execOne(p *sim.Proc) {
 	home := u.sys.nodes[u.spec.Home]
 	costs := u.sys.cfg.Params.CostsFor(home.id, u.spec.Kind)
+	if u.sys.faults != nil {
+		u.awaitFaults(p)
+	}
 	start := p.Now()
 	u.curTS = 0
 	for {
@@ -54,6 +57,9 @@ func (u *user) execOne(p *sim.Proc) {
 		}
 		if costs.ThinkTime > 0 {
 			p.Hold(costs.ThinkTime)
+		}
+		if u.sys.faults != nil {
+			u.awaitFaults(p)
 		}
 	}
 	home.respTime[u.spec.Kind].Add(p.Now() - start)
@@ -76,8 +82,27 @@ func (u *user) attempt(p *sim.Proc) bool {
 	}
 	costs := cfg.Params.CostsFor(home.id, kind)
 
+	if sys.faults != nil {
+		// A submission against a down site fails immediately; the user
+		// backs off in execOne and resubmits after the outage.
+		if home.down {
+			return false
+		}
+		for _, r := range remotes {
+			if r.down {
+				return false
+			}
+		}
+	}
+
 	gid := sys.nextTxnID()
 	st := &txnState{gid: gid, kind: kind, home: home.id, activeNode: home.id, proc: p}
+	if sys.faults != nil {
+		st.parts = append(st.parts, home.id)
+		for _, r := range remotes {
+			st.parts = append(st.parts, r.id)
+		}
+	}
 	sys.reg[gid] = st
 	defer func() {
 		if sys.env.Terminated() {
@@ -161,24 +186,41 @@ func (u *user) attempt(p *sim.Proc) bool {
 		}
 	}
 
-	if aborted {
-		u.rollback(p, st, dmHeld)
-		sys.trace(gid, kind, home.id, EvAborted, -1)
-		releaseDMs()
-		return false
+	if !aborted {
+		// --- Commit: TEND through the TM, then the commit protocol. ---
+		st.committing = true
+		mustUse(home, p, func() error { return home.tmStep(p, costs.TMCPU) })
+		var committed bool
+		if len(remotes) == 0 {
+			committed = u.commitLocal(p, st, home, costs)
+		} else {
+			committed = u.twoPhaseCommit(p, st, home, remotes)
+		}
+		if committed {
+			sys.trace(gid, kind, home.id, EvCommitted, -1)
+			releaseDMs()
+			return true
+		}
+		aborted = true
 	}
 
-	// --- Commit: TEND through the TM, then the commit protocol. ---
-	st.committing = true
-	mustUse(home, p, func() error { return home.tmStep(p, costs.TMCPU) })
-	if len(remotes) == 0 {
-		u.commitLocal(p, st, home, costs)
-	} else {
-		u.twoPhaseCommit(p, st, home, remotes)
-	}
-	sys.trace(gid, kind, home.id, EvCommitted, -1)
+	u.countAbortCause(home, st)
+	u.rollback(p, st, dmHeld)
+	sys.trace(gid, kind, home.id, EvAborted, -1)
 	releaseDMs()
-	return true
+	return false
+}
+
+// countAbortCause attributes an abort to a crash or a timeout for the
+// availability accounting; deadlock aborts are already counted by the
+// lock manager and probe machinery.
+func (u *user) countAbortCause(home *node, st *txnState) {
+	switch st.cause {
+	case errSiteCrash:
+		home.crashAborts.Inc()
+	case errLockTimeout, errPrepareTimeout:
+		home.timeoutAborts.Inc()
+	}
 }
 
 // requestSchedule returns the destination of each of the n requests: -1
@@ -223,6 +265,13 @@ func (u *user) dmRequest(p *sim.Proc, st *txnState, nd *node) error {
 	kind := u.spec.Kind
 	costs := cfg.Params.CostsFor(nd.id, kind)
 	st.activeNode = nd.id
+	if sys.faults != nil && nd.down {
+		if st.cause == nil {
+			st.cause = errSiteCrash
+		}
+		st.doomed = true
+		return errSiteCrash
+	}
 
 	recs := cfg.Pattern.Pick(u.rnd, cfg.Layout, cfg.RecordsPerRequest)
 	grans := storage.GranulesOf(cfg.Layout, recs)
@@ -270,6 +319,15 @@ func (u *user) dmRequest(p *sim.Proc, st *txnState, nd *node) error {
 func (u *user) ccAccess(p *sim.Proc, st *txnState, nd *node, g int, mode lock.Mode) error {
 	sys := u.sys
 	kind := u.spec.Kind
+	if sys.faults != nil && nd.down {
+		// The site crashed since the request started: its lock table is
+		// gone; never insert state into the fresh one.
+		if st.cause == nil {
+			st.cause = errSiteCrash
+		}
+		st.doomed = true
+		return errSiteCrash
+	}
 	if sys.cfg.Concurrency == CCTimestamp {
 		// Basic TO: no blocking; the attempt's gid is its timestamp, so a
 		// restart naturally carries a fresh, larger timestamp.
@@ -307,7 +365,14 @@ func (u *user) ccAccess(p *sim.Proc, st *txnState, nd *node, g int, mode lock.Mo
 	case lock.Wait:
 		sys.trace(st.gid, kind, nd.id, EvLockWait, g)
 		if err := u.lockWait(p, st, nd); err != nil {
-			sys.trace(st.gid, kind, nd.id, EvDeadlock, g)
+			switch err {
+			case errLockTimeout:
+				sys.trace(st.gid, kind, nd.id, EvTimeoutAbort, g)
+			case errSiteCrash:
+				// The site's crash event is already in the trace.
+			default:
+				sys.trace(st.gid, kind, nd.id, EvDeadlock, g)
+			}
 			return err
 		}
 		sys.trace(st.gid, kind, nd.id, EvLockGrant, g)
@@ -324,6 +389,18 @@ func (u *user) lockWait(p *sim.Proc, st *txnState, nd *node) error {
 	ev := sim.NewEvent(sys.env, fmt.Sprintf("grant-%d", st.gid))
 	nd.grantEv[ltxn] = ev
 	st.parked = true
+	if f := sys.faults; f != nil && f.plan.LockWaitTimeoutMS > 0 {
+		sys.env.After(f.plan.LockWaitTimeoutMS, func() {
+			// Stale once the lock was granted, the transaction was doomed
+			// some other way, or this submission already ended.
+			if ev.Triggered() || st.finished || st.doomed || !st.parked {
+				return
+			}
+			st.doomed = true
+			st.cause = errLockTimeout
+			st.proc.Interrupt(errLockTimeout)
+		})
+	}
 	sys.sendProbes(nd.id, nd.detector.Initiate(probe.TxnID(st.gid)))
 
 	t0 := p.Now()
@@ -333,6 +410,9 @@ func (u *user) lockWait(p *sim.Proc, st *txnState, nd *node) error {
 	nd.detector.ClearTxn(probe.TxnID(st.gid))
 	if err != nil {
 		delete(nd.grantEv, ltxn)
+		if cause, ok := interruptCause(err); ok && (cause == errLockTimeout || cause == errSiteCrash) {
+			return cause
+		}
 		nd.globalDead.Inc()
 		return errDeadlockVictim
 	}
@@ -345,6 +425,15 @@ func (u *user) lockWait(p *sim.Proc, st *txnState, nd *node) error {
 // A configured buffer pool can absorb the read.
 func (u *user) granuleIO(p *sim.Proc, st *txnState, nd *node, g int, kind TxnKind) error {
 	cfg := &u.sys.cfg
+	if u.sys.faults != nil && nd.down {
+		// Never write journal records at a crashed site: restart recovery
+		// must see exactly the state the crash froze.
+		if st.cause == nil {
+			st.cause = errSiteCrash
+		}
+		st.doomed = true
+		return errSiteCrash
+	}
 	bufferHit := cfg.BufferHitRatio > 0 && u.rnd.Bool(cfg.BufferHitRatio)
 	if !bufferHit {
 		mustUse(nd, p, func() error { return nd.dbDiskFor(g).Do(p, disk.Read, g) })
@@ -366,6 +455,11 @@ func (u *user) rollback(p *sim.Proc, st *txnState, participants []*node) {
 	sys := u.sys
 	home := participants[0]
 	for i, nd := range participants {
+		if sys.faults != nil && nd.down {
+			// The site lost its volatile state; restart recovery undoes
+			// this transaction's updates from the journal instead.
+			continue
+		}
 		costs := sys.cfg.Params.CostsFor(nd.id, u.spec.Kind)
 		if i > 0 {
 			p.Hold(sys.hop(home.id, nd.id, controlMsgBytes))
@@ -392,11 +486,19 @@ func (u *user) rollback(p *sim.Proc, st *txnState, participants []*node) {
 }
 
 // commitLocal commits a local transaction: TC processing, the force-written
-// commit record (TCIO), and unlock (UL).
-func (u *user) commitLocal(p *sim.Proc, st *txnState, home *node, costs PhaseCosts) {
+// commit record (TCIO), and unlock (UL). It returns false — without writing
+// the commit record — if a crash doomed the transaction before the commit
+// point.
+func (u *user) commitLocal(p *sim.Proc, st *txnState, home *node, costs PhaseCosts) bool {
+	if st.doomed || home.down {
+		return false
+	}
 	mustUse(home, p, func() error { return home.cpu.Use(p, costs.CommitCPU) })
 	for i := 0; i < costs.CommitIOs; i++ {
 		mustUse(home, p, func() error { return home.logDisk.Do(p, disk.ForceWrite, 0) })
+	}
+	if st.doomed || home.down {
+		return false
 	}
 	rec := home.journal.Commit(st.gid)
 	home.journal.Force(rec.LSN)
@@ -404,13 +506,21 @@ func (u *user) commitLocal(p *sim.Proc, st *txnState, home *node, costs PhaseCos
 	mustUse(home, p, func() error { return home.cpu.Use(p, costs.UnlockCPU) })
 	home.releaseTxn(st.gid)
 	u.sys.trace(st.gid, u.spec.Kind, home.id, EvRelease, -1)
+	return true
 }
 
 // twoPhaseCommit runs the centralized two-phase commit protocol of
 // [GRAY79]: PREPARE to every slave (in parallel), a force-written commit
 // record at the coordinator, COMMIT to every slave, then local unlock. The
 // coordinator's waits for slave acknowledgments are the CW phase.
-func (u *user) twoPhaseCommit(p *sim.Proc, st *txnState, home *node, slaves []*node) {
+//
+// It returns false — without writing the coordinator commit record, so
+// presumed abort applies — if a participant crash or a prepare timeout
+// aborts the protocol before the commit point. Once the commit record is
+// force-written the transaction commits even if a slave crashes afterwards:
+// that slave's prepared branch stays in doubt until its restart recovery
+// resolves it against this durable record.
+func (u *user) twoPhaseCommit(p *sim.Proc, st *txnState, home *node, slaves []*node) bool {
 	sys := u.sys
 	kind := u.spec.Kind
 	costs := sys.cfg.Params.CostsFor(home.id, kind)
@@ -419,27 +529,26 @@ func (u *user) twoPhaseCommit(p *sim.Proc, st *txnState, home *node, slaves []*n
 	mustUse(home, p, func() error { return home.cpu.Use(p, costs.CommitCPU) })
 
 	// Phase 1: PREPARE processed in parallel at the slaves.
-	u.fanOut(p, "prepare", slaves, func(hp *sim.Proc, nd *node) {
-		rcosts := sys.cfg.Params.CostsFor(nd.id, kind)
-		hp.Hold(sys.hop(home.id, nd.id, controlMsgBytes))
-		mustUse(nd, hp, func() error { return nd.tmStep(hp, rcosts.TMCPU) })
-		mustUse(nd, hp, func() error { return nd.cpu.Use(hp, rcosts.CommitCPU) })
-		if sys.cfg.Params.SlaveCommitIOs[kind] > 0 {
-			// The slave's prepared record: force-written before voting
-			// yes, so a crash leaves the branch in doubt rather than
-			// presumed aborted.
-			nd.journal.Prepare(st.gid)
+	if err := u.fanOutPrepare(p, st, home, slaves); err != nil {
+		if st.cause == nil {
+			st.cause = err
 		}
-		for i := 0; i < sys.cfg.Params.SlaveCommitIOs[kind]; i++ {
-			mustUse(nd, hp, func() error { return nd.logDisk.Do(hp, disk.ForceWrite, 0) })
+		st.doomed = true
+		if err == errPrepareTimeout {
+			sys.trace(st.gid, kind, home.id, EvTimeoutAbort, -1)
 		}
-		sys.trace(st.gid, kind, nd.id, EvPrepareAck, -1)
-		hp.Hold(sys.hop(nd.id, home.id, controlMsgBytes))
-	})
+		return false
+	}
+	if st.doomed || home.down {
+		return false
+	}
 
 	// The commit point: force-write the commit record at the coordinator.
 	for i := 0; i < costs.CommitIOs; i++ {
 		mustUse(home, p, func() error { return home.logDisk.Do(p, disk.ForceWrite, 0) })
+	}
+	if st.doomed || home.down {
+		return false
 	}
 	rec := home.journal.Commit(st.gid)
 	home.journal.Force(rec.LSN)
@@ -447,35 +556,127 @@ func (u *user) twoPhaseCommit(p *sim.Proc, st *txnState, home *node, slaves []*n
 
 	// Phase 2: COMMIT processed in parallel at the slaves; each slave
 	// writes its commit record lazily, releases its locks and acks.
-	u.fanOut(p, "commit", slaves, func(hp *sim.Proc, nd *node) {
-		rcosts := sys.cfg.Params.CostsFor(nd.id, kind)
-		hp.Hold(sys.hop(home.id, nd.id, controlMsgBytes))
-		mustUse(nd, hp, func() error { return nd.tmStep(hp, rcosts.TMCPU) })
-		sys.trace(st.gid, kind, nd.id, EvSlaveCommit, -1)
-		nd.journal.Commit(st.gid)
-		mustUse(nd, hp, func() error { return nd.cpu.Use(hp, rcosts.UnlockCPU) })
-		nd.releaseTxn(st.gid)
-		sys.trace(st.gid, kind, nd.id, EvRelease, -1)
-		hp.Hold(sys.hop(nd.id, home.id, controlMsgBytes))
-	})
+	u.fanOutCommit(p, st, home, slaves)
 
 	// UL at the coordinator.
 	mustUse(home, p, func() error { return home.cpu.Use(p, costs.UnlockCPU) })
 	home.releaseTxn(st.gid)
 	sys.trace(st.gid, kind, home.id, EvRelease, -1)
+	return true
 }
 
-// fanOut runs fn for every slave in parallel helper processes and blocks
-// the coordinator until all complete — the synchronization the CW delay
-// center models.
-func (u *user) fanOut(p *sim.Proc, label string, slaves []*node, fn func(hp *sim.Proc, nd *node)) {
-	env := u.sys.env
+// fanOutPrepare runs phase 1 at every slave in parallel helper processes and
+// blocks the coordinator until every acknowledgment arrives — the CW delay
+// center. It returns non-nil if any slave crashed before acknowledging or
+// the plan's prepare timeout expired first.
+func (u *user) fanOutPrepare(p *sim.Proc, st *txnState, home *node, slaves []*node) error {
+	sys := u.sys
+	kind := u.spec.Kind
+	env := sys.env
 	done := make([]*sim.Event, len(slaves))
 	for i, nd := range slaves {
 		i, nd := i, nd
-		done[i] = sim.NewEvent(env, label)
-		env.Spawn(fmt.Sprintf("%s-%d", label, nd.id), func(hp *sim.Proc) {
-			fn(hp, nd)
+		done[i] = sim.NewEvent(env, "prepare")
+		env.Spawn(fmt.Sprintf("prepare-%d", nd.id), func(hp *sim.Proc) {
+			rcosts := sys.cfg.Params.CostsFor(nd.id, kind)
+			hp.Hold(sys.hop(home.id, nd.id, controlMsgBytes))
+			if nd.down || st.doomed {
+				done[i].Trigger(errSiteCrash)
+				return
+			}
+			mustUse(nd, hp, func() error { return nd.tmStep(hp, rcosts.TMCPU) })
+			mustUse(nd, hp, func() error { return nd.cpu.Use(hp, rcosts.CommitCPU) })
+			if nd.down || st.doomed {
+				done[i].Trigger(errSiteCrash)
+				return
+			}
+			if sys.cfg.Params.SlaveCommitIOs[kind] > 0 {
+				// The slave's prepared record: force-written before voting
+				// yes, so a crash leaves the branch in doubt rather than
+				// presumed aborted.
+				nd.journal.Prepare(st.gid)
+			}
+			for j := 0; j < sys.cfg.Params.SlaveCommitIOs[kind]; j++ {
+				mustUse(nd, hp, func() error { return nd.logDisk.Do(hp, disk.ForceWrite, 0) })
+			}
+			if nd.down {
+				done[i].Trigger(errSiteCrash)
+				return
+			}
+			sys.trace(st.gid, kind, nd.id, EvPrepareAck, -1)
+			hp.Hold(sys.hop(nd.id, home.id, controlMsgBytes))
+			done[i].Trigger(nil)
+		})
+	}
+
+	// An optional timeout bounds the coordinator's wait. armed keeps a
+	// firing after the fan-out returned from interrupting whatever the
+	// process parks on next.
+	armed := false
+	if f := sys.faults; f != nil && f.plan.PrepareTimeoutMS > 0 {
+		armed = true
+		env.After(f.plan.PrepareTimeoutMS, func() {
+			if !armed || st.finished {
+				return
+			}
+			p.Interrupt(errPrepareTimeout)
+		})
+	}
+	var prepErr error
+	for _, ev := range done {
+		for {
+			err := ev.Wait(p)
+			if err == nil {
+				break
+			}
+			if _, ok := interruptCause(err); ok {
+				// The timeout fired; remember it and keep draining the
+				// helpers (they always terminate, triggering their events).
+				if prepErr == nil {
+					prepErr = errPrepareTimeout
+				}
+				continue
+			}
+			if prepErr == nil {
+				prepErr = err
+			}
+			break
+		}
+	}
+	armed = false
+	return prepErr
+}
+
+// fanOutCommit runs phase 2 at every slave in parallel helper processes and
+// blocks the coordinator until all complete. The transaction is already
+// durably committed: a slave that is down is simply skipped — its prepared
+// branch is resolved by restart recovery.
+func (u *user) fanOutCommit(p *sim.Proc, st *txnState, home *node, slaves []*node) {
+	sys := u.sys
+	kind := u.spec.Kind
+	env := sys.env
+	done := make([]*sim.Event, len(slaves))
+	for i, nd := range slaves {
+		i, nd := i, nd
+		done[i] = sim.NewEvent(env, "commit")
+		env.Spawn(fmt.Sprintf("commit-%d", nd.id), func(hp *sim.Proc) {
+			rcosts := sys.cfg.Params.CostsFor(nd.id, kind)
+			hp.Hold(sys.hop(home.id, nd.id, controlMsgBytes))
+			if nd.down {
+				done[i].Trigger(nil)
+				return
+			}
+			mustUse(nd, hp, func() error { return nd.tmStep(hp, rcosts.TMCPU) })
+			if nd.down {
+				done[i].Trigger(nil)
+				return
+			}
+			sys.trace(st.gid, kind, nd.id, EvSlaveCommit, -1)
+			nd.journal.Commit(st.gid)
+			mustUse(nd, hp, func() error { return nd.cpu.Use(hp, rcosts.UnlockCPU) })
+			nd.releaseTxn(st.gid)
+			sys.trace(st.gid, kind, nd.id, EvRelease, -1)
+			hp.Hold(sys.hop(nd.id, home.id, controlMsgBytes))
 			done[i].Trigger(nil)
 		})
 	}

@@ -81,6 +81,11 @@ type Workload struct {
 	// correction in the analytical model (the paper ignores it and points
 	// at [JACO83]; see core.Model.IncludeTMSerialization).
 	ModelTMSerialization bool
+
+	// Faults optionally injects site crashes, message faults and protocol
+	// timeouts into simulator runs (the analytical model ignores it). A nil
+	// or zero plan leaves the simulation unchanged.
+	Faults *testbed.FaultPlan
 }
 
 // twoNode fills the standard two-node configuration of the experiments:
@@ -215,9 +220,17 @@ func (w Workload) TestbedConfig(seed uint64, warmup, duration float64) testbed.C
 	if w.EthernetAlpha {
 		network = comm.DefaultEthernet()
 	}
+	var faults *testbed.FaultPlan
+	if w.Faults != nil {
+		// Each run gets its own copy: validation fills defaults in place,
+		// and parallel replications must not share a mutable plan.
+		fp := *w.Faults
+		faults = &fp
+	}
 	return testbed.Config{
 		Nodes:             nodes,
 		Users:             w.Users,
+		Faults:            faults,
 		Params:            w.Params,
 		Network:           network,
 		Layout:            w.Layout,

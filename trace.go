@@ -6,15 +6,20 @@ import (
 
 // TraceEvent is one protocol event from a traced simulation run: lock
 // acquisitions and waits, deadlock victim selections, rollbacks, two-phase
-// commit steps and transaction outcomes. Times are simulation
-// milliseconds.
+// commit steps, transaction outcomes and — under WithFaults — site crashes,
+// restarts and timeout aborts. Times are simulation milliseconds.
 type TraceEvent struct {
-	TimeMS  float64
-	Txn     int64
-	Type    TxnType
-	Node    int
-	Event   string // begin, lock-wait, lock-grant, deadlock-victim, rollback, prepare-ack, force-commit-record, slave-commit, release-locks, committed, aborted
-	Granule int    // lock events only; -1 otherwise
+	TimeMS float64
+	// Txn is the global transaction id, or -1 for site events (crash,
+	// restart).
+	Txn  int64
+	Type TxnType
+	Node int
+	// Event is one of: begin, lock-wait, lock-grant, deadlock-victim,
+	// rollback, prepare-ack, force-commit-record, slave-commit,
+	// release-locks, committed, aborted, crash, restart, timeout-abort.
+	Event   string
+	Granule int // lock events only; -1 otherwise
 }
 
 // SimulateWithTrace runs the simulator like Simulate while streaming every
