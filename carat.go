@@ -353,6 +353,14 @@ type FaultPlan struct {
 	// RetryBackoffMS is how long a user whose slave site is down waits
 	// between submission attempts (default 500).
 	RetryBackoffMS float64
+	// ProbeLossProb drops each inter-site deadlock probe with this
+	// probability — silently, with no retransmission (1.0 is allowed: a
+	// fully partitioned detection channel). Probe retransmission
+	// (Resilience.ProbeRetryMS) is the countermeasure.
+	ProbeLossProb float64
+	// ProbeLossUntilMS, when positive, drops every inter-site probe before
+	// this simulation instant — a bounded detection-channel outage.
+	ProbeLossUntilMS float64
 }
 
 // WithFaults attaches a fault plan to the workload's simulator runs; the
@@ -370,6 +378,8 @@ func (w Workload) WithFaults(f FaultPlan) Workload {
 		PrepareTimeoutMS:  f.PrepareTimeoutMS,
 		LockWaitTimeoutMS: f.LockWaitTimeoutMS,
 		RetryBackoffMS:    f.RetryBackoffMS,
+		ProbeLossProb:     f.ProbeLossProb,
+		ProbeLossUntilMS:  f.ProbeLossUntilMS,
 	}
 	for _, c := range f.Crashes {
 		fp.Crashes = append(fp.Crashes, testbed.SiteCrash{
@@ -393,6 +403,8 @@ func (w Workload) WithFaults(f FaultPlan) Workload {
 //	prepto=MS           2PC prepare timeout (presumed abort on expiry)
 //	lockto=MS           lock wait timeout
 //	backoff=MS          user retry backoff while a slave site is down
+//	probeloss=P         per-probe loss probability in [0,1] (no retransmit)
+//	probeout=MS         drop every inter-site probe before this instant
 //	fseed=N             fault RNG seed (default: a fixed stream)
 func ParseFaultPlan(s string) (FaultPlan, error) {
 	var f FaultPlan
@@ -459,11 +471,160 @@ func ParseFaultPlan(s string) (FaultPlan, error) {
 			f.LockWaitTimeoutMS = x
 		case "backoff":
 			f.RetryBackoffMS = x
+		case "probeloss":
+			f.ProbeLossProb = x
+		case "probeout":
+			f.ProbeLossUntilMS = x
 		default:
 			return f, fmt.Errorf("faults: unknown key %q", key)
 		}
 	}
 	return f, nil
+}
+
+// RetryPolicy bounds and paces transaction resubmission after aborts
+// (deadlock victims, crashed participants, timeouts). All times are
+// milliseconds; the zero value is the paper's behavior — retry
+// immediately, forever.
+type RetryPolicy struct {
+	// MaxAttempts caps submissions per user transaction; on exhaustion the
+	// transaction is abandoned and counted, not resubmitted. Zero means
+	// unlimited.
+	MaxAttempts int
+	// BaseBackoffMS starts the exponential backoff between resubmissions;
+	// zero disables backoff. Successive waits multiply by Multiplier
+	// (default 2) up to MaxBackoffMS (default 32× base), with a symmetric
+	// ±JitterFrac random perturbation from a dedicated RNG stream.
+	BaseBackoffMS float64
+	MaxBackoffMS  float64
+	Multiplier    float64
+	JitterFrac    float64
+}
+
+// AdmissionPolicy gates transaction arrivals at each site by
+// multiprogramming level. Zero MaxMPL disables the gate.
+type AdmissionPolicy struct {
+	// MaxMPL caps concurrently admitted submissions homed at a site.
+	MaxMPL int
+	// AbortRateThreshold, when positive, engages the gate only while the
+	// site's abort rate (aborts/s over WindowMS, default 1000) is at or
+	// above it; zero engages the gate unconditionally.
+	AbortRateThreshold float64
+	WindowMS           float64
+	// Shed rejects excess arrivals (they re-try after ShedBackoffMS,
+	// default 100) instead of queueing them FIFO.
+	Shed          bool
+	ShedBackoffMS float64
+}
+
+// Resilience configures the simulator's overload and failure
+// countermeasures: retry with backoff, admission control, and periodic
+// retransmission of deadlock-detection probes for still-blocked
+// transactions (ProbeRetryMS > 0; countermeasure to probe loss). The zero
+// value is fully inert — simulator runs are byte-identical with and
+// without it.
+type Resilience struct {
+	Retry        RetryPolicy
+	Admission    AdmissionPolicy
+	ProbeRetryMS float64
+}
+
+// WithResilience attaches the resilience policies to the workload's
+// simulator runs; the analytical model ignores them. Retry, admission and
+// probe counters appear in NodeMetrics.
+func (w Workload) WithResilience(r Resilience) Workload {
+	w.w.Resilience = testbed.Resilience{
+		Retry: testbed.RetryPolicy{
+			MaxAttempts:   r.Retry.MaxAttempts,
+			BaseBackoffMS: r.Retry.BaseBackoffMS,
+			MaxBackoffMS:  r.Retry.MaxBackoffMS,
+			Multiplier:    r.Retry.Multiplier,
+			JitterFrac:    r.Retry.JitterFrac,
+		},
+		Admission: testbed.AdmissionPolicy{
+			MaxMPL:             r.Admission.MaxMPL,
+			AbortRateThreshold: r.Admission.AbortRateThreshold,
+			WindowMS:           r.Admission.WindowMS,
+			Shed:               r.Admission.Shed,
+			ShedBackoffMS:      r.Admission.ShedBackoffMS,
+		},
+		ProbeRetryMS: r.ProbeRetryMS,
+	}
+	return w
+}
+
+// ParseResilience parses the comma-separated key=value resilience syntax
+// of the command-line tools (caratsim -resilience):
+//
+//	retries=N       submissions per transaction before abandoning (0 = unlimited)
+//	backoff=MS      base exponential backoff between resubmissions
+//	maxbackoff=MS   backoff cap (default 32× base)
+//	mult=X          backoff multiplier (default 2)
+//	jitter=F        symmetric backoff jitter fraction in [0,1]
+//	mpl=N           per-site admission cap (0 = no gate)
+//	abortrate=R     engage the gate only above R aborts/s (0 = always)
+//	window=MS       abort-rate measurement window (default 1000)
+//	shed=BOOL       reject excess arrivals instead of queueing them
+//	shedbackoff=MS  re-arrival delay for shed arrivals (default 100)
+//	probe=MS        re-initiate deadlock probes every MS while blocked
+func ParseResilience(s string) (Resilience, error) {
+	var r Resilience
+	for _, part := range strings.Split(s, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		key, val, ok := strings.Cut(part, "=")
+		if !ok {
+			return r, fmt.Errorf("resilience: %q is not key=value", part)
+		}
+		switch key {
+		case "retries":
+			n, err := strconv.Atoi(val)
+			if err != nil {
+				return r, fmt.Errorf("resilience: retries %q: %w", val, err)
+			}
+			r.Retry.MaxAttempts = n
+		case "mpl":
+			n, err := strconv.Atoi(val)
+			if err != nil {
+				return r, fmt.Errorf("resilience: mpl %q: %w", val, err)
+			}
+			r.Admission.MaxMPL = n
+		case "shed":
+			b, err := strconv.ParseBool(val)
+			if err != nil {
+				return r, fmt.Errorf("resilience: shed %q: %w", val, err)
+			}
+			r.Admission.Shed = b
+		default:
+			x, err := strconv.ParseFloat(val, 64)
+			if err != nil {
+				return r, fmt.Errorf("resilience: %s value %q: %w", key, val, err)
+			}
+			switch key {
+			case "backoff":
+				r.Retry.BaseBackoffMS = x
+			case "maxbackoff":
+				r.Retry.MaxBackoffMS = x
+			case "mult":
+				r.Retry.Multiplier = x
+			case "jitter":
+				r.Retry.JitterFrac = x
+			case "abortrate":
+				r.Admission.AbortRateThreshold = x
+			case "window":
+				r.Admission.WindowMS = x
+			case "shedbackoff":
+				r.Admission.ShedBackoffMS = x
+			case "probe":
+				r.ProbeRetryMS = x
+			default:
+				return r, fmt.Errorf("resilience: unknown key %q", key)
+			}
+		}
+	}
+	return r, nil
 }
 
 // SimOptions controls a simulation run.
@@ -564,6 +725,28 @@ type NodeMetrics struct {
 	// DegradedCommits counts commits recorded here while some site was
 	// down — the goodput under partial outage.
 	DegradedCommits int64
+
+	// Resilience metrics (simulation only). Retried is live even without
+	// WithResilience — the default policy resubmits every abort; the rest
+	// are zero unless the corresponding knob is set.
+
+	// Retried and Abandoned count aborted submissions of transactions
+	// homed here that were resubmitted vs given up, keyed by abort cause
+	// ("deadlock", "crash", "timeout").
+	Retried   map[string]int64
+	Abandoned map[string]int64
+	// ShedArrivals and DelayedArrivals count admission-gate rejections and
+	// queueings at this site; MeanAdmitWaitMS is the mean queueing delay
+	// of the delayed ones, and PeakMPL the high-water mark of concurrently
+	// admitted submissions.
+	ShedArrivals    int64
+	DelayedArrivals int64
+	MeanAdmitWaitMS float64
+	PeakMPL         int
+	// ProbesLost counts deadlock probes fault injection dropped leaving
+	// this site; ProbesResent counts probe rounds re-initiated here.
+	ProbesLost   int64
+	ProbesResent int64
 }
 
 // DemandBreakdown decomposes one transaction type's commit cycle into the
@@ -696,6 +879,28 @@ func measurementFrom(res testbed.Results) *Measurement {
 			InDoubtAborted:       n.InDoubtAborted,
 			MessagesLost:         n.MessagesLost,
 			DegradedCommits:      n.DegradedCommits,
+			ShedArrivals:         n.ShedArrivals,
+			DelayedArrivals:      n.DelayedArrivals,
+			MeanAdmitWaitMS:      n.MeanAdmitWaitMS,
+			PeakMPL:              n.PeakMPL,
+			ProbesLost:           n.ProbesLost,
+			ProbesResent:         n.ProbesResent,
+		}
+		for cause, count := range n.Retried {
+			if count > 0 {
+				if nm.Retried == nil {
+					nm.Retried = map[string]int64{}
+				}
+				nm.Retried[cause.String()] = count
+			}
+		}
+		for cause, count := range n.Abandoned {
+			if count > 0 {
+				if nm.Abandoned == nil {
+					nm.Abandoned = map[string]int64{}
+				}
+				nm.Abandoned[cause.String()] = count
+			}
 		}
 		for _, k := range []testbed.TxnKind{testbed.LRO, testbed.LU, testbed.DRO, testbed.DU} {
 			tt := TxnType(k.String())
@@ -712,6 +917,74 @@ func measurementFrom(res testbed.Results) *Measurement {
 		m.Nodes = append(m.Nodes, nm)
 	}
 	return m
+}
+
+// ChaosOptions configures a randomized fault-injection audit: Runs
+// simulator runs of the workload, each under a fault plan and resilience
+// policy drawn from a stream seeded by Seed, each audited against the
+// testbed's hard invariants (2PC atomicity, durability under restart
+// replay, transaction conservation) and a goodput floor relative to a
+// fault-free baseline. Zero fields take defaults (20 runs, 5 s warmup,
+// 90 s duration, 5% goodput floor).
+type ChaosOptions struct {
+	Runs           int
+	Seed           uint64
+	WarmupMS       float64
+	DurationMS     float64
+	MinGoodputFrac float64
+}
+
+// ChaosRun is one randomized run's record.
+type ChaosRun struct {
+	Run        int
+	Seed       uint64
+	GoodputTPS float64
+	// Violations lists every broken invariant; empty means clean.
+	Violations []string
+}
+
+// ChaosReport is the outcome of a chaos audit.
+type ChaosReport struct {
+	// BaselineTPS is the workload's fault-free goodput, the reference for
+	// the goodput floor.
+	BaselineTPS float64
+	Runs        []ChaosRun
+}
+
+// Violations flattens every run's violations, each prefixed with its run
+// index and seed for replay.
+func (r *ChaosReport) Violations() []string {
+	var out []string
+	for _, run := range r.Runs {
+		for _, v := range run.Violations {
+			out = append(out, fmt.Sprintf("run %d (seed %#x): %s", run.Run, run.Seed, v))
+		}
+	}
+	return out
+}
+
+// RunChaos executes a randomized fault-injection audit over the workload.
+// Any fault plan or resilience policy already attached to the workload is
+// overridden per run by the drawn configurations. The audit is
+// deterministic in (workload, options).
+func RunChaos(w Workload, opts ChaosOptions) (*ChaosReport, error) {
+	rep, err := experiment.RunChaos(w.w, experiment.ChaosOptions{
+		Runs:           opts.Runs,
+		Seed:           opts.Seed,
+		Warmup:         opts.WarmupMS,
+		Duration:       opts.DurationMS,
+		MinGoodputFrac: opts.MinGoodputFrac,
+	})
+	if err != nil {
+		return nil, err
+	}
+	out := &ChaosReport{BaselineTPS: rep.BaselineTPS}
+	for _, run := range rep.Runs {
+		out.Runs = append(out.Runs, ChaosRun{
+			Run: run.Run, Seed: run.Seed, GoodputTPS: run.GoodputTPS, Violations: run.Violations,
+		})
+	}
+	return out, nil
 }
 
 // Estimate is an across-replication estimate: the mean over independent

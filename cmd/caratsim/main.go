@@ -7,6 +7,7 @@
 //	caratsim [-workload MB4] [-n 8] [-seed 1] [-minutes 60] [-logdisk] ...
 //	caratsim -workload MB4 -sweep -reps 8 -workers 4   # mean ±95% CI per point
 //	caratsim -workload MB4 -faults 'crash=1@60000+10000,lockto=5000'
+//	caratsim -workload MB4 -chaos 20   # randomized fault audit, 20 runs
 //
 // The -faults argument is a comma-separated list of key=value settings:
 //
@@ -20,7 +21,30 @@
 //	prepto=MS           2PC prepare timeout (presumed abort on expiry)
 //	lockto=MS           lock wait timeout
 //	backoff=MS          user retry backoff while a slave site is down
+//	probeloss=P         per-probe loss probability in [0,1] (no retransmit)
+//	probeout=MS         drop every inter-site probe before this instant
 //	fseed=N             fault RNG seed (default: fixed stream)
+//
+// The -resilience argument configures retry, admission control and probe
+// retransmission (see carat.ParseResilience):
+//
+//	retries=N       submissions per transaction before abandoning (0 = unlimited)
+//	backoff=MS      base exponential backoff between resubmissions
+//	maxbackoff=MS   backoff cap (default 32× base)
+//	mult=X          backoff multiplier (default 2)
+//	jitter=F        symmetric backoff jitter fraction in [0,1]
+//	mpl=N           per-site admission cap (0 = no gate)
+//	abortrate=R     engage the gate only above R aborts/s (0 = always)
+//	window=MS       abort-rate measurement window (default 1000)
+//	shed=BOOL       reject excess arrivals instead of queueing them
+//	shedbackoff=MS  re-arrival delay for shed arrivals (default 100)
+//	probe=MS        re-initiate deadlock probes every MS while blocked
+//
+// With -chaos N the tool instead runs N simulations under randomized
+// bounded fault plans and resilience policies, audits each against the
+// testbed's correctness invariants (2PC atomicity, durability under
+// restart replay, transaction conservation, a goodput floor) and exits
+// non-zero if any run violates one.
 package main
 
 import (
@@ -51,6 +75,8 @@ func main() {
 		reps    = flag.Int("reps", 1, "independent replications per point; >1 reports mean ±95% CI")
 		workers = flag.Int("workers", 0, "parallel simulation workers for -reps (0 = GOMAXPROCS)")
 		faults  = flag.String("faults", "", "fault plan, e.g. 'crash=1@60000+10000,lockto=5000' (see doc comment)")
+		resil   = flag.String("resilience", "", "resilience policy, e.g. 'retries=8,backoff=50,mpl=4,probe=500' (see doc comment)")
+		chaos   = flag.Int("chaos", 0, "run a randomized fault audit with this many runs instead of a measurement")
 		asJSON  = flag.Bool("json", false, "emit measurements as JSON")
 	)
 	flag.Parse()
@@ -63,6 +89,25 @@ func main() {
 			os.Exit(1)
 		}
 		faultPlan = &fp
+	}
+	var resilience *carat.Resilience
+	if *resil != "" {
+		r, err := carat.ParseResilience(*resil)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		resilience = &r
+	}
+
+	if *chaos > 0 {
+		wl, err := carat.WorkloadByName(*name, *n)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		runChaos(wl, *chaos, *seed, *asJSON)
+		return
 	}
 
 	ns := []int{*n}
@@ -108,6 +153,9 @@ func main() {
 		if faultPlan != nil {
 			wl = wl.WithFaults(*faultPlan)
 		}
+		if resilience != nil {
+			wl = wl.WithResilience(*resilience)
+		}
 		if *reps > 1 {
 			runReplicated(wl, size, opts, *asJSON)
 			continue
@@ -148,6 +196,18 @@ func main() {
 					node.CrashAborts, node.TimeoutAborts,
 					node.InDoubtCommitted, node.InDoubtAborted, node.MessagesLost)
 			}
+			if resilience != nil {
+				var retried, abandoned int64
+				for _, c := range node.Retried {
+					retried += c
+				}
+				for _, c := range node.Abandoned {
+					abandoned += c
+				}
+				fmt.Printf("    retried %d  abandoned %d  shed/delayed %d/%d  admit wait %.1f ms  peak MPL %d  probes lost/resent %d/%d\n",
+					retried, abandoned, node.ShedArrivals, node.DelayedArrivals,
+					node.MeanAdmitWaitMS, node.PeakMPL, node.ProbesLost, node.ProbesResent)
+			}
 		}
 		if faultPlan != nil {
 			var degraded int64
@@ -158,6 +218,41 @@ func main() {
 				meas.DegradedMS, degraded)
 		}
 		fmt.Println()
+	}
+}
+
+// runChaos runs the randomized fault audit and exits non-zero if any run
+// violates an invariant.
+func runChaos(wl carat.Workload, runs int, seed uint64, asJSON bool) {
+	report, err := carat.RunChaos(wl, carat.ChaosOptions{Runs: runs, Seed: seed})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	if asJSON {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(report); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+	} else {
+		fmt.Printf("%s chaos audit: %d runs, fault-free baseline %.2f txn/s\n",
+			wl.Name(), len(report.Runs), report.BaselineTPS)
+		for _, run := range report.Runs {
+			status := "ok"
+			if len(run.Violations) > 0 {
+				status = fmt.Sprintf("%d VIOLATION(S)", len(run.Violations))
+			}
+			fmt.Printf("  run %2d  seed %#016x  goodput %7.2f txn/s  %s\n",
+				run.Run, run.Seed, run.GoodputTPS, status)
+		}
+	}
+	if bad := report.Violations(); len(bad) > 0 {
+		for _, v := range bad {
+			fmt.Fprintln(os.Stderr, v)
+		}
+		os.Exit(1)
 	}
 }
 

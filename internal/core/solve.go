@@ -1,6 +1,7 @@
 package core
 
 import (
+	"errors"
 	"fmt"
 	"math"
 
@@ -8,6 +9,11 @@ import (
 	"carat/internal/phase"
 	"carat/internal/storage"
 )
+
+// errDiverged tags a detected divergence of the damped fixed-point
+// iteration: a non-finite iterate or a residual still growing long past the
+// point where a contracting iteration would have settled.
+var errDiverged = errors.New("fixed-point iteration diverged")
 
 // chainState carries the iteration variables for one chain at one site.
 type chainState struct {
@@ -122,11 +128,32 @@ func (st *solverState) coordinatorOf(s *chainState) *chainState {
 }
 
 // Solve runs the fixed-point iteration of Section 6 and returns the
-// converged model predictions.
+// converged model predictions. A detected divergence (non-finite iterates,
+// or a residual still exploding after many iterations) is retried once at
+// half the configured damping before giving up with a descriptive error —
+// the standard rescue for an under-damped fixed point.
 func Solve(m *Model) (*Result, error) {
 	if err := m.Validate(); err != nil {
 		return nil, err
 	}
+	origDamping, origAlpha := m.Damping, m.Alpha
+	res, err := solveOnce(m)
+	if err == nil || !errors.Is(err, errDiverged) {
+		return res, err
+	}
+	m.Damping = origDamping / 2
+	m.Alpha = origAlpha
+	res, retryErr := solveOnce(m)
+	m.Damping = origDamping
+	if retryErr != nil {
+		return nil, fmt.Errorf("%w; retry at damping %v: %v", err, origDamping/2, retryErr)
+	}
+	return res, nil
+}
+
+// solveOnce runs the iteration at the model's current damping, reporting
+// divergence through errDiverged.
+func solveOnce(m *Model) (*Result, error) {
 	st := newSolverState(m)
 	if len(st.chains) == 0 {
 		return nil, fmt.Errorf("core: no populated chains")
@@ -135,8 +162,13 @@ func Solve(m *Model) (*Result, error) {
 	prevX := make([]float64, len(st.chains))
 	converged := false
 	iter := 0
+	lastDelta := math.NaN()
 	for ; iter < m.MaxIter; iter++ {
 		if err := st.step(); err != nil {
+			if errors.Is(err, errDiverged) {
+				return nil, fmt.Errorf("core: iteration %d: %w (last residual %.3g, damping %v)",
+					iter, err, lastDelta, m.Damping)
+			}
 			return nil, fmt.Errorf("core: iteration %d: %w", iter, err)
 		}
 		var maxDelta float64
@@ -147,14 +179,32 @@ func Solve(m *Model) (*Result, error) {
 			}
 			prevX[k] = cs.X
 		}
+		for _, cs := range st.chains {
+			// A non-finite throughput or cycle time can otherwise "converge"
+			// silently: NaN compares false against every threshold.
+			if !finite(cs.X) || !finite(cs.Rtotal) {
+				return nil, fmt.Errorf(
+					"core: iteration %d: %w: %v chain at site %d has X=%v R=%v (residual %.3g, damping %v)",
+					iter, errDiverged, cs.c.Type, cs.site, cs.X, cs.Rtotal, maxDelta, m.Damping)
+			}
+		}
+		lastDelta = maxDelta
 		if iter > 0 && maxDelta < m.Tol {
 			converged = true
 			iter++
 			break
 		}
+		if iter >= 50 && maxDelta > 1e6 {
+			return nil, fmt.Errorf(
+				"core: iteration %d: %w: residual %.3g still growing (tol %v, damping %v)",
+				iter, errDiverged, maxDelta, m.Tol, m.Damping)
+		}
 	}
 	return st.assemble(iter, converged), nil
 }
+
+// finite reports whether x is neither NaN nor ±Inf.
+func finite(x float64) bool { return !math.IsNaN(x) && !math.IsInf(x, 0) }
 
 // step performs one iteration: visit counts and demands from the current
 // feedback variables, per-site MVA, then damped feedback updates.
@@ -165,6 +215,11 @@ func (st *solverState) step() error {
 			return err
 		}
 		cs.computeDemands(st.m.Sites[cs.site])
+		if !finite(cs.Dcpu) || !finite(cs.Ddisk) || !finite(cs.Dlog) ||
+			!finite(cs.DLW+cs.DRW+cs.DCW+cs.DUT+cs.DTM) {
+			return fmt.Errorf("%w: %v chain at site %d has non-finite demands (cpu %v, disk %v, log %v)",
+				errDiverged, cs.c.Type, cs.site, cs.Dcpu, cs.Ddisk, cs.Dlog)
+		}
 	}
 
 	// 2. Per-site MVA.

@@ -1,0 +1,54 @@
+package core_test
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"carat/internal/core"
+)
+
+// divergentModel passes validation (an infinite disk time is not <= 0) but
+// cannot converge: every cycle time is +Inf from the first iteration. Before
+// the solver checked for non-finite iterates this "converged" silently —
+// NaN/Inf relative deltas compare false against every threshold — and
+// assembled garbage.
+func divergentModel() *core.Model {
+	return &core.Model{Sites: []*core.Site{{
+		Granules: 100, RecordsPerGranule: 6, DiskTime: math.Inf(1),
+		Chains: map[core.Type]*core.Chain{
+			core.LRO: {
+				Type: core.LRO, Population: 2, Local: 4, RecordsPerRequest: 4,
+				UCPU: 7.8, TMCPU: 8, DMCPU: 5.4, LRCPU: 2.2, DMIOCPU: 1.5,
+				InitCPU: 21.4, CommitCPU: 8, CommitOps: 1, AbortCPU: 5.4, UnlockCPU: 2,
+			},
+		},
+	}}}
+}
+
+func TestSolveDetectsDivergence(t *testing.T) {
+	m := divergentModel()
+	res, err := core.Solve(m)
+	if err == nil {
+		t.Fatalf("divergent model solved silently: %+v", res.Sites[0].Chains[core.LRO])
+	}
+	for _, want := range []string{"diverged", "residual", "damping"} {
+		if !strings.Contains(err.Error(), want) {
+			t.Errorf("divergence error %q does not mention %q", err, want)
+		}
+	}
+}
+
+func TestSolveRestoresDampingAfterRetry(t *testing.T) {
+	m := divergentModel()
+	if err := m.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	want := m.Damping
+	if _, err := core.Solve(m); err == nil {
+		t.Fatal("divergent model solved silently")
+	}
+	if m.Damping != want {
+		t.Errorf("Damping = %v after failed solve, want %v restored", m.Damping, want)
+	}
+}

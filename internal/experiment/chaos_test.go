@@ -1,0 +1,110 @@
+package experiment
+
+import (
+	"reflect"
+	"testing"
+
+	"carat/internal/testbed"
+	"carat/internal/workload"
+)
+
+// chaosOpts keeps unit-test audits short while still running the full
+// default batch of randomized plans.
+func chaosOpts(runs int) ChaosOptions {
+	return ChaosOptions{
+		Runs:     runs,
+		Seed:     0xC4A05,
+		Warmup:   5_000,
+		Duration: 90_000,
+	}
+}
+
+// TestChaosAuditClean is the chaos harness's main assertion: twenty runs of
+// the mixed workload under randomized bounded fault plans and resilience
+// policies produce zero invariant violations — no transaction half-commits,
+// none vanishes, every commit survives restart replay, and goodput never
+// collapses below the floor.
+func TestChaosAuditClean(t *testing.T) {
+	report, err := RunChaos(workload.MB4(8), chaosOpts(20))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if report.BaselineTPS <= 0 {
+		t.Fatalf("fault-free baseline goodput = %v txn/s, want > 0", report.BaselineTPS)
+	}
+	if len(report.Runs) != 20 {
+		t.Fatalf("ran %d chaos runs, want 20", len(report.Runs))
+	}
+	if bad := report.Violations(); len(bad) != 0 {
+		t.Fatalf("chaos audit found %d violation(s):\n%s", len(bad), bad)
+	}
+	// Each run must record the drawn configuration for replay.
+	for _, run := range report.Runs {
+		if !run.Plan.Active() {
+			t.Errorf("run %d drew an inactive fault plan", run.Run)
+		}
+		if !run.Resilience.Active() {
+			t.Errorf("run %d drew an inactive resilience policy", run.Run)
+		}
+	}
+}
+
+// TestChaosDeterministic pins that the whole audit is a pure function of
+// (workload, options): same seed, same report.
+func TestChaosDeterministic(t *testing.T) {
+	a, err := RunChaos(workload.MB4(8), chaosOpts(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := RunChaos(workload.MB4(8), chaosOpts(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(a, b) {
+		t.Fatalf("two identical chaos audits diverge:\nfirst:  %+v\nsecond: %+v", a, b)
+	}
+}
+
+// TestProbeRetransmissionDeterministicAcrossWorkerCounts runs a replicated
+// sweep with probe loss, message faults and the full resilience stack
+// active, and pins that results are bit-identical for any worker count —
+// the retransmission timers and the backoff jitter stream must not leak
+// state across concurrent simulations.
+func TestProbeRetransmissionDeterministicAcrossWorkerCounts(t *testing.T) {
+	mk := func(n int) workload.Workload {
+		wl := workload.MB4(n)
+		wl.Faults = &testbed.FaultPlan{
+			MsgLossProb:       0.05,
+			ProbeLossProb:     0.5,
+			LockWaitTimeoutMS: 8_000,
+		}
+		wl.Resilience = testbed.Resilience{
+			Retry:        testbed.RetryPolicy{MaxAttempts: 5, BaseBackoffMS: 10, JitterFrac: 0.4},
+			Admission:    testbed.AdmissionPolicy{MaxMPL: 3},
+			ProbeRetryMS: 300,
+		}
+		return wl
+	}
+	run := func(workers int) []*RepComparison {
+		out, err := SweepReplicated(mk, []int{8}, repOpts(4, workers))
+		if err != nil {
+			t.Fatal(err)
+		}
+		return out
+	}
+	serial, pooled := run(1), run(4)
+	if !reflect.DeepEqual(serial, pooled) {
+		t.Fatalf("results differ between 1 and 4 workers under probe retransmission")
+	}
+	var resent int64
+	for _, rc := range serial {
+		for _, rep := range rc.Reps {
+			for _, nd := range rep.Nodes {
+				resent += nd.ProbesResent
+			}
+		}
+	}
+	if resent == 0 {
+		t.Fatalf("ProbesResent = 0 across the sweep: retransmission never engaged")
+	}
+}

@@ -31,6 +31,12 @@ type Probe struct {
 	From      TxnID
 	To        TxnID
 	Dest      SiteID
+	// Seq is the initiator's probe round. Initiate starts round 0; each
+	// Reprobe for a still-blocked initiator bumps the round. Forwarding
+	// sites dedup per (initiator, target, round), so a retransmitted round
+	// is chased again even where an earlier — possibly lost — round already
+	// passed through.
+	Seq int
 }
 
 // Host exposes the per-site state the detector needs. Implemented by the
@@ -44,13 +50,23 @@ type Host interface {
 	ActiveSite(t TxnID) (site SiteID, ok bool)
 }
 
+// probeKey dedups one chased edge: (initiator, target, round).
+type probeKey struct {
+	initiator TxnID
+	to        TxnID
+	seq       int
+}
+
 // Detector is the per-site probe engine.
 type Detector struct {
 	site SiteID
 	host Host
-	// sent dedups (initiator, to) pairs so each probe edge is chased once
-	// per blocking episode.
-	sent map[[2]TxnID]bool
+	// sent dedups (initiator, to, round) triples so each probe edge is
+	// chased once per blocking episode and round.
+	sent map[probeKey]bool
+	// seq is the current probe round per initiator blocked at this site;
+	// absent means round 0 (plain Initiate).
+	seq map[TxnID]int
 
 	initiated int64
 	received  int64
@@ -59,7 +75,7 @@ type Detector struct {
 
 // NewDetector creates the engine for one site.
 func NewDetector(site SiteID, host Host) *Detector {
-	return &Detector{site: site, host: host, sent: make(map[[2]TxnID]bool)}
+	return &Detector{site: site, host: host, sent: make(map[probeKey]bool), seq: make(map[TxnID]int)}
 }
 
 // Counts returns (probes initiated, probes received, deadlocks detected).
@@ -67,15 +83,16 @@ func (d *Detector) Counts() (initiated, received, detected int64) {
 	return d.initiated, d.received, d.detected
 }
 
-// ClearTxn forgets dedup state for an initiator, called when the
+// ClearTxn forgets dedup and round state for an initiator, called when the
 // transaction unblocks, aborts, or commits so a future blocking episode
 // re-probes.
 func (d *Detector) ClearTxn(t TxnID) {
 	for k := range d.sent {
-		if k[0] == t {
+		if k.initiator == t {
 			delete(d.sent, k)
 		}
 	}
+	delete(d.seq, t)
 }
 
 // Initiate runs when transaction blocked becomes blocked at this site.
@@ -84,7 +101,18 @@ func (d *Detector) ClearTxn(t TxnID) {
 // and are not reported here.
 func (d *Detector) Initiate(blocked TxnID) []Probe {
 	d.initiated++
-	return d.chase(blocked, blocked, nil)
+	return d.chase(blocked, blocked, d.seq[blocked], nil)
+}
+
+// Reprobe re-initiates edge chasing for a transaction still blocked at this
+// site, in a fresh round: the emitted probes carry a bumped Seq, so every
+// site on the path forwards them again even if it forwarded (or lost) the
+// previous round. Message loss therefore delays detection by at most the
+// caller's retransmission period instead of hiding the deadlock forever.
+func (d *Detector) Reprobe(blocked TxnID) []Probe {
+	d.seq[blocked]++
+	d.initiated++
+	return d.chase(blocked, blocked, d.seq[blocked], nil)
 }
 
 // Receive processes an incoming probe at this site. It returns any probes
@@ -96,7 +124,7 @@ func (d *Detector) Receive(p Probe) (forward []Probe, victim TxnID, found bool) 
 		d.detected++
 		return nil, p.Initiator, true
 	}
-	forward = d.chase(p.Initiator, p.To, nil)
+	forward = d.chase(p.Initiator, p.To, p.Seq, nil)
 	// chase reports a closed cycle by emitting a probe addressed to the
 	// initiator at its own site; intercept that here if the initiator is
 	// local-to-this-site conceptually immaterial — detection happens when
@@ -113,10 +141,10 @@ func (d *Detector) Receive(p Probe) (forward []Probe, victim TxnID, found bool) 
 	return kept, victim, found
 }
 
-// chase walks the local wait-for graph from txn on behalf of initiator,
-// producing probes for every dependency whose target is active at another
-// site. visited guards against local cycles re-entering.
-func (d *Detector) chase(initiator, txn TxnID, visited map[TxnID]bool) []Probe {
+// chase walks the local wait-for graph from txn on behalf of initiator's
+// probe round seq, producing probes for every dependency whose target is
+// active at another site. visited guards against local cycles re-entering.
+func (d *Detector) chase(initiator, txn TxnID, seq int, visited map[TxnID]bool) []Probe {
 	if visited == nil {
 		visited = map[TxnID]bool{txn: true}
 	}
@@ -127,7 +155,7 @@ func (d *Detector) chase(initiator, txn TxnID, visited map[TxnID]bool) []Probe {
 		if m == initiator {
 			// Cycle closed locally against a remote initiator: emit a
 			// self-addressed probe that Receive converts to detection.
-			out = append(out, Probe{Initiator: initiator, From: txn, To: initiator, Dest: d.site})
+			out = append(out, Probe{Initiator: initiator, From: txn, To: initiator, Dest: d.site, Seq: seq})
 			continue
 		}
 		site, ok := d.host.ActiveSite(m)
@@ -137,16 +165,16 @@ func (d *Detector) chase(initiator, txn TxnID, visited map[TxnID]bool) []Probe {
 		if site == d.site {
 			if !visited[m] {
 				visited[m] = true
-				out = append(out, d.chase(initiator, m, visited)...)
+				out = append(out, d.chase(initiator, m, seq, visited)...)
 			}
 			continue
 		}
-		key := [2]TxnID{initiator, m}
+		key := probeKey{initiator: initiator, to: m, seq: seq}
 		if d.sent[key] {
 			continue
 		}
 		d.sent[key] = true
-		out = append(out, Probe{Initiator: initiator, From: txn, To: m, Dest: site})
+		out = append(out, Probe{Initiator: initiator, From: txn, To: m, Dest: site, Seq: seq})
 	}
 	return out
 }

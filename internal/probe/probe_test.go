@@ -164,3 +164,52 @@ func TestProbeDirectlyAtInitiator(t *testing.T) {
 		t.Fatalf("self-addressed probe must detect: found=%v victim=%v", found, victim)
 	}
 }
+
+func TestReprobeBypassesDedupWithFreshRound(t *testing.T) {
+	h := &fakeHost{
+		edges: map[TxnID][]TxnID{1: {2}},
+		site:  map[TxnID]SiteID{1: 0, 2: 1},
+	}
+	d := NewDetector(0, h)
+	first := d.Initiate(1)
+	if len(first) != 1 || first[0].Seq != 0 {
+		t.Fatalf("initiate = %v, want one round-0 probe", first)
+	}
+	if got := d.Initiate(1); len(got) != 0 {
+		t.Fatalf("repeat initiate must be deduped, got %v", got)
+	}
+	again := d.Reprobe(1)
+	if len(again) != 1 || again[0].Seq != 1 {
+		t.Fatalf("reprobe = %v, want one round-1 probe", again)
+	}
+	if got := d.Reprobe(1); len(got) != 1 || got[0].Seq != 2 {
+		t.Fatalf("second reprobe = %v, want one round-2 probe", got)
+	}
+	// Unblocking resets the round: the next blocking episode starts at 0.
+	d.ClearTxn(1)
+	if got := d.Initiate(1); len(got) != 1 || got[0].Seq != 0 {
+		t.Fatalf("initiate after ClearTxn = %v, want one round-0 probe", got)
+	}
+}
+
+func TestForwarderForwardsEachRoundOnce(t *testing.T) {
+	// Site 1 forwards probes for the chain 1@0 -> 2@1 -> 3@2. A repeated
+	// round is dropped (the transport may duplicate), but a fresh round —
+	// a retransmission after suspected loss — is forwarded again.
+	sites := map[TxnID]SiteID{1: 0, 2: 1, 3: 2}
+	h1 := &fakeHost{edges: map[TxnID][]TxnID{2: {3}}, site: sites}
+	d1 := NewDetector(1, h1)
+	round0 := Probe{Initiator: 1, From: 1, To: 2, Dest: 1, Seq: 0}
+	fwd, _, found := d1.Receive(round0)
+	if found || len(fwd) != 1 || fwd[0].Seq != 0 {
+		t.Fatalf("round 0: fwd=%v found=%v, want one forwarded probe", fwd, found)
+	}
+	if fwd, _, _ := d1.Receive(round0); len(fwd) != 0 {
+		t.Fatalf("duplicate round 0 must not be forwarded again: %v", fwd)
+	}
+	round1 := Probe{Initiator: 1, From: 1, To: 2, Dest: 1, Seq: 1}
+	fwd, _, found = d1.Receive(round1)
+	if found || len(fwd) != 1 || fwd[0].Seq != 1 {
+		t.Fatalf("round 1: fwd=%v found=%v, want one forwarded probe", fwd, found)
+	}
+}

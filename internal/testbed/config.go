@@ -319,6 +319,10 @@ type Config struct {
 	// and protocol timeouts into the run (see FaultPlan). A nil or zero
 	// plan leaves the simulation byte-identical to a fault-free build.
 	Faults *FaultPlan
+
+	// Resilience configures retry/backoff, per-site admission control and
+	// probe retransmission (see Resilience). The zero value is fully inert.
+	Resilience Resilience
 }
 
 // Validate checks the configuration and fills defaults in place.
@@ -400,6 +404,9 @@ func (c *Config) Validate() error {
 		if err := c.Faults.validate(len(c.Nodes)); err != nil {
 			return err
 		}
+	}
+	if err := c.Resilience.validate(); err != nil {
+		return err
 	}
 	return nil
 }

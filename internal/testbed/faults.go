@@ -84,6 +84,17 @@ type FaultPlan struct {
 	// between submission attempts (default 500 ms). Users homed at a down
 	// site park until its restart completes instead.
 	RetryBackoffMS float64
+
+	// ProbeLossProb drops each inter-site deadlock probe with this
+	// probability — silently, with no retransmission, unlike MsgLossProb.
+	// 1.0 (total probe loss) is allowed: it models a partitioned detection
+	// channel and is what the probe-retransmission regression exercises.
+	ProbeLossProb float64
+
+	// ProbeLossUntilMS, when positive, drops every inter-site probe before
+	// this instant: a bounded probe-channel outage. Probes sent at or after
+	// the instant are subject only to ProbeLossProb.
+	ProbeLossUntilMS float64
 }
 
 // Active reports whether the plan injects anything at all.
@@ -93,7 +104,8 @@ func (f *FaultPlan) Active() bool {
 	}
 	return len(f.Crashes) > 0 || f.CrashMTTFMS > 0 ||
 		f.MsgLossProb > 0 || f.MsgExtraDelayProb > 0 ||
-		f.PrepareTimeoutMS > 0 || f.LockWaitTimeoutMS > 0
+		f.PrepareTimeoutMS > 0 || f.LockWaitTimeoutMS > 0 ||
+		f.ProbeLossProb > 0 || f.ProbeLossUntilMS > 0
 }
 
 // validate checks the plan against the node count and fills scalar defaults
@@ -122,6 +134,12 @@ func (f *FaultPlan) validate(nodes int) error {
 	}
 	if f.PrepareTimeoutMS < 0 || f.LockWaitTimeoutMS < 0 {
 		return fmt.Errorf("testbed: fault plan timeouts must be non-negative")
+	}
+	if f.ProbeLossProb < 0 || f.ProbeLossProb > 1 {
+		return fmt.Errorf("testbed: fault plan ProbeLossProb %v out of [0,1]", f.ProbeLossProb)
+	}
+	if f.ProbeLossUntilMS < 0 {
+		return fmt.Errorf("testbed: fault plan ProbeLossUntilMS must be non-negative")
 	}
 	if f.CrashMTTFMS > 0 && f.CrashMTTRMS == 0 {
 		f.CrashMTTRMS = 5000
@@ -159,6 +177,7 @@ const faultStreamSalt = 0xFA5E17
 type faultState struct {
 	plan     FaultPlan
 	msgRnd   *rng.Rand
+	probeRnd *rng.Rand
 	crashRnd []*rng.Rand
 }
 
@@ -171,7 +190,7 @@ func (s *System) initFaults(plan FaultPlan) {
 		seed = 0x9E3779B97F4A7C15
 	}
 	root := rng.New(rng.SeedStream(seed, faultStreamSalt))
-	f := &faultState{plan: plan, msgRnd: root.Split(1)}
+	f := &faultState{plan: plan, msgRnd: root.Split(1), probeRnd: root.Split(2)}
 	for i := range s.nodes {
 		f.crashRnd = append(f.crashRnd, root.Split(uint64(1000+i)))
 	}
@@ -216,6 +235,24 @@ func (s *System) msgPenalty(from NodeID) float64 {
 		extra += f.msgRnd.Exp(f.plan.MsgExtraDelayMS)
 	}
 	return extra
+}
+
+// dropProbe reports whether fault injection drops one inter-site deadlock
+// probe leaving node from: always inside the probe-channel outage window,
+// else with the per-probe loss probability. Dropped probes are simply gone —
+// no retransmission; recovering from this is the resilience layer's probe
+// retransmission (Resilience.ProbeRetryMS).
+func (s *System) dropProbe(from NodeID) bool {
+	f := s.faults
+	if f.plan.ProbeLossUntilMS > 0 && s.env.Now() < f.plan.ProbeLossUntilMS {
+		s.nodes[from].probesLost.Inc()
+		return true
+	}
+	if f.plan.ProbeLossProb > 0 && f.probeRnd.Bool(f.plan.ProbeLossProb) {
+		s.nodes[from].probesLost.Inc()
+		return true
+	}
+	return false
 }
 
 // crashSite fails a site: its volatile state (lock table, timestamp state,

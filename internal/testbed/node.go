@@ -68,6 +68,23 @@ type node struct {
 	msgsLost        stats.Counter // messages lost (and retransmitted) leaving this node
 	degradedCommits stats.Counter // commits recorded here while some site was down
 	downtimeMS      float64
+
+	// Resilience measurement state (txns homed here).
+	retried         [numAbortCauses]stats.Counter // aborted submissions that were resubmitted
+	abandoned       [numAbortCauses]stats.Counter // transactions that exhausted the retry budget
+	shedArrivals    stats.Counter                 // arrivals rejected by the admission gate
+	delayedArrivals stats.Counter                 // arrivals queued by the admission gate
+	admitWait       stats.Tally                   // queueing delay at the admission gate (ms)
+	probesLost      stats.Counter                 // deadlock probes dropped leaving this node
+	probesResent    stats.Counter                 // probe rounds re-initiated for blocked txns
+
+	// Admission gate state: the currently admitted submission count, its
+	// high-water mark, the FIFO of parked arrivals, and the trailing abort
+	// timestamps behind the abort-rate trigger.
+	admitted     int
+	peakMPL      int
+	admitQ       []*sim.Event
+	recentAborts []float64
 }
 
 func newNode(sys *System, id NodeID, cfg NodeConfig, layout storage.Layout, r *rng.Rand) *node {
@@ -231,6 +248,16 @@ func (n *node) resetStats(t float64) {
 	if n.down {
 		n.downSince = t
 	}
+	for c := range n.retried {
+		n.retried[c].ResetAt(t)
+		n.abandoned[c].ResetAt(t)
+	}
+	n.shedArrivals.ResetAt(t)
+	n.delayedArrivals.ResetAt(t)
+	n.admitWait.Reset()
+	n.probesLost.ResetAt(t)
+	n.probesResent.ResetAt(t)
+	n.peakMPL = n.admitted
 }
 
 // probeHost adapts a node to the probe.Host interface.

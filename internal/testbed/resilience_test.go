@@ -1,0 +1,299 @@
+package testbed
+
+import (
+	"reflect"
+	"testing"
+
+	"carat/internal/storage"
+)
+
+// crossLockConfig builds the smallest system that can form a global
+// deadlock and nothing else: two sites with a single block each, and two
+// DU users homed on opposite sites. Every submission wants the block at
+// both sites (one local and one remote request), so sooner or later each
+// user holds its home block and waits for the other's — a cycle whose two
+// edges live at different sites, invisible to local detection. With only
+// two users a local (single-site) deadlock is impossible.
+func crossLockConfig(seed uint64) Config {
+	cfg := twoNodeConfig([]UserSpec{
+		{Kind: DU, Home: 0, Remote: 1},
+		{Kind: DU, Home: 1, Remote: 0},
+	}, 2, seed)
+	cfg.Layout = storage.Layout{Granules: 1, RecordsPerGran: 6}
+	cfg.Warmup = 0
+	cfg.Duration = 60_000
+	return cfg
+}
+
+// TestProbeRetransmissionRecoversLostProbes is the regression the
+// resilience layer exists for: a deadlock whose probes are lost must be
+// detected by retransmission well before any lock-wait timeout. The fault
+// plan drops every inter-site probe for the first 20 s (a partitioned
+// detection channel) and sets a lock-wait timeout far beyond the run, so
+// only probes can break the cycle. With ProbeRetryMS set, the blocked
+// users keep re-initiating; the first round after the outage gets through
+// and the victim aborts within one retry period.
+func TestProbeRetransmissionRecoversLostProbes(t *testing.T) {
+	const outage = 20_000.0
+	cfg := crossLockConfig(42)
+	cfg.Faults = &FaultPlan{
+		ProbeLossUntilMS:  outage,
+		LockWaitTimeoutMS: 300_000, // never fires within the run
+	}
+	cfg.Resilience = Resilience{ProbeRetryMS: 500}
+	var firstDeadlock float64 = -1
+	lastCommit := -1.0
+	cfg.Trace = func(ev TraceEvent) {
+		switch ev.Ev {
+		case EvDeadlock:
+			if firstDeadlock < 0 {
+				firstDeadlock = ev.T
+			}
+		case EvCommitted:
+			lastCommit = ev.T
+		}
+	}
+	sys, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := sys.Run()
+
+	var deadlocks, commits, resent, lost, timeouts int64
+	for _, nd := range res.Nodes {
+		deadlocks += nd.GlobalDeadlocks + nd.LocalDeadlocks
+		for _, c := range nd.Commits {
+			commits += c
+		}
+		resent += nd.ProbesResent
+		lost += nd.ProbesLost
+		timeouts += nd.TimeoutAborts
+	}
+	if deadlocks < 1 {
+		t.Fatalf("no deadlock victim despite retransmission (first EvDeadlock at %v)", firstDeadlock)
+	}
+	if firstDeadlock < outage || firstDeadlock > outage+1_000 {
+		t.Errorf("first deadlock detected at %v ms, want within [%v, %v] (one retry round past the outage)",
+			firstDeadlock, outage, outage+1_000)
+	}
+	if commits == 0 || lastCommit < outage {
+		t.Errorf("commits = %d (last at %v ms): the system did not resume after the probe outage", commits, lastCommit)
+	}
+	if resent == 0 {
+		t.Errorf("ProbesResent = 0, want > 0 with ProbeRetryMS set")
+	}
+	if lost == 0 {
+		t.Errorf("ProbesLost = 0, want > 0 with every probe dropped for %v ms", outage)
+	}
+	if timeouts != 0 {
+		t.Errorf("TimeoutAborts = %d: detection should have beaten the %v ms lock-wait timeout", timeouts, 300_000.0)
+	}
+}
+
+// TestProbeLossWedgesWithoutRetransmission is the control for the
+// regression above: the identical run with retransmission disabled loses
+// the one probe round sent at block time and never detects the cycle —
+// both users stay wedged for the rest of the run. It also validates the
+// regression's premise that the deadlock forms during the outage.
+func TestProbeLossWedgesWithoutRetransmission(t *testing.T) {
+	const outage = 20_000.0
+	cfg := crossLockConfig(42)
+	cfg.Faults = &FaultPlan{
+		ProbeLossUntilMS:  outage,
+		LockWaitTimeoutMS: 300_000,
+	}
+	lastCommit := -1.0
+	cfg.Trace = func(ev TraceEvent) {
+		if ev.Ev == EvCommitted {
+			lastCommit = ev.T
+		}
+	}
+	sys, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := sys.Run()
+
+	var deadlocks, resent int64
+	for _, nd := range res.Nodes {
+		deadlocks += nd.GlobalDeadlocks + nd.LocalDeadlocks
+		resent += nd.ProbesResent
+	}
+	if deadlocks != 0 {
+		t.Errorf("deadlock victims = %d without retransmission, want 0 (initial probes were dropped)", deadlocks)
+	}
+	if resent != 0 {
+		t.Errorf("ProbesResent = %d with ProbeRetryMS unset, want 0", resent)
+	}
+	if lastCommit >= outage {
+		t.Errorf("a transaction committed at %v ms, after the outage: the run never wedged, so the regression premise fails", lastCommit)
+	}
+}
+
+// stormConfig is the crash-storm configuration the admission tests share:
+// the standard mixed workload under frequent random crashes with lock-wait
+// timeouts, the regime the gate is meant to tame.
+func stormConfig(seed uint64) Config {
+	cfg := twoNodeConfig(mb4Users(), 8, seed)
+	cfg.Warmup = 10_000
+	cfg.Duration = 300_000
+	cfg.Faults = &FaultPlan{
+		CrashMTTFMS:       20_000,
+		CrashMTTRMS:       3_000,
+		LockWaitTimeoutMS: 5_000,
+	}
+	return cfg
+}
+
+// TestAdmissionGateCapsMPL pins the gate's core guarantee: with MaxMPL set,
+// the number of concurrently admitted submissions homed at a site never
+// exceeds it, even while a crash storm churns retries. Excess arrivals
+// queue (the default) and their waits are measured.
+func TestAdmissionGateCapsMPL(t *testing.T) {
+	cfg := stormConfig(31)
+	cfg.Resilience = Resilience{Admission: AdmissionPolicy{MaxMPL: 2}}
+	sys, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := sys.Run()
+
+	var delayed, shed int64
+	for i, nd := range res.Nodes {
+		if nd.PeakMPL > 2 {
+			t.Errorf("node %d peak MPL = %d, want <= 2", i, nd.PeakMPL)
+		}
+		if nd.PeakMPL < 1 {
+			t.Errorf("node %d peak MPL = %d, want >= 1 (users did run)", i, nd.PeakMPL)
+		}
+		delayed += nd.DelayedArrivals
+		shed += nd.ShedArrivals
+	}
+	if delayed == 0 {
+		t.Errorf("DelayedArrivals = 0: four users per site against MaxMPL 2 must queue")
+	}
+	if shed != 0 {
+		t.Errorf("ShedArrivals = %d in queueing mode, want 0", shed)
+	}
+}
+
+// TestAdmissionGateSheds pins the shedding variant: the same storm with
+// Shed set rejects excess arrivals outright instead of queueing them.
+func TestAdmissionGateSheds(t *testing.T) {
+	cfg := stormConfig(31)
+	cfg.Resilience = Resilience{Admission: AdmissionPolicy{MaxMPL: 2, Shed: true, ShedBackoffMS: 50}}
+	sys, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := sys.Run()
+
+	var delayed, shed int64
+	for i, nd := range res.Nodes {
+		if nd.PeakMPL > 2 {
+			t.Errorf("node %d peak MPL = %d, want <= 2", i, nd.PeakMPL)
+		}
+		delayed += nd.DelayedArrivals
+		shed += nd.ShedArrivals
+	}
+	if shed == 0 {
+		t.Errorf("ShedArrivals = 0 in shedding mode, want > 0")
+	}
+	if delayed != 0 {
+		t.Errorf("DelayedArrivals = %d in shedding mode, want 0", delayed)
+	}
+}
+
+// TestRetryBudgetSeparatesRetriedFromAbandoned drives a conflict-heavy
+// workload under a two-attempt budget: a transaction's first abort is
+// retried, its second abandons it. Both counters must move, and the run
+// must stay bit-deterministic with the backoff jitter stream active.
+func TestRetryBudgetSeparatesRetriedFromAbandoned(t *testing.T) {
+	run := func() Results {
+		cfg := twoNodeConfig(mb4Users(), 8, 77)
+		cfg.Layout = storage.Layout{Granules: 20, RecordsPerGran: 6}
+		cfg.Warmup = 5_000
+		cfg.Duration = 150_000
+		cfg.Resilience = Resilience{Retry: RetryPolicy{
+			MaxAttempts:   2,
+			BaseBackoffMS: 5,
+			MaxBackoffMS:  50,
+			JitterFrac:    0.5,
+		}}
+		sys, err := New(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return sys.Run()
+	}
+	res := run()
+
+	var retried, abandoned int64
+	for _, nd := range res.Nodes {
+		for c := AbortCause(0); c < numAbortCauses; c++ {
+			retried += nd.Retried[c]
+			abandoned += nd.Abandoned[c]
+		}
+	}
+	if retried == 0 {
+		t.Errorf("Retried total = 0 on a 20-granule database, want > 0")
+	}
+	if abandoned == 0 {
+		t.Errorf("Abandoned total = 0 with MaxAttempts 2, want > 0")
+	}
+	if again := run(); !reflect.DeepEqual(res, again) {
+		t.Errorf("two identical runs with retry jitter diverge:\nfirst:  %+v\nsecond: %+v", res, again)
+	}
+}
+
+// TestAuditorCleanOnFaultyRun runs the chaos oracle over a run exercising
+// every fault mechanism at once plus the full resilience stack: a correct
+// implementation must produce zero invariant violations.
+func TestAuditorCleanOnFaultyRun(t *testing.T) {
+	cfg := faultTestConfig(19)
+	cfg.Faults = activePlan()
+	cfg.Faults.ProbeLossProb = 0.3
+	cfg.Resilience = Resilience{
+		Retry:        RetryPolicy{MaxAttempts: 5, BaseBackoffMS: 10, JitterFrac: 0.3},
+		Admission:    AdmissionPolicy{MaxMPL: 3, AbortRateThreshold: 2},
+		ProbeRetryMS: 400,
+	}
+	aud := NewAuditor()
+	cfg.Trace = aud.Record
+	sys, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sys.Run()
+	if bad := aud.Audit(sys); len(bad) != 0 {
+		t.Fatalf("auditor found %d violation(s):\n%s", len(bad), bad)
+	}
+	if len(aud.Events()) == 0 {
+		t.Fatal("auditor recorded no events")
+	}
+}
+
+// TestResilienceValidation rejects each malformed policy.
+func TestResilienceValidation(t *testing.T) {
+	cases := []struct {
+		name string
+		r    Resilience
+	}{
+		{"negative attempts", Resilience{Retry: RetryPolicy{MaxAttempts: -1}}},
+		{"negative base backoff", Resilience{Retry: RetryPolicy{BaseBackoffMS: -1}}},
+		{"max below base", Resilience{Retry: RetryPolicy{BaseBackoffMS: 10, MaxBackoffMS: 5}}},
+		{"multiplier below one", Resilience{Retry: RetryPolicy{BaseBackoffMS: 1, Multiplier: 0.5}}},
+		{"jitter above one", Resilience{Retry: RetryPolicy{BaseBackoffMS: 1, JitterFrac: 1.5}}},
+		{"negative jitter", Resilience{Retry: RetryPolicy{BaseBackoffMS: 1, JitterFrac: -0.1}}},
+		{"negative MPL", Resilience{Admission: AdmissionPolicy{MaxMPL: -1}}},
+		{"negative abort threshold", Resilience{Admission: AdmissionPolicy{MaxMPL: 1, AbortRateThreshold: -1}}},
+		{"negative probe retry", Resilience{ProbeRetryMS: -1}},
+	}
+	for _, tc := range cases {
+		cfg := twoNodeConfig(mb4Users(), 4, 1)
+		cfg.Resilience = tc.r
+		if _, err := New(cfg); err == nil {
+			t.Errorf("%s: expected validation error", tc.name)
+		}
+	}
+}

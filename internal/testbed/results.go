@@ -74,6 +74,32 @@ type NodeResults struct {
 	// DegradedCommits counts commits recorded at this site while at least
 	// one site in the system was down — the goodput under partial outage.
 	DegradedCommits int64
+
+	// Resilience measurements. Retried is live even with a zero Resilience
+	// config — the default policy resubmits every abort, and the counter
+	// measures exactly that; everything else is zero unless the
+	// corresponding knob is set.
+
+	// Retried counts aborted submissions of transactions homed here that
+	// were resubmitted, by abort cause; Abandoned counts transactions that
+	// exhausted their retry budget instead. Together they separate retried
+	// work from given-up work, so availability metrics don't double-count
+	// resubmissions.
+	Retried   map[AbortCause]int64
+	Abandoned map[AbortCause]int64
+	// ShedArrivals and DelayedArrivals count admission-gate rejections and
+	// queueings of arrivals at this site; MeanAdmitWaitMS is the mean
+	// queueing delay of the delayed ones.
+	ShedArrivals    int64
+	DelayedArrivals int64
+	MeanAdmitWaitMS float64
+	// PeakMPL is the high-water mark of concurrently admitted submissions
+	// homed here within the window (0 when admission control is off).
+	PeakMPL int
+	// ProbesLost counts deadlock probes fault injection dropped leaving
+	// this site; ProbesResent counts probe rounds re-initiated here.
+	ProbesLost   int64
+	ProbesResent int64
 }
 
 // Results is a full measurement run.
@@ -145,6 +171,18 @@ func (s *System) collect() Results {
 		nr.InDoubtAborted = n.inDoubtAbort.N()
 		nr.MessagesLost = n.msgsLost.N()
 		nr.DegradedCommits = n.degradedCommits.N()
+		nr.Retried = make(map[AbortCause]int64)
+		nr.Abandoned = make(map[AbortCause]int64)
+		for c := AbortCause(0); c < numAbortCauses; c++ {
+			nr.Retried[c] = n.retried[c].N()
+			nr.Abandoned[c] = n.abandoned[c].N()
+		}
+		nr.ShedArrivals = n.shedArrivals.N()
+		nr.DelayedArrivals = n.delayedArrivals.N()
+		nr.MeanAdmitWaitMS = n.admitWait.Mean()
+		nr.PeakMPL = n.peakMPL
+		nr.ProbesLost = n.probesLost.N()
+		nr.ProbesResent = n.probesResent.N()
 		res.Nodes = append(res.Nodes, nr)
 	}
 	res.DegradedMS = s.degradedMS

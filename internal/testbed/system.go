@@ -83,6 +83,10 @@ func New(cfg Config) (*System, error) {
 			spec: spec,
 			id:   i,
 			rnd:  sys.rnd.Split(uint64(10000 + i)),
+			// A dedicated backoff stream (Split is pure, so carving it out
+			// perturbs nothing) keeps retry jitter from shifting the
+			// workload's draws.
+			backoffRnd: sys.rnd.Split(uint64(20000 + i)),
 		}
 		sys.users = append(sys.users, u)
 		sys.env.Spawn(fmt.Sprintf("user-%d-%v", i, spec.Kind), u.run)
@@ -159,6 +163,9 @@ func (s *System) hop(from, to NodeID, bytes int) float64 {
 func (s *System) sendProbes(from NodeID, probes []probe.Probe) {
 	for _, pr := range probes {
 		pr := pr
+		if s.faults != nil && NodeID(pr.Dest) != from && s.dropProbe(from) {
+			continue
+		}
 		d := s.hop(from, NodeID(pr.Dest), probeMsgBytes)
 		deliver := func() {
 			dest := s.nodes[pr.Dest]

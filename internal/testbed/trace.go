@@ -41,6 +41,15 @@ const (
 	// EvTimeoutAbort marks a transaction doomed by a lock-wait or 2PC
 	// prepare timeout (fault injection).
 	EvTimeoutAbort
+	// EvAbandon marks a transaction giving up after exhausting its retry
+	// budget (resilience; Txn is the last aborted submission's gid).
+	EvAbandon
+	// EvShed marks an arrival rejected by the admission gate (resilience;
+	// Txn is -1: no submission was created).
+	EvShed
+	// EvReprobe marks a blocked transaction re-initiating its deadlock
+	// probes (resilience).
+	EvReprobe
 )
 
 var traceNames = map[TraceKind]string{
@@ -58,6 +67,9 @@ var traceNames = map[TraceKind]string{
 	EvCrash:        "crash",
 	EvRestart:      "restart",
 	EvTimeoutAbort: "timeout-abort",
+	EvAbandon:      "abandon",
+	EvShed:         "shed",
+	EvReprobe:      "reprobe",
 }
 
 // String names the event.

@@ -20,11 +20,36 @@ type user struct {
 	spec UserSpec
 	id   int
 	rnd  *rng.Rand
+	// backoffRnd is the dedicated retry-jitter stream; kept separate from
+	// rnd so a backoff policy never shifts the workload's draws.
+	backoffRnd *rng.Rand
 	// curTS is the prevention timestamp of the current user transaction:
 	// the gid of its first submission, kept across deadlock restarts so
 	// wait-die and wound-wait make progress.
 	curTS int64
+	// lastAbort and lastGid record the cause and gid of the most recent
+	// aborted submission, for the retry loop's per-cause accounting.
+	lastAbort error
+	lastGid   int64
+	// holdsSlot is true while this user holds an admission slot at its home
+	// site.
+	holdsSlot bool
 }
+
+// attemptOutcome is what one submission attempt came to.
+type attemptOutcome int
+
+const (
+	// attemptAborted: the submission began and was aborted (and rolled
+	// back); it counts against the retry budget.
+	attemptAborted attemptOutcome = iota
+	// attemptCommitted: the submission committed.
+	attemptCommitted
+	// attemptBlockedDown: a participant site was down before the
+	// submission could begin; nothing was executed, so it does not count
+	// against the retry budget.
+	attemptBlockedDown
+)
 
 // run is the TR process body: an endless submit-commit loop. The
 // simulation clock bound ends it.
@@ -40,27 +65,56 @@ func (u *user) run(p *sim.Proc) {
 }
 
 // execOne drives one user transaction from first submission to commit,
-// looping through deadlock aborts. It records the response time (including
-// aborts and inter-submission think times, the paper's R) at the home node.
+// looping through aborts under the configured retry policy: each aborted
+// submission counts against the retry budget, waits out the exponential
+// backoff, and — once the budget is exhausted — the transaction is
+// abandoned instead of resubmitted. With the zero policy the loop is the
+// paper's behavior: retry immediately, forever. Response time (including
+// aborts and inter-submission think times, the paper's R) is recorded at
+// the home node only for transactions that commit.
 func (u *user) execOne(p *sim.Proc) {
 	home := u.sys.nodes[u.spec.Home]
 	costs := u.sys.cfg.Params.CostsFor(home.id, u.spec.Kind)
+	retry := &u.sys.cfg.Resilience.Retry
 	if u.sys.faults != nil {
 		u.awaitFaults(p)
 	}
 	start := p.Now()
 	u.curTS = 0
+	attempts := 0
+	committed := false
 	for {
-		committed := u.attempt(p)
-		if committed {
+		u.admit(p, home)
+		outcome := u.attempt(p)
+		u.releaseAdmission(home)
+		if outcome == attemptCommitted {
+			committed = true
 			break
+		}
+		if outcome == attemptAborted {
+			attempts++
+			cause := abortCauseOf(u.lastAbort)
+			if retry.MaxAttempts > 0 && attempts >= retry.MaxAttempts {
+				home.abandoned[cause].Inc()
+				u.sys.trace(u.lastGid, u.spec.Kind, home.id, EvAbandon, -1)
+				break
+			}
+			home.retried[cause].Inc()
 		}
 		if costs.ThinkTime > 0 {
 			p.Hold(costs.ThinkTime)
 		}
+		if outcome == attemptAborted {
+			if b := u.retryBackoff(attempts); b > 0 {
+				p.Hold(b)
+			}
+		}
 		if u.sys.faults != nil {
 			u.awaitFaults(p)
 		}
+	}
+	if !committed {
+		return
 	}
 	home.respTime[u.spec.Kind].Add(p.Now() - start)
 	home.respHist[u.spec.Kind].Add(p.Now() - start)
@@ -68,10 +122,10 @@ func (u *user) execOne(p *sim.Proc) {
 	home.recordsDone[u.spec.Kind].Addn(int64(u.sys.cfg.RequestsPerTxn * u.sys.cfg.RecordsPerRequest))
 }
 
-// attempt executes one submission of the transaction. It returns true on
-// commit and false if the transaction was aborted (and rolled back) as a
-// deadlock victim.
-func (u *user) attempt(p *sim.Proc) bool {
+// attempt executes one submission of the transaction and reports how it
+// ended: committed, aborted (and rolled back), or blocked before it began
+// by a down participant site.
+func (u *user) attempt(p *sim.Proc) attemptOutcome {
 	sys := u.sys
 	cfg := &sys.cfg
 	kind := u.spec.Kind
@@ -86,11 +140,11 @@ func (u *user) attempt(p *sim.Proc) bool {
 		// A submission against a down site fails immediately; the user
 		// backs off in execOne and resubmits after the outage.
 		if home.down {
-			return false
+			return attemptBlockedDown
 		}
 		for _, r := range remotes {
 			if r.down {
-				return false
+				return attemptBlockedDown
 			}
 		}
 	}
@@ -199,28 +253,32 @@ func (u *user) attempt(p *sim.Proc) bool {
 		if committed {
 			sys.trace(gid, kind, home.id, EvCommitted, -1)
 			releaseDMs()
-			return true
+			return attemptCommitted
 		}
 		aborted = true
 	}
 
-	u.countAbortCause(home, st)
+	u.noteAbort(home, st)
 	u.rollback(p, st, dmHeld)
 	sys.trace(gid, kind, home.id, EvAborted, -1)
 	releaseDMs()
-	return false
+	return attemptAborted
 }
 
-// countAbortCause attributes an abort to a crash or a timeout for the
-// availability accounting; deadlock aborts are already counted by the
-// lock manager and probe machinery.
-func (u *user) countAbortCause(home *node, st *txnState) {
+// noteAbort attributes an abort to a crash or a timeout for the
+// availability accounting (deadlock aborts are already counted by the lock
+// manager and probe machinery), remembers the cause and gid for the retry
+// loop, and feeds the admission gate's abort-rate trigger.
+func (u *user) noteAbort(home *node, st *txnState) {
+	u.lastAbort = st.cause
+	u.lastGid = st.gid
 	switch st.cause {
 	case errSiteCrash:
 		home.crashAborts.Inc()
 	case errLockTimeout, errPrepareTimeout:
 		home.timeoutAborts.Inc()
 	}
+	home.noteAbortRate(u.sys.env.Now())
 }
 
 // requestSchedule returns the destination of each of the n requests: -1
@@ -402,6 +460,22 @@ func (u *user) lockWait(p *sim.Proc, st *txnState, nd *node) error {
 		})
 	}
 	sys.sendProbes(nd.id, nd.detector.Initiate(probe.TxnID(st.gid)))
+	if rp := sys.cfg.Resilience.ProbeRetryMS; rp > 0 {
+		// Periodic re-initiation for as long as this wait lasts: each round
+		// carries a fresh probe sequence, so sites along the cycle forward
+		// it again even if an earlier round was lost in transit.
+		var rearm func()
+		rearm = func() {
+			if ev.Triggered() || st.finished || st.doomed || !st.parked || nd.down {
+				return
+			}
+			nd.probesResent.Inc()
+			sys.trace(st.gid, st.kind, nd.id, EvReprobe, -1)
+			sys.sendProbes(nd.id, nd.detector.Reprobe(probe.TxnID(st.gid)))
+			sys.env.After(rp, rearm)
+		}
+		sys.env.After(rp, rearm)
+	}
 
 	t0 := p.Now()
 	err := ev.Wait(p)

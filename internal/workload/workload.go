@@ -86,6 +86,11 @@ type Workload struct {
 	// timeouts into simulator runs (the analytical model ignores it). A nil
 	// or zero plan leaves the simulation unchanged.
 	Faults *testbed.FaultPlan
+
+	// Resilience configures the simulator's retry, admission-control and
+	// probe-retransmission policies (the analytical model ignores it). The
+	// zero value leaves the simulation unchanged.
+	Resilience testbed.Resilience
 }
 
 // twoNode fills the standard two-node configuration of the experiments:
@@ -231,6 +236,7 @@ func (w Workload) TestbedConfig(seed uint64, warmup, duration float64) testbed.C
 		Nodes:             nodes,
 		Users:             w.Users,
 		Faults:            faults,
+		Resilience:        w.Resilience,
 		Params:            w.Params,
 		Network:           network,
 		Layout:            w.Layout,
