@@ -1,0 +1,35 @@
+# Developer entry points. Everything here is plain Go tooling — no extra
+# dependencies.
+
+GO ?= go
+BENCH_FILE := BENCH_$(shell date +%F).json
+
+.PHONY: all build test race vet bench chaos
+
+all: build test
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+# The -race smoke list mirrors the CI race job.
+race:
+	$(GO) test -race \
+		-run 'TestParallelSweepSmoke|TestSweepDeterministicAcrossWorkerCounts|TestFaultSweepDeterministicAcrossWorkerCounts|TestFaultRunDeterministic|TestPrepareWindowCrashResolvesInDoubt|TestProbeRetransmissionDeterministicAcrossWorkerCounts|TestReplicatedSweepDeterministicAcrossWorkerCounts|TestReplicatedRunDeterministic' \
+		./internal/experiment/ ./internal/testbed/
+
+vet:
+	$(GO) vet ./...
+
+# Record a benchmark baseline for perf PRs to diff against: the whole -bench
+# suite with allocation stats, one iteration per benchmark, as a JSON event
+# stream in BENCH_<date>.json.
+bench:
+	$(GO) test -run '^$$' -bench . -benchmem -benchtime 1x -json ./... | tee $(BENCH_FILE)
+
+# The chaos audits CI runs: randomized fault plans, unreplicated and R=2.
+chaos:
+	$(GO) test -run 'TestChaosAuditClean|TestAuditorCleanOnFaultyRun|TestReplicatedChaosAuditClean|TestReplicatedFaultsAuditClean' -v \
+		./internal/experiment/ ./internal/testbed/

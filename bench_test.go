@@ -23,6 +23,8 @@ import (
 	"carat/internal/core"
 	"carat/internal/experiment"
 	"carat/internal/mva"
+	"carat/internal/repl"
+	"carat/internal/testbed"
 	"carat/internal/workload"
 )
 
@@ -184,6 +186,42 @@ func BenchmarkModelSolveMB8(b *testing.B) {
 			b.Fatal(err)
 		}
 	}
+}
+
+// BenchmarkSimulateMB8 is the simulator's single-run baseline at the
+// benchmark window (10 simulated minutes of MB8): the number future perf
+// PRs compare ns/op against.
+func BenchmarkSimulateMB8(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		meas, err := Simulate(WorkloadMB8(8), SimOptions{Seed: 1, WarmupMS: 30_000, DurationMS: 630_000})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if meas.Nodes[0].TxnPerSec <= 0 {
+			b.Fatal("simulation stalled")
+		}
+	}
+}
+
+// BenchmarkReplicatedSweep runs the replication availability sweep — R=1
+// baseline plus R=2 under both read policies, with one site crashed mid-
+// window — and reports the availability gain replication buys over the
+// unreplicated baseline.
+func BenchmarkReplicatedSweep(b *testing.B) {
+	plan := testbed.FaultPlan{
+		Crashes: []testbed.SiteCrash{{Site: 1, AtMS: 60_000, DownForMS: 120_000}},
+	}
+	var pts []experiment.ReplicationPoint
+	for i := 0; i < b.N; i++ {
+		var err error
+		pts, err = experiment.ReplicationSweep(workload.MB4(8), []int{1, 2},
+			[]repl.ReadMode{repl.ReadOne, repl.ReadQuorum}, plan, benchOpts())
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric((pts[1].Availability-pts[0].Availability)*100, "avail-gain-pct")
+	b.ReportMetric(float64(pts[1].FailoverReads), "failover-reads")
 }
 
 // BenchmarkSimulateHourMB8 isolates the simulator: one simulated hour of

@@ -28,6 +28,7 @@ import (
 	"carat/internal/core"
 	"carat/internal/disk"
 	"carat/internal/experiment"
+	"carat/internal/repl"
 	"carat/internal/stats"
 	"carat/internal/storage"
 	"carat/internal/testbed"
@@ -627,6 +628,70 @@ func ParseResilience(s string) (Resilience, error) {
 	return r, nil
 }
 
+// ReplicationPolicy configures replicated granules in the simulator: every
+// granule keeps Factor copies on distinct sites (primary first), writes
+// take exclusive locks at the primary copy and propagate to all available
+// replicas inside the commit protocol, and reads run the selected read
+// mode. Factor 0 or 1 is fully inert — simulator runs are byte-identical
+// with and without it. Replication is a testbed extension beyond the
+// paper's single-copy system; the analytical model ignores it.
+type ReplicationPolicy struct {
+	// Factor is the replication factor R: copies per granule, including the
+	// primary. Must not exceed the node count.
+	Factor int
+	// ReadQuorum makes reads confirm against a majority quorum of the
+	// replica set instead of reading one copy (read-one, the default).
+	ReadQuorum bool
+}
+
+// WithReplication attaches the replication policy to the workload's
+// simulator runs; the analytical model ignores it. Replication counters
+// appear in NodeMetrics.
+func (w Workload) WithReplication(r ReplicationPolicy) Workload {
+	mode := repl.ReadOne
+	if r.ReadQuorum {
+		mode = repl.ReadQuorum
+	}
+	w.w.Replication = repl.Policy{Factor: r.Factor, Read: mode}
+	return w
+}
+
+// ParseReplication parses the comma-separated key=value replication syntax
+// of the command-line tools (caratsim -repl):
+//
+//	R=N        replication factor (copies per granule; 1 = off)
+//	read=MODE  read policy: one (default) or quorum
+func ParseReplication(s string) (ReplicationPolicy, error) {
+	var r ReplicationPolicy
+	for _, part := range strings.Split(s, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		key, val, ok := strings.Cut(part, "=")
+		if !ok {
+			return r, fmt.Errorf("repl: %q is not key=value", part)
+		}
+		switch key {
+		case "R", "r", "factor":
+			n, err := strconv.Atoi(val)
+			if err != nil {
+				return r, fmt.Errorf("repl: factor %q: %w", val, err)
+			}
+			r.Factor = n
+		case "read":
+			mode, err := repl.ParseReadMode(val)
+			if err != nil {
+				return r, fmt.Errorf("repl: %w", err)
+			}
+			r.ReadQuorum = mode == repl.ReadQuorum
+		default:
+			return r, fmt.Errorf("repl: unknown key %q", key)
+		}
+	}
+	return r, nil
+}
+
 // SimOptions controls a simulation run.
 type SimOptions struct {
 	// Seed makes runs reproducible; equal seeds give identical results.
@@ -747,6 +812,17 @@ type NodeMetrics struct {
 	// this site; ProbesResent counts probe rounds re-initiated here.
 	ProbesLost   int64
 	ProbesResent int64
+
+	// Replication metrics (simulation only; zero without WithReplication).
+
+	// FailoverReads counts reads of a down site's granules this site served
+	// from its replica copies; ReplicaApplies counts committed writers'
+	// updates journaled at this site's replicas (including restart
+	// catch-up); QuorumReads counts quorum confirmations for reads served
+	// here (read-quorum policy only).
+	FailoverReads  int64
+	ReplicaApplies int64
+	QuorumReads    int64
 }
 
 // DemandBreakdown decomposes one transaction type's commit cycle into the
@@ -885,6 +961,9 @@ func measurementFrom(res testbed.Results) *Measurement {
 			PeakMPL:              n.PeakMPL,
 			ProbesLost:           n.ProbesLost,
 			ProbesResent:         n.ProbesResent,
+			FailoverReads:        n.FailoverReads,
+			ReplicaApplies:       n.ReplicaApplies,
+			QuorumReads:          n.QuorumReads,
 		}
 		for cause, count := range n.Retried {
 			if count > 0 {

@@ -40,6 +40,13 @@
 //	shedbackoff=MS  re-arrival delay for shed arrivals (default 100)
 //	probe=MS        re-initiate deadlock probes every MS while blocked
 //
+// The -repl argument replicates every granule across sites (primary-copy
+// two-phase locking with write-all-available propagation; see
+// carat.ParseReplication):
+//
+//	R=N        replication factor (copies per granule; 1 = off)
+//	read=MODE  read policy: one (default) or quorum
+//
 // With -chaos N the tool instead runs N simulations under randomized
 // bounded fault plans and resilience policies, audits each against the
 // testbed's correctness invariants (2PC atomicity, durability under
@@ -76,6 +83,7 @@ func main() {
 		workers = flag.Int("workers", 0, "parallel simulation workers for -reps (0 = GOMAXPROCS)")
 		faults  = flag.String("faults", "", "fault plan, e.g. 'crash=1@60000+10000,lockto=5000' (see doc comment)")
 		resil   = flag.String("resilience", "", "resilience policy, e.g. 'retries=8,backoff=50,mpl=4,probe=500' (see doc comment)")
+		replStr = flag.String("repl", "", "replication policy, e.g. 'R=2,read=quorum' (see doc comment)")
 		chaos   = flag.Int("chaos", 0, "run a randomized fault audit with this many runs instead of a measurement")
 		asJSON  = flag.Bool("json", false, "emit measurements as JSON")
 	)
@@ -99,12 +107,24 @@ func main() {
 		}
 		resilience = &r
 	}
+	var replication *carat.ReplicationPolicy
+	if *replStr != "" {
+		rp, err := carat.ParseReplication(*replStr)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		replication = &rp
+	}
 
 	if *chaos > 0 {
 		wl, err := carat.WorkloadByName(*name, *n)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(1)
+		}
+		if replication != nil {
+			wl = wl.WithReplication(*replication)
 		}
 		runChaos(wl, *chaos, *seed, *asJSON)
 		return
@@ -155,6 +175,9 @@ func main() {
 		}
 		if resilience != nil {
 			wl = wl.WithResilience(*resilience)
+		}
+		if replication != nil {
+			wl = wl.WithReplication(*replication)
 		}
 		if *reps > 1 {
 			runReplicated(wl, size, opts, *asJSON)
@@ -207,6 +230,10 @@ func main() {
 				fmt.Printf("    retried %d  abandoned %d  shed/delayed %d/%d  admit wait %.1f ms  peak MPL %d  probes lost/resent %d/%d\n",
 					retried, abandoned, node.ShedArrivals, node.DelayedArrivals,
 					node.MeanAdmitWaitMS, node.PeakMPL, node.ProbesLost, node.ProbesResent)
+			}
+			if replication != nil {
+				fmt.Printf("    failover reads %d  replica applies %d  quorum reads %d\n",
+					node.FailoverReads, node.ReplicaApplies, node.QuorumReads)
 			}
 		}
 		if faultPlan != nil {

@@ -38,8 +38,20 @@ func compatible(a, b Mode) bool { return a == Shared && b == Shared }
 // TxnID identifies a transaction agent at one site.
 type TxnID int64
 
-// GranuleID identifies one database block at one site.
+// GranuleID identifies one database block at one site. A site's own
+// (primary) granules use the block number directly, in [0, granules);
+// replicated copies of other sites' granules are routed into the disjoint
+// ReplicaGranule namespace, so a failed-over read never contends with the
+// serving site's primary data.
 type GranuleID int
+
+// ReplicaGranule maps the copy of granule g owned by site owner into a
+// lock id disjoint from every primary granule id: primary-copy locking
+// routes writes to the owner's [0, granules) namespace, while reads served
+// at a replica lock this id at the serving site.
+func ReplicaGranule(owner, granules, g int) GranuleID {
+	return GranuleID((owner+1)*granules + g)
+}
 
 // Outcome is the result of a lock request.
 type Outcome int

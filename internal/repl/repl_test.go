@@ -1,0 +1,107 @@
+package repl
+
+import (
+	"reflect"
+	"testing"
+
+	"carat/internal/rng"
+)
+
+func TestPolicyValidateAndQuorum(t *testing.T) {
+	p := Policy{}
+	if err := p.Validate(2); err != nil {
+		t.Fatal(err)
+	}
+	if p.Factor != 1 || p.Active() {
+		t.Fatalf("zero policy normalized to %+v, want inert Factor=1", p)
+	}
+	bad := Policy{Factor: 3}
+	if err := bad.Validate(2); err == nil {
+		t.Fatal("factor above the site count must be rejected")
+	}
+	neg := Policy{Factor: -1}
+	if err := neg.Validate(2); err == nil {
+		t.Fatal("negative factor must be rejected")
+	}
+	for _, tc := range []struct{ factor, quorum int }{
+		{1, 1}, {2, 2}, {3, 2}, {4, 3}, {5, 3},
+	} {
+		if q := (Policy{Factor: tc.factor}).QuorumSize(); q != tc.quorum {
+			t.Errorf("QuorumSize(R=%d) = %d, want %d", tc.factor, q, tc.quorum)
+		}
+	}
+}
+
+func TestParseReadMode(t *testing.T) {
+	for s, want := range map[string]ReadMode{
+		"one": ReadOne, "": ReadOne, "read-one": ReadOne,
+		"quorum": ReadQuorum, "QUORUM": ReadQuorum,
+	} {
+		got, err := ParseReadMode(s)
+		if err != nil || got != want {
+			t.Errorf("ParseReadMode(%q) = %v, %v; want %v", s, got, err, want)
+		}
+	}
+	if _, err := ParseReadMode("all"); err == nil {
+		t.Fatal("unknown mode must be rejected")
+	}
+}
+
+func TestPlacementShape(t *testing.T) {
+	const nodes, granules, factor = 4, 50, 3
+	p := NewPlacement(nodes, granules, factor, rng.New(7))
+	for owner := 0; owner < nodes; owner++ {
+		for g := 0; g < granules; g++ {
+			reps := p.Replicas(owner, g)
+			if len(reps) != factor {
+				t.Fatalf("(%d,%d): %d replicas, want %d", owner, g, len(reps), factor)
+			}
+			if reps[0] != owner {
+				t.Fatalf("(%d,%d): primary is %d, want the owner", owner, g, reps[0])
+			}
+			seen := map[int]bool{}
+			for _, s := range reps {
+				if s < 0 || s >= nodes {
+					t.Fatalf("(%d,%d): replica site %d out of range", owner, g, s)
+				}
+				if seen[s] {
+					t.Fatalf("(%d,%d): duplicate replica site %d in %v", owner, g, s, reps)
+				}
+				seen[s] = true
+			}
+			if !p.HasReplica(owner, owner, g) {
+				t.Fatalf("(%d,%d): owner not reported as replica", owner, g)
+			}
+		}
+	}
+}
+
+// TestPlacementDeterministic pins that placement is a pure function of the
+// RNG stream: equal seeds reproduce it, different seeds vary it.
+func TestPlacementDeterministic(t *testing.T) {
+	a := NewPlacement(5, 200, 2, rng.New(42))
+	b := NewPlacement(5, 200, 2, rng.New(42))
+	if !reflect.DeepEqual(a, b) {
+		t.Fatal("equal seeds produced different placements")
+	}
+	c := NewPlacement(5, 200, 2, rng.New(43))
+	if reflect.DeepEqual(a, c) {
+		t.Fatal("different seeds produced identical placements (suspicious)")
+	}
+}
+
+// TestPlacementSpreads sanity-checks that replicas are spread over the
+// non-owner sites rather than piling onto one.
+func TestPlacementSpreads(t *testing.T) {
+	const nodes, granules = 4, 600
+	p := NewPlacement(nodes, granules, 2, rng.New(9))
+	counts := make([]int, nodes)
+	for g := 0; g < granules; g++ {
+		counts[p.Replicas(0, g)[1]]++
+	}
+	for s := 1; s < nodes; s++ {
+		if counts[s] < granules/(nodes-1)/2 {
+			t.Fatalf("site %d holds only %d of %d replicas of site 0 (counts %v)", s, counts[s], granules, counts)
+		}
+	}
+}

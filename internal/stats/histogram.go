@@ -99,6 +99,30 @@ func (h *Histogram) Quantile(q float64) float64 {
 	return h.max
 }
 
+// Merge folds another histogram's observations into h, as if every
+// observation behind o had been Added to h directly — the aggregation step
+// for histograms filled by parallel replications. Because both histograms
+// share the same bucket edges, merging loses nothing: quantile estimates
+// keep the one-bucket error bound of a single histogram. Merging histograms
+// with different base or ratio would misfile every count, so that panics.
+func (h *Histogram) Merge(o *Histogram) {
+	if o.base != h.base || o.ratio != h.ratio {
+		panic("stats: merging histograms with different bucket geometry")
+	}
+	for len(h.counts) < len(o.counts) {
+		h.counts = append(h.counts, 0)
+	}
+	for i, c := range o.counts {
+		h.counts[i] += c
+	}
+	h.n += o.n
+	h.underlo += o.underlo
+	h.sum += o.sum
+	if o.max > h.max {
+		h.max = o.max
+	}
+}
+
 // Reset discards all observations.
 func (h *Histogram) Reset() {
 	h.counts = h.counts[:0]

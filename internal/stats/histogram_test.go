@@ -103,3 +103,61 @@ func TestQuantileOfSorted(t *testing.T) {
 		t.Fatal("empty sample")
 	}
 }
+
+// TestHistogramMergeEquivalence pins the Merge contract: merging histograms
+// filled by disjoint shards of a sample is indistinguishable from filling
+// one histogram with the whole sample, so the quantile error bound (one
+// bucket, i.e. a relative error of at most ratio-1) survives aggregation
+// across parallel replications.
+func TestHistogramMergeEquivalence(t *testing.T) {
+	f := func(seed int64) bool {
+		x := uint64(seed)
+		next := func() float64 {
+			x = x*6364136223846793005 + 1442695040888963407
+			return 0.5 + float64(x>>11)/float64(1<<53)*10_000 // some below base
+		}
+		const shards = 4
+		merged := NewHistogram(1, 1.05)
+		direct := NewHistogram(1, 1.05)
+		var sample []float64
+		for s := 0; s < shards; s++ {
+			h := NewHistogram(1, 1.05)
+			for i := 0; i < 500; i++ {
+				v := next()
+				h.Add(v)
+				direct.Add(v)
+				sample = append(sample, v)
+			}
+			merged.Merge(h)
+		}
+		// Mean compares with a tiny tolerance: merging sums per-shard
+		// subtotals, so the additions round differently than one long chain.
+		if merged.N() != direct.N() || merged.Max() != direct.Max() ||
+			math.Abs(merged.Mean()-direct.Mean()) > 1e-9*direct.Mean() {
+			return false
+		}
+		sort.Float64s(sample)
+		for _, q := range []float64{0.5, 0.9, 0.95, 0.99} {
+			if merged.Quantile(q) != direct.Quantile(q) {
+				return false
+			}
+			exact := QuantileOfSorted(sample, q)
+			if math.Abs(merged.Quantile(q)-exact)/exact > 0.06 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestHistogramMergePanicsOnGeometryMismatch(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("merging histograms with different geometry must panic")
+		}
+	}()
+	NewHistogram(1, 1.1).Merge(NewHistogram(1, 1.05))
+}

@@ -24,7 +24,10 @@ import (
 //     implies a durable coordinator commit;
 //   - durability: every committed gid has a durable commit record at its
 //     home site, and is never a restart-recovery loser at any site where
-//     it journaled durable before-images (its updates survive replay).
+//     it journaled durable before-images (its updates survive replay);
+//   - replica agreement (replication runs only): after quiescence every
+//     live, caught-up copy of a granule names the same last committed
+//     writer.
 type Auditor struct {
 	events []TraceEvent
 }
@@ -176,6 +179,66 @@ func (a *Auditor) Audit(sys *System) []string {
 				bad = append(bad, fmt.Sprintf(
 					"durability: txn %d committed but restart recovery at site %d would undo its updates", gid, i))
 			}
+		}
+	}
+
+	bad = append(bad, a.auditReplicas(sys)...)
+	return bad
+}
+
+// auditReplicas checks the replica-agreement invariant: every live copy of
+// a granule names the same last committed writer. Copies at down sites are
+// skipped (their version maps are gone and restart recovery has not rebuilt
+// them), as are granules whose claimed writer is still in flight — the
+// run's teardown can freeze a writer mid-propagation, exactly as a real
+// crash would, and its catch-up belongs to a restart that never comes.
+func (a *Auditor) auditReplicas(sys *System) []string {
+	if sys.repl == nil {
+		return nil
+	}
+	var bad []string
+	blocks := make(map[int]bool)
+	for _, nd := range sys.nodes {
+		if nd.down {
+			continue
+		}
+		for b := range nd.replVersion {
+			blocks[b] = true
+		}
+	}
+	sorted := make([]int, 0, len(blocks))
+	for b := range blocks {
+		sorted = append(sorted, b)
+	}
+	sort.Ints(sorted)
+	granules := sys.cfg.Layout.Granules
+	for _, b := range sorted {
+		owner := b/granules - 1
+		g := b % granules
+		want := int64(-1)
+		inflight := false
+		disagree := false
+		var views []string
+		for _, sid := range sys.repl.place.Replicas(owner, g) {
+			nd := sys.nodes[sid]
+			if nd.down {
+				continue
+			}
+			v := nd.replVersion[b]
+			if _, fly := sys.reg[v]; fly && v != 0 {
+				inflight = true
+			}
+			if want == -1 {
+				want = v
+			} else if v != want {
+				disagree = true
+			}
+			views = append(views, fmt.Sprintf("site %d -> txn %d", sid, v))
+		}
+		if disagree && !inflight {
+			bad = append(bad, fmt.Sprintf(
+				"replica-divergence: granule %d of site %d: live copies disagree on the last committed writer (%v)",
+				g, owner, views))
 		}
 	}
 	return bad

@@ -20,6 +20,7 @@ import (
 
 	"carat/internal/comm"
 	"carat/internal/disk"
+	"carat/internal/repl"
 	"carat/internal/storage"
 )
 
@@ -323,6 +324,14 @@ type Config struct {
 	// Resilience configures retry/backoff, per-site admission control and
 	// probe retransmission (see Resilience). The zero value is fully inert.
 	Resilience Resilience
+
+	// Replication configures replicated granules with primary-copy locking
+	// (see repl.Policy): every granule keeps Factor copies on distinct
+	// sites, writes propagate to all available copies after commit, and
+	// reads run read-one or read-quorum. The zero value (or Factor 1) is
+	// fully inert — a testbed extension beyond the paper's single-copy
+	// system.
+	Replication repl.Policy
 }
 
 // Validate checks the configuration and fills defaults in place.
@@ -407,6 +416,9 @@ func (c *Config) Validate() error {
 	}
 	if err := c.Resilience.validate(); err != nil {
 		return err
+	}
+	if err := c.Replication.Validate(len(c.Nodes)); err != nil {
+		return fmt.Errorf("testbed: %w", err)
 	}
 	return nil
 }

@@ -326,6 +326,9 @@ func (s *System) restartSite(id NodeID) {
 			}
 			nd.journal.ResolveInDoubt(gid, commit, nd.store)
 		}
+		if s.repl != nil {
+			s.recoverReplicas(p, nd)
+		}
 		s.markUp(nd)
 		s.trace(-1, KindNone, id, EvRestart, -1)
 		if s.faults.plan.CrashMTTFMS > 0 {
@@ -417,6 +420,11 @@ func (u *user) awaitFaults(p *sim.Proc) {
 	}
 	for _, r := range u.spec.RemoteSites() {
 		if sys.nodes[r].down {
+			if sys.replReadFailover(u.spec.Kind) {
+				// Reads fail over to surviving replicas; the outage does not
+				// block this user.
+				continue
+			}
 			p.Hold(sys.faults.plan.RetryBackoffMS)
 			return
 		}

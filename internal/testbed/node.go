@@ -78,6 +78,17 @@ type node struct {
 	probesLost      stats.Counter                 // deadlock probes dropped leaving this node
 	probesResent    stats.Counter                 // probe rounds re-initiated for blocked txns
 
+	// Replication state (replication runs only): replVersion maps a replica
+	// block (see replBlock) held at this site to the last committed writer
+	// applied to it. Volatile — wiped at a crash and rebuilt at restart from
+	// the durable replica-apply records.
+	replVersion map[int]int64
+
+	// Replication measurement state.
+	failoverReads  stats.Counter // failed-over reads served at this site
+	replicaApplies stats.Counter // replica applies journaled here (incl. catch-up)
+	quorumReads    stats.Counter // quorum confirmations for reads served here
+
 	// Admission gate state: the currently admitted submission count, its
 	// high-water mark, the FIFO of parked arrivals, and the trailing abort
 	// timestamps behind the abort-rate trigger.
@@ -102,6 +113,7 @@ func newNode(sys *System, id NodeID, cfg NodeConfig, layout storage.Layout, r *r
 		respTime:    make(map[TxnKind]*stats.Tally),
 		respHist:    make(map[TxnKind]*stats.Histogram),
 		submissions: make(map[TxnKind]*stats.Counter),
+		replVersion: make(map[int]int64),
 	}
 	for s := 0; s < cfg.DBDiskStripes; s++ {
 		n.dbDisks = append(n.dbDisks, disk.New(sys.env,
@@ -146,6 +158,7 @@ func (n *node) wipeVolatile() {
 	n.tso = tso.NewManager()
 	n.detector = probe.NewDetector(probe.SiteID(n.id), (*probeHost)(n))
 	n.grantEv = make(map[lock.TxnID]*sim.Event)
+	n.replVersion = make(map[int]int64)
 }
 
 // onGrant wakes the process parked on a lock wait at this site.
@@ -257,6 +270,9 @@ func (n *node) resetStats(t float64) {
 	n.admitWait.Reset()
 	n.probesLost.ResetAt(t)
 	n.probesResent.ResetAt(t)
+	n.failoverReads.ResetAt(t)
+	n.replicaApplies.ResetAt(t)
+	n.quorumReads.ResetAt(t)
 	n.peakMPL = n.admitted
 }
 

@@ -1,0 +1,302 @@
+package testbed
+
+import (
+	"carat/internal/disk"
+	"carat/internal/lock"
+	"carat/internal/repl"
+	"carat/internal/sim"
+)
+
+// replStreamSalt labels the replica-placement substream of the workload RNG.
+// Split is pure, so deriving it perturbs no other stream: enabling
+// replication never shifts the node or user draws.
+const replStreamSalt = 0x5EB11CA
+
+// pendingApply is one write-all-available catch-up entry: a committed
+// writer's update that must still reach a replica whose site was down when
+// the writer propagated.
+type pendingApply struct {
+	block int
+	gid   int64
+}
+
+// replState is the per-run replication machinery: the validated policy, the
+// deterministic replica placement, and the per-site catch-up queues.
+type replState struct {
+	policy repl.Policy
+	place  *repl.Placement
+	// pending queues catch-up applies per down site; the site's restart
+	// recovery drains them (charging the log writes) before it rejoins.
+	pending map[NodeID][]pendingApply
+}
+
+// initRepl installs an active replication policy. Called from New after the
+// nodes exist, before user processes are spawned.
+func (s *System) initRepl() {
+	pol := s.cfg.Replication
+	s.repl = &replState{
+		policy:  pol,
+		place:   repl.NewPlacement(len(s.nodes), s.cfg.Layout.Granules, pol.Factor, s.rnd.Split(replStreamSalt)),
+		pending: make(map[NodeID][]pendingApply),
+	}
+}
+
+// replBlock maps granule g of site owner into the replica lock/journal
+// namespace — disjoint from every site's primary granule ids, so a
+// failed-over read never contends with the serving site's own data.
+func (s *System) replBlock(owner NodeID, g int) int {
+	return int(lock.ReplicaGranule(int(owner), s.cfg.Layout.Granules, g))
+}
+
+// replReadFailover reports whether reads of the kind may be served at a
+// surviving replica while the primary's site is down.
+func (s *System) replReadFailover(kind TxnKind) bool {
+	return s.repl != nil && !kind.Update()
+}
+
+// replQuorum reports whether an access in the mode must confirm against a
+// read quorum of the replica set.
+func (s *System) replQuorum(mode lock.Mode) bool {
+	return s.repl != nil && s.repl.policy.Read == repl.ReadQuorum && mode == lock.Shared
+}
+
+// failoverSite returns the first live replica of granule g of site owner in
+// placement order (deterministic — no runtime draws), or nil when every
+// copy's site is down.
+func (s *System) failoverSite(owner NodeID, g int) *node {
+	for _, sid := range s.repl.place.Replicas(int(owner), g) {
+		if nd := s.nodes[sid]; !nd.down {
+			return nd
+		}
+	}
+	return nil
+}
+
+// queueReplicaApply parks a committed writer's apply for a down site.
+func (s *System) queueReplicaApply(id NodeID, block int, gid int64) {
+	s.repl.pending[id] = append(s.repl.pending[id], pendingApply{block: block, gid: gid})
+}
+
+// recoverReplicas is the replication half of restart recovery: the replica
+// version map (volatile, lost at the crash) is rebuilt by replaying the
+// durable replica-apply records, then the site catches up on the applies
+// that arrived while it was down, journaling and charging each. The drain
+// loops because the catch-up I/O itself takes simulated time, during which
+// new applies may be queued.
+func (s *System) recoverReplicas(p *sim.Proc, nd *node) {
+	nd.replVersion = nd.journal.ReplicaVersions()
+	for len(s.repl.pending[nd.id]) > 0 {
+		q := s.repl.pending[nd.id]
+		s.repl.pending[nd.id] = nil
+		for _, a := range q {
+			nd.journal.LogReplicaApply(a.gid, a.block)
+			mustUse(nd, p, func() error { return nd.logDisk.Do(p, disk.LogWrite, 0) })
+			nd.replVersion[a.block] = a.gid
+			nd.replicaApplies.Inc()
+		}
+	}
+	delete(s.repl.pending, nd.id)
+}
+
+// noteReplWrite records one granule write for post-commit propagation,
+// deduplicated: a transaction re-writing a granule propagates it once.
+func (st *txnState) noteReplWrite(owner NodeID, g int) {
+	for _, w := range st.replWrites {
+		if w.owner == owner && w.granule == g {
+			return
+		}
+	}
+	st.replWrites = append(st.replWrites, replWrite{owner: owner, granule: g})
+}
+
+// noteFailover registers a replica site serving a failed-over read: it
+// becomes a crash-dooming participant, and — unless the commit/abort
+// protocol already releases this transaction's locks there (it allocated the
+// site's DM during INIT) — is remembered for the end-of-transaction lock
+// release. The serving site can be the granules' own restarted primary: a
+// remote that was down at INIT stays on the failover path for the whole
+// submission, so its replica locks are released here, never by the protocol.
+func (st *txnState) noteFailover(serve *node) {
+	if !st.hasParticipant(serve.id) {
+		st.parts = append(st.parts, serve.id)
+	}
+	for _, fs := range st.failoverNodes {
+		if fs == serve {
+			return
+		}
+	}
+	for _, nd := range st.protoHeld {
+		if nd == serve {
+			return
+		}
+	}
+	st.failoverNodes = append(st.failoverNodes, serve)
+}
+
+// propagateReplicas pushes a committed writer's updates to every copy of
+// every granule it wrote. Called by the coordinator strictly after the
+// force-written commit record (the commit point) and strictly before lock
+// release at the owner, so applies to one granule arrive in commit order.
+// Copies at live sites get a forced replica-apply journal record and the
+// log write it costs; copies at down sites are queued for catch-up
+// (write-all-available). The primary's own version stamp piggybacks on its
+// already-durable commit without extra I/O.
+func (u *user) propagateReplicas(p *sim.Proc, st *txnState) {
+	sys := u.sys
+	if sys.repl == nil || len(st.replWrites) == 0 {
+		return
+	}
+	home := sys.nodes[st.home]
+	for _, w := range st.replWrites {
+		blk := sys.replBlock(w.owner, w.granule)
+		for _, sid := range sys.repl.place.Replicas(int(w.owner), w.granule) {
+			nd := sys.nodes[sid]
+			if nd.down {
+				sys.queueReplicaApply(nd.id, blk, st.gid)
+				continue
+			}
+			if nd.id == w.owner {
+				nd.journal.LogReplicaApply(st.gid, blk)
+				nd.replVersion[blk] = st.gid
+				continue
+			}
+			p.Hold(sys.hop(home.id, nd.id, controlMsgBytes))
+			if nd.down {
+				// The site crashed while the apply message was in flight.
+				sys.queueReplicaApply(nd.id, blk, st.gid)
+				continue
+			}
+			nd.journal.LogReplicaApply(st.gid, blk)
+			mustUse(nd, p, func() error { return nd.logDisk.Do(p, disk.LogWrite, 0) })
+			nd.replVersion[blk] = st.gid
+			nd.replicaApplies.Inc()
+			sys.trace(st.gid, st.kind, nd.id, EvReplicaApply, blk)
+		}
+	}
+}
+
+// failoverRead serves one request's granules — owned by the crashed site
+// owner — at their surviving replicas: for each granule, the first live
+// copy in placement order takes the shared lock under the replica
+// namespace, performs the read I/O, and answers the coordinator directly.
+// Counted as FailoverReads at the serving sites.
+func (u *user) failoverRead(p *sim.Proc, st *txnState, owner *node, grans []int) error {
+	sys := u.sys
+	kind := u.spec.Kind
+	home := sys.nodes[st.home]
+	for _, g := range grans {
+		serve := sys.failoverSite(owner.id, g)
+		if serve == nil {
+			// Every copy's site is down: the read is unavailable.
+			if st.cause == nil {
+				st.cause = errSiteCrash
+			}
+			st.doomed = true
+			return errSiteCrash
+		}
+		st.noteFailover(serve)
+		st.activeNode = serve.id
+		rcosts := sys.cfg.Params.CostsFor(serve.id, kind)
+		p.Hold(sys.hop(home.id, serve.id, requestMsgBytes))
+		if serve.down {
+			// Crashed while the request was in flight.
+			if st.cause == nil {
+				st.cause = errSiteCrash
+			}
+			st.doomed = true
+			return errSiteCrash
+		}
+		mustUse(serve, p, func() error { return serve.tmStep(p, rcosts.TMCPU) })
+		mustUse(serve, p, func() error { return serve.cpu.Use(p, rcosts.DMCPU) })
+		lid := sys.replBlock(owner.id, g)
+		mustUse(serve, p, func() error { return serve.cpu.Use(p, rcosts.LRCPU) })
+		if err := u.ccAccess(p, st, serve, lid, lock.Shared); err != nil {
+			return err
+		}
+		if st.doomed {
+			return errDeadlockVictim
+		}
+		mustUse(serve, p, func() error { return serve.cpu.Use(p, rcosts.DMIOCPU) })
+		if err := u.granuleIO(p, st, serve, g, kind); err != nil {
+			return err
+		}
+		serve.failoverReads.Inc()
+		sys.trace(st.gid, kind, serve.id, EvFailoverRead, lid)
+		if sys.replQuorum(lock.Shared) {
+			if err := u.quorumRead(p, st, serve, owner.id, g); err != nil {
+				return err
+			}
+		}
+		p.Hold(sys.hop(serve.id, home.id, responseMsgBytes))
+		if st.doomed {
+			return errDeadlockVictim
+		}
+	}
+	st.activeNode = st.home
+	return nil
+}
+
+// quorumRead confirms a shared read against a read quorum of the granule's
+// replica set: the serving copy plus version checks at QuorumSize-1 further
+// live copies. A version check is a control round trip answered from the
+// copy's version map — no data I/O. The read aborts when fewer than a
+// quorum of copies are live.
+func (u *user) quorumRead(p *sim.Proc, st *txnState, serve *node, owner NodeID, g int) error {
+	sys := u.sys
+	need := sys.repl.policy.QuorumSize() - 1
+	if need <= 0 {
+		return nil
+	}
+	for _, sid := range sys.repl.place.Replicas(int(owner), g) {
+		if need == 0 {
+			break
+		}
+		nd := sys.nodes[sid]
+		if nd == serve || nd.down {
+			continue
+		}
+		rcosts := sys.cfg.Params.CostsFor(nd.id, u.spec.Kind)
+		p.Hold(sys.hop(serve.id, nd.id, controlMsgBytes))
+		if nd.down {
+			continue
+		}
+		mustUse(nd, p, func() error { return nd.tmStep(p, rcosts.TMCPU) })
+		p.Hold(sys.hop(nd.id, serve.id, controlMsgBytes))
+		serve.quorumReads.Inc()
+		need--
+	}
+	if need > 0 {
+		// Fewer than a quorum of copies are reachable.
+		if st.cause == nil {
+			st.cause = errSiteCrash
+		}
+		st.doomed = true
+		return errSiteCrash
+	}
+	return nil
+}
+
+// releaseReplicaReads releases the shared locks failed-over reads took at
+// replica sites that are not otherwise participants. Called on both the
+// commit and the abort path; a serving site that crashed since lost the
+// locks with its volatile state.
+func (u *user) releaseReplicaReads(p *sim.Proc, st *txnState) {
+	if len(st.failoverNodes) == 0 {
+		return
+	}
+	sys := u.sys
+	home := sys.nodes[st.home]
+	for _, fs := range st.failoverNodes {
+		if fs.down {
+			continue
+		}
+		costs := sys.cfg.Params.CostsFor(fs.id, u.spec.Kind)
+		p.Hold(sys.hop(home.id, fs.id, controlMsgBytes))
+		if fs.down {
+			continue
+		}
+		mustUse(fs, p, func() error { return fs.cpu.Use(p, costs.UnlockCPU) })
+		fs.releaseTxn(st.gid)
+		sys.trace(st.gid, u.spec.Kind, fs.id, EvRelease, -1)
+	}
+}

@@ -1,0 +1,133 @@
+package testbed
+
+import (
+	"reflect"
+	"testing"
+
+	"carat/internal/repl"
+)
+
+// replTestConfig is the short two-node configuration the replication tests
+// run, with the given replication policy attached.
+func replTestConfig(seed uint64, policy repl.Policy) Config {
+	cfg := faultTestConfig(seed)
+	cfg.Replication = policy
+	return cfg
+}
+
+// TestInertReplicationPolicy pins the inertness guarantee: a zero policy and
+// an explicit R=1 policy must leave the simulation byte-identical to one
+// configured without replication at all (same RNG draws, same event order,
+// same Results).
+func TestInertReplicationPolicy(t *testing.T) {
+	run := func(policy repl.Policy) Results {
+		sys, err := New(replTestConfig(11, policy))
+		if err != nil {
+			t.Fatal(err)
+		}
+		return sys.Run()
+	}
+	plain := run(repl.Policy{})
+	one := run(repl.Policy{Factor: 1, Read: repl.ReadQuorum})
+	if !reflect.DeepEqual(plain, one) {
+		t.Fatalf("an R=1 policy changed the measurement:\nwithout: %+v\nwith:    %+v", plain, one)
+	}
+}
+
+// TestReplicatedRunDeterministic pins replication determinism: the same seed
+// and the same policy must reproduce bit-identical Results.
+func TestReplicatedRunDeterministic(t *testing.T) {
+	run := func() Results {
+		cfg := replTestConfig(23, repl.Policy{Factor: 2, Read: repl.ReadQuorum})
+		cfg.Faults = activePlan()
+		sys, err := New(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return sys.Run()
+	}
+	a, b := run(), run()
+	if !reflect.DeepEqual(a, b) {
+		t.Fatalf("two replicated runs with the same seed diverge:\nfirst:  %+v\nsecond: %+v", a, b)
+	}
+}
+
+// TestFailoverReadsDuringCrash crashes one site during a read-heavy workload
+// and checks that the surviving replica serves its granules: reads that would
+// have blocked on the down site complete as failover reads, updates propagate
+// to the crashed site's replicas at restart, and the replica-agreement audit
+// stays clean.
+func TestFailoverReadsDuringCrash(t *testing.T) {
+	users := []UserSpec{
+		{Kind: LRO, Home: 0}, {Kind: LU, Home: 0},
+		{Kind: DRO, Home: 0, Remote: 1}, {Kind: DRO, Home: 0, Remote: 1},
+		{Kind: DRO, Home: 0, Remote: 1}, {Kind: DU, Home: 0, Remote: 1},
+	}
+	cfg := twoNodeConfig(users, 8, 31)
+	cfg.Warmup = 10_000
+	cfg.Duration = 300_000
+	cfg.Replication = repl.Policy{Factor: 2}
+	cfg.Faults = &FaultPlan{
+		Crashes: []SiteCrash{{Site: 1, AtMS: 60_000, DownForMS: 60_000}},
+	}
+	aud := NewAuditor()
+	cfg.Trace = aud.Record
+	sys, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := sys.Run()
+	var failover, applies, degraded int64
+	for _, n := range res.Nodes {
+		failover += n.FailoverReads
+		applies += n.ReplicaApplies
+		degraded += n.DegradedCommits
+	}
+	if failover == 0 {
+		t.Error("no failover reads were served while site 1 was down")
+	}
+	if applies == 0 {
+		t.Error("no replica applies were journaled")
+	}
+	if degraded == 0 {
+		t.Error("no commits completed during the outage despite failover reads")
+	}
+	if bad := aud.Audit(sys); len(bad) > 0 {
+		t.Fatalf("audit violations:\n%v", bad)
+	}
+}
+
+// TestQuorumReadsCounted checks that the read-quorum policy confirms reads
+// against the other copy and counts the confirmations.
+func TestQuorumReadsCounted(t *testing.T) {
+	cfg := replTestConfig(7, repl.Policy{Factor: 2, Read: repl.ReadQuorum})
+	sys, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := sys.Run()
+	var quorum int64
+	for _, n := range res.Nodes {
+		quorum += n.QuorumReads
+	}
+	if quorum == 0 {
+		t.Error("no quorum confirmations were counted under the read-quorum policy")
+	}
+}
+
+// TestReplicatedFaultsAuditClean runs the full fault cocktail with R=2 and
+// checks every audit invariant, replica agreement included.
+func TestReplicatedFaultsAuditClean(t *testing.T) {
+	cfg := replTestConfig(41, repl.Policy{Factor: 2})
+	cfg.Faults = activePlan()
+	aud := NewAuditor()
+	cfg.Trace = aud.Record
+	sys, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sys.Run()
+	if bad := aud.Audit(sys); len(bad) > 0 {
+		t.Fatalf("audit violations:\n%v", bad)
+	}
+}

@@ -100,6 +100,19 @@ type NodeResults struct {
 	// this site; ProbesResent counts probe rounds re-initiated here.
 	ProbesLost   int64
 	ProbesResent int64
+
+	// Replication measurements (all zero unless Config.Replication is
+	// active).
+
+	// FailoverReads counts reads of a down site's granules this site served
+	// from its replica copies.
+	FailoverReads int64
+	// ReplicaApplies counts committed writers' updates journaled at this
+	// site's replica copies, including restart catch-up.
+	ReplicaApplies int64
+	// QuorumReads counts quorum confirmations performed for reads served at
+	// this site (read-quorum policy only).
+	QuorumReads int64
 }
 
 // Results is a full measurement run.
@@ -183,6 +196,9 @@ func (s *System) collect() Results {
 		nr.PeakMPL = n.peakMPL
 		nr.ProbesLost = n.probesLost.N()
 		nr.ProbesResent = n.probesResent.N()
+		nr.FailoverReads = n.failoverReads.N()
+		nr.ReplicaApplies = n.replicaApplies.N()
+		nr.QuorumReads = n.quorumReads.N()
 		res.Nodes = append(res.Nodes, nr)
 	}
 	res.DegradedMS = s.degradedMS

@@ -39,6 +39,23 @@ type txnState struct {
 	// parts lists the participant sites (home first); populated only when a
 	// fault plan is active, for crash dooming.
 	parts []NodeID
+	// replWrites lists the granules this transaction wrote, deduplicated,
+	// for post-commit replica propagation (replication runs only).
+	replWrites []replWrite
+	// failoverNodes lists replica sites serving failed-over reads that do
+	// not release this transaction's locks through the normal protocol, for
+	// end-of-transaction lock release.
+	failoverNodes []*node
+	// protoHeld lists the sites whose DMs this submission allocated — the
+	// sites the commit/abort protocol itself releases locks at (replication
+	// runs only; mirrors attempt's dmHeld).
+	protoHeld []*node
+}
+
+// replWrite identifies one written granule by its owning site.
+type replWrite struct {
+	owner   NodeID
+	granule int
 }
 
 // System is a complete simulated CARAT installation.
@@ -52,6 +69,9 @@ type System struct {
 	reg      map[int64]*txnState
 	users    []*user
 	netBytes int64 // inter-site payload bytes, for load-aware delay models
+
+	// Replication state (nil unless Config.Replication is active).
+	repl *replState
 
 	// Fault injection state (nil without an active FaultPlan).
 	faults        *faultState
@@ -76,6 +96,9 @@ func New(cfg Config) (*System, error) {
 	}
 	if cfg.Faults.Active() {
 		sys.initFaults(*cfg.Faults)
+	}
+	if cfg.Replication.Active() {
+		sys.initRepl()
 	}
 	for i, spec := range cfg.Users {
 		u := &user{

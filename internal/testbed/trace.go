@@ -50,6 +50,16 @@ const (
 	// EvReprobe marks a blocked transaction re-initiating its deadlock
 	// probes (resilience).
 	EvReprobe
+	// EvRetryBackoff marks a user waiting out the exponential retry backoff
+	// before resubmitting an aborted transaction (resilience; Txn is the
+	// aborted submission's gid).
+	EvRetryBackoff
+	// EvFailoverRead marks a read of a down site's granule served at a
+	// surviving replica (replication; Granule is the replica block id).
+	EvFailoverRead
+	// EvReplicaApply marks a committed writer's update applied at a replica
+	// site (replication; Granule is the replica block id).
+	EvReplicaApply
 )
 
 var traceNames = map[TraceKind]string{
@@ -68,8 +78,11 @@ var traceNames = map[TraceKind]string{
 	EvRestart:      "restart",
 	EvTimeoutAbort: "timeout-abort",
 	EvAbandon:      "abandon",
-	EvShed:         "shed",
-	EvReprobe:      "reprobe",
+	EvShed:         "admission-shed",
+	EvReprobe:      "probe-retransmit",
+	EvRetryBackoff: "retry-backoff",
+	EvFailoverRead: "failover-read",
+	EvReplicaApply: "replica-apply",
 }
 
 // String names the event.

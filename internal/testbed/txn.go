@@ -106,6 +106,7 @@ func (u *user) execOne(p *sim.Proc) {
 		}
 		if outcome == attemptAborted {
 			if b := u.retryBackoff(attempts); b > 0 {
+				u.sys.trace(u.lastGid, u.spec.Kind, home.id, EvRetryBackoff, -1)
 				p.Hold(b)
 			}
 		}
@@ -143,7 +144,9 @@ func (u *user) attempt(p *sim.Proc) attemptOutcome {
 			return attemptBlockedDown
 		}
 		for _, r := range remotes {
-			if r.down {
+			// Reads of replicated granules need not wait out a slave outage:
+			// they fail over to surviving replicas below.
+			if r.down && !sys.replReadFailover(kind) {
 				return attemptBlockedDown
 			}
 		}
@@ -181,16 +184,31 @@ func (u *user) attempt(p *sim.Proc) attemptOutcome {
 	}
 
 	// --- INIT phase: TBEGIN and DBOPEN processing; DM allocation. ---
+	// Read failover is decided here, once per remote for the whole
+	// submission: a remote down at INIT never joins dmHeld, so every one of
+	// its requests must be served at replicas even if it restarts
+	// mid-submission — taking native locks at a site outside the commit
+	// protocol would leak them.
 	dmHeld := []*node{home}
+	foRemote := make([]bool, len(remotes))
 	mustAcquire(home.dmPool, p)
 	mustUse(home, p, func() error { return home.tmStep(p, costs.InitCPU) })
-	for _, remote := range remotes {
+	for i, remote := range remotes {
+		if remote.down && sys.replReadFailover(kind) {
+			// Failed-over read: the down site takes no part in this
+			// submission; its granules are served at surviving replicas.
+			foRemote[i] = true
+			continue
+		}
 		rcosts := cfg.Params.CostsFor(remote.id, kind)
 		p.Hold(sys.hop(home.id, remote.id, controlMsgBytes))
 		mustUse(remote, p, func() error { return remote.tmStep(p, rcosts.TMCPU) })
 		mustAcquire(remote.dmPool, p)
 		dmHeld = append(dmHeld, remote)
 		p.Hold(sys.hop(remote.id, home.id, controlMsgBytes))
+	}
+	if sys.repl != nil {
+		st.protoHeld = dmHeld
 	}
 	releaseDMs := func() {
 		for _, nd := range dmHeld {
@@ -209,19 +227,26 @@ func (u *user) attempt(p *sim.Proc) attemptOutcome {
 		mustUse(home, p, func() error { return home.tmStep(p, costs.TMCPU) })
 
 		exec := home
+		failover := false
 		if dest >= 0 {
 			exec = remotes[dest]
-			rcosts := cfg.Params.CostsFor(exec.id, kind)
-			p.Hold(sys.hop(home.id, exec.id, requestMsgBytes))
-			// Slave TM receives the REMDO and forwards to the slave DM.
-			mustUse(exec, p, func() error { return exec.tmStep(p, rcosts.TMCPU) })
+			if foRemote[dest] {
+				// The slave was down at INIT: skip its TM entirely and let
+				// dmRequest serve the granules at surviving replicas.
+				failover = true
+			} else {
+				rcosts := cfg.Params.CostsFor(exec.id, kind)
+				p.Hold(sys.hop(home.id, exec.id, requestMsgBytes))
+				// Slave TM receives the REMDO and forwards to the slave DM.
+				mustUse(exec, p, func() error { return exec.tmStep(p, rcosts.TMCPU) })
+			}
 		}
 
-		if err := u.dmRequest(p, st, exec); err != nil {
+		if err := u.dmRequest(p, st, exec, failover); err != nil {
 			aborted = true
 		}
 
-		if !aborted && dest >= 0 {
+		if !aborted && dest >= 0 && !failover {
 			rcosts := cfg.Params.CostsFor(exec.id, kind)
 			// Slave TM routes the response back to the coordinator.
 			mustUse(exec, p, func() error { return exec.tmStep(p, rcosts.TMCPU) })
@@ -245,12 +270,15 @@ func (u *user) attempt(p *sim.Proc) attemptOutcome {
 		st.committing = true
 		mustUse(home, p, func() error { return home.tmStep(p, costs.TMCPU) })
 		var committed bool
-		if len(remotes) == 0 {
+		// Two-phase commit coordinates the slaves actually holding work —
+		// under read failover a down remote never joined dmHeld.
+		if len(dmHeld) == 1 {
 			committed = u.commitLocal(p, st, home, costs)
 		} else {
-			committed = u.twoPhaseCommit(p, st, home, remotes)
+			committed = u.twoPhaseCommit(p, st, home, dmHeld[1:])
 		}
 		if committed {
+			u.releaseReplicaReads(p, st)
 			sys.trace(gid, kind, home.id, EvCommitted, -1)
 			releaseDMs()
 			return attemptCommitted
@@ -260,6 +288,7 @@ func (u *user) attempt(p *sim.Proc) attemptOutcome {
 
 	u.noteAbort(home, st)
 	u.rollback(p, st, dmHeld)
+	u.releaseReplicaReads(p, st)
 	sys.trace(gid, kind, home.id, EvAborted, -1)
 	releaseDMs()
 	return attemptAborted
@@ -316,14 +345,16 @@ func (u *user) requestSchedule(remotes int) []int {
 
 // dmRequest executes one database request at node nd: the DM/LR/DMIO phase
 // loop over the request's granules, acquiring locks and performing block
-// I/O. It returns errDeadlockVictim if the transaction must abort.
-func (u *user) dmRequest(p *sim.Proc, st *txnState, nd *node) error {
+// I/O. With failover set (replicated read against a down site) the granules
+// are served at surviving replicas instead. It returns errDeadlockVictim if
+// the transaction must abort.
+func (u *user) dmRequest(p *sim.Proc, st *txnState, nd *node, failover bool) error {
 	sys := u.sys
 	cfg := &sys.cfg
 	kind := u.spec.Kind
 	costs := cfg.Params.CostsFor(nd.id, kind)
 	st.activeNode = nd.id
-	if sys.faults != nil && nd.down {
+	if sys.faults != nil && nd.down && !failover {
 		if st.cause == nil {
 			st.cause = errSiteCrash
 		}
@@ -333,6 +364,10 @@ func (u *user) dmRequest(p *sim.Proc, st *txnState, nd *node) error {
 
 	recs := cfg.Pattern.Pick(u.rnd, cfg.Layout, cfg.RecordsPerRequest)
 	grans := storage.GranulesOf(cfg.Layout, recs)
+
+	if failover {
+		return u.failoverRead(p, st, nd, grans)
+	}
 
 	mode := lock.Shared
 	if kind.Update() {
@@ -358,6 +393,11 @@ func (u *user) dmRequest(p *sim.Proc, st *txnState, nd *node) error {
 		mustUse(nd, p, func() error { return nd.cpu.Use(p, costs.DMIOCPU) })
 		if err := u.granuleIO(p, st, nd, g, kind); err != nil {
 			return err
+		}
+		if sys.replQuorum(mode) {
+			if err := u.quorumRead(p, st, nd, nd.id, g); err != nil {
+				return err
+			}
 		}
 
 		// DM phase: processing between lock requests.
@@ -517,6 +557,9 @@ func (u *user) granuleIO(p *sim.Proc, st *txnState, nd *node, g int, kind TxnKin
 		mustUse(nd, p, func() error { return nd.logDisk.Do(p, disk.LogWrite, g) })
 		nd.store.Touch(g)
 		mustUse(nd, p, func() error { return nd.dbDiskFor(g).Do(p, disk.Write, g) })
+		if u.sys.repl != nil {
+			st.noteReplWrite(nd.id, g)
+		}
 	}
 	return nil
 }
@@ -577,6 +620,7 @@ func (u *user) commitLocal(p *sim.Proc, st *txnState, home *node, costs PhaseCos
 	rec := home.journal.Commit(st.gid)
 	home.journal.Force(rec.LSN)
 	u.sys.trace(st.gid, u.spec.Kind, home.id, EvForceCommit, -1)
+	u.propagateReplicas(p, st)
 	mustUse(home, p, func() error { return home.cpu.Use(p, costs.UnlockCPU) })
 	home.releaseTxn(st.gid)
 	u.sys.trace(st.gid, u.spec.Kind, home.id, EvRelease, -1)
@@ -627,6 +671,7 @@ func (u *user) twoPhaseCommit(p *sim.Proc, st *txnState, home *node, slaves []*n
 	rec := home.journal.Commit(st.gid)
 	home.journal.Force(rec.LSN)
 	sys.trace(st.gid, kind, home.id, EvForceCommit, -1)
+	u.propagateReplicas(p, st)
 
 	// Phase 2: COMMIT processed in parallel at the slaves; each slave
 	// writes its commit record lazily, releases its locks and acks.

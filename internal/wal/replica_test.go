@@ -1,0 +1,51 @@
+package wal
+
+import (
+	"testing"
+
+	"carat/internal/storage"
+)
+
+// TestReplicaApplyInvisibleToRecovery pins the recovery contract of
+// replica-apply records: they are durable and replayable (ReplicaVersions),
+// but never make their writer a restart loser or an in-doubt branch, and
+// Recover never undoes anything because of them.
+func TestReplicaApplyInvisibleToRecovery(t *testing.T) {
+	layout := storage.Layout{Granules: 10, RecordsPerGran: 6}
+	store := storage.NewStore(layout)
+	l := NewLog()
+
+	// Committed writer 1 applies to replica blocks 23 and 47; writer 2's
+	// apply supersedes writer 1 on block 23.
+	l.LogReplicaApply(1, 23)
+	l.LogReplicaApply(1, 47)
+	l.LogReplicaApply(2, 23)
+
+	versions := l.ReplicaVersions()
+	if versions[23] != 2 || versions[47] != 1 {
+		t.Fatalf("ReplicaVersions = %v, want block 23 -> 2, block 47 -> 1", versions)
+	}
+
+	before := store.ReadBlock(3)
+	losers, inDoubt := l.Recover(store)
+	if len(losers) != 0 || len(inDoubt) != 0 {
+		t.Fatalf("recovery saw losers %v, in-doubt %v; replica applies must be invisible", losers, inDoubt)
+	}
+	if store.ReadBlock(3) != before {
+		t.Fatal("recovery mutated the store with no before-images logged")
+	}
+	// The records survive recovery for replay.
+	if got := l.ReplicaVersions(); got[23] != 2 || got[47] != 1 {
+		t.Fatalf("ReplicaVersions after recovery = %v, want unchanged", got)
+	}
+
+	// A writer with an unforced before-image and a replica apply elsewhere
+	// is still a loser for the before-image alone.
+	l2 := NewLog()
+	l2.LogBeforeImage(9, store, 4)
+	l2.LogReplicaApply(9, 99)
+	losers, _ = l2.Recover(store)
+	if len(losers) != 1 || losers[0] != 9 {
+		t.Fatalf("losers = %v, want exactly txn 9", losers)
+	}
+}

@@ -35,6 +35,13 @@ const (
 	// transaction's fate now rests with its coordinator. Force-written
 	// before the PREPARE acknowledgment.
 	Prepared
+	// ReplicaApply marks a committed writer's update reaching a replica
+	// copy: Block is the replica's lock-namespace id and Txn the committed
+	// writer. Force-written at apply time, and deliberately invisible to
+	// the loser/in-doubt selection of Recover — the writer is already
+	// durably committed at its coordinator, so restart replay only needs
+	// to restore the replica version map from these records.
+	ReplicaApply
 )
 
 // String names the record kind.
@@ -48,6 +55,8 @@ func (k RecordKind) String() string {
 		return "abort"
 	case Prepared:
 		return "prepared"
+	case ReplicaApply:
+		return "replica-apply"
 	default:
 		return fmt.Sprintf("RecordKind(%d)", int(k))
 	}
@@ -137,6 +146,30 @@ func (l *Log) Commit(txn int64) Record {
 	r := l.append(Record{Kind: Commit, Txn: txn})
 	delete(l.byTxn, txn)
 	return r
+}
+
+// LogReplicaApply appends and forces a replica-apply record: committed
+// writer txn's update reached this site's copy identified by block (a
+// replica lock-namespace id, not a primary granule). The caller charges the
+// log-disk write; the record's durability is what lets restart recovery
+// rebuild the replica version map.
+func (l *Log) LogReplicaApply(txn int64, block int) Record {
+	r := l.append(Record{Kind: ReplicaApply, Txn: txn, Block: block, Image: uint64(txn)})
+	l.Force(r.LSN)
+	return r
+}
+
+// ReplicaVersions scans the durable journal and returns the last committed
+// writer of every replica block applied at this site — the restart-replay
+// source for the replica version map.
+func (l *Log) ReplicaVersions() map[int]int64 {
+	out := make(map[int]int64)
+	for _, r := range l.records {
+		if r.Kind == ReplicaApply && r.LSN <= l.flushed {
+			out[r.Block] = r.Txn
+		}
+	}
+	return out
 }
 
 // Prepare appends and forces txn's prepared record (a two-phase-commit

@@ -11,6 +11,7 @@ import (
 	"carat/internal/comm"
 	"carat/internal/core"
 	"carat/internal/disk"
+	"carat/internal/repl"
 	"carat/internal/storage"
 	"carat/internal/testbed"
 )
@@ -91,6 +92,12 @@ type Workload struct {
 	// probe-retransmission policies (the analytical model ignores it). The
 	// zero value leaves the simulation unchanged.
 	Resilience testbed.Resilience
+
+	// Replication configures replicated granules in the simulator (the
+	// analytical model ignores it — the paper's system is single-copy, and
+	// replication is a testbed extension). The zero value (or Factor 1)
+	// leaves the simulation unchanged.
+	Replication repl.Policy
 }
 
 // twoNode fills the standard two-node configuration of the experiments:
@@ -237,6 +244,7 @@ func (w Workload) TestbedConfig(seed uint64, warmup, duration float64) testbed.C
 		Users:             w.Users,
 		Faults:            faults,
 		Resilience:        w.Resilience,
+		Replication:       w.Replication,
 		Params:            w.Params,
 		Network:           network,
 		Layout:            w.Layout,

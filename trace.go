@@ -6,18 +6,22 @@ import (
 
 // TraceEvent is one protocol event from a traced simulation run: lock
 // acquisitions and waits, deadlock victim selections, rollbacks, two-phase
-// commit steps, transaction outcomes and — under WithFaults — site crashes,
-// restarts and timeout aborts. Times are simulation milliseconds.
+// commit steps, transaction outcomes and — under WithFaults, WithResilience
+// or WithReplication — site crashes, restarts, timeout aborts, retry and
+// admission decisions, and replica traffic. Times are simulation
+// milliseconds.
 type TraceEvent struct {
 	TimeMS float64
 	// Txn is the global transaction id, or -1 for site events (crash,
-	// restart).
+	// restart, admission-shed).
 	Txn  int64
 	Type TxnType
 	Node int
 	// Event is one of: begin, lock-wait, lock-grant, deadlock-victim,
 	// rollback, prepare-ack, force-commit-record, slave-commit,
-	// release-locks, committed, aborted, crash, restart, timeout-abort.
+	// release-locks, committed, aborted, crash, restart, timeout-abort,
+	// abandon, admission-shed, probe-retransmit, retry-backoff,
+	// failover-read, replica-apply.
 	Event   string
 	Granule int // lock events only; -1 otherwise
 }
