@@ -412,3 +412,23 @@ func BenchmarkAblationDeadlockVictimPolicies(b *testing.B) {
 	}
 	b.ReportMetric(perHour, "deadlocks-per-hour")
 }
+
+// BenchmarkCapacitySweep runs a small open-arrival capacity sweep — three
+// offered rates around the MB4 bottleneck bound with an MPL-8 admission
+// gate — and reports how close the measured capacity lands to the closed
+// model's 1/D_max prediction.
+func BenchmarkCapacitySweep(b *testing.B) {
+	wl := workload.MB4(8)
+	wl.Resilience = testbed.Resilience{Admission: testbed.AdmissionPolicy{MaxMPL: 8}}
+	var cr *experiment.CapacityResult
+	for i := 0; i < b.N; i++ {
+		var err error
+		cr, err = experiment.CapacitySweep(func() workload.Workload { return wl },
+			[]float64{0.4, 0.8, 1.6}, benchOpts())
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(cr.PeakCommittedTPS/cr.BottleneckBoundTPS*100, "peak-vs-bound-pct")
+	b.ReportMetric(cr.KneeLambdaTPS, "knee-tps")
+}

@@ -28,6 +28,7 @@ import (
 	"carat/internal/core"
 	"carat/internal/disk"
 	"carat/internal/experiment"
+	"carat/internal/openload"
 	"carat/internal/repl"
 	"carat/internal/stats"
 	"carat/internal/storage"
@@ -178,15 +179,24 @@ func (w Workload) WithBufferHitRatio(h float64) Workload {
 }
 
 // WithThinkTime sets the user think time R_UT for every transaction type
-// (the paper runs with zero).
+// (the paper runs with zero). The workload's other cost parameters are
+// preserved: only ThinkTime changes, in a fresh copy of the cost tables so
+// the receiver workload is not mutated.
 func (w Workload) WithThinkTime(ms float64) Workload {
-	p := testbed.DefaultParams(w.w.NumNodes)
-	for n := range p.Costs {
-		for k, c := range p.Costs[n] {
-			c.ThinkTime = ms
-			p.Costs[n][k] = c
-		}
+	p := w.w.Params
+	if p.Costs == nil {
+		p = testbed.DefaultParams(w.w.NumNodes)
 	}
+	costs := make(map[testbed.NodeID]map[testbed.TxnKind]testbed.PhaseCosts, len(p.Costs))
+	for n, byKind := range p.Costs {
+		m := make(map[testbed.TxnKind]testbed.PhaseCosts, len(byKind))
+		for k, c := range byKind {
+			c.ThinkTime = ms
+			m[k] = c
+		}
+		costs[n] = m
+	}
+	p.Costs = costs
 	w.w.Params = p
 	return w
 }
@@ -692,6 +702,243 @@ func ParseReplication(s string) (ReplicationPolicy, error) {
 	return r, nil
 }
 
+// AccessPattern selects how requests pick records at a site. The zero
+// value is the paper's uniform sampling; construct skewed patterns with
+// HotspotPattern or ZipfPattern. The analytical model always keeps the
+// uniform assumption, so skewed patterns are simulator-only extensions.
+type AccessPattern struct {
+	p storage.Pattern
+}
+
+// UniformPattern is the paper's assumption: records chosen uniformly at
+// random from the site's database.
+func UniformPattern() AccessPattern { return AccessPattern{storage.Uniform{}} }
+
+// HotspotPattern is the b–c rule: frac of accesses target the first hot
+// fraction of each site's records (HotspotPattern(0.2, 0.8) is the classic
+// 80/20 skew).
+func HotspotPattern(hot, frac float64) AccessPattern {
+	return AccessPattern{storage.Hotspot{Hot: hot, Frac: frac}}
+}
+
+// ZipfPattern draws record ranks from a bounded Zipf distribution with
+// exponent theta (the YCSB-style default is 0.99; larger is more skewed).
+func ZipfPattern(theta float64) AccessPattern {
+	return AccessPattern{storage.NewZipf(theta)}
+}
+
+// PatternByName builds a pattern from its command-line name ("uniform",
+// "hotspot", "zipf") and the relevant shape parameters; hot/frac apply to
+// hotspot, theta to zipf.
+func PatternByName(name string, hot, frac, theta float64) (AccessPattern, error) {
+	switch name {
+	case "", "uniform":
+		return UniformPattern(), nil
+	case "hotspot":
+		return HotspotPattern(hot, frac), nil
+	case "zipf":
+		return ZipfPattern(theta), nil
+	default:
+		return AccessPattern{}, fmt.Errorf("carat: unknown access pattern %q (want uniform, hotspot or zipf)", name)
+	}
+}
+
+// WithPattern selects the record-access pattern for every request in the
+// workload (generalizes WithHotspot; see AccessPattern).
+func (w Workload) WithPattern(p AccessPattern) Workload {
+	w.w.Pattern = p.p
+	return w
+}
+
+// WithZipf is shorthand for WithPattern(ZipfPattern(theta)).
+func (w Workload) WithZipf(theta float64) Workload {
+	return w.WithPattern(ZipfPattern(theta))
+}
+
+// BurstModulation makes an open arrival process bursty: an on-off
+// modulator (a two-state MMPP) multiplies the arrival rate by Factor
+// during exponentially distributed on-periods of mean OnMeanMS, separated
+// by off-periods of mean OffMeanMS at the base rate. Factor <= 1 or zero
+// sojourn means disable modulation.
+type BurstModulation struct {
+	Factor    float64
+	OnMeanMS  float64
+	OffMeanMS float64
+}
+
+// RampPoint is one knot of a piecewise-linear open arrival schedule.
+type RampPoint struct {
+	AtMS         float64
+	LambdaPerSec float64
+}
+
+// OpenClass describes one transaction class of an open arrival mix. Zero
+// Requests or RemoteFrac inherit the workload's transaction size and
+// remote fraction; a nil Pattern inherits the workload's access pattern.
+type OpenClass struct {
+	// Type is the transaction type arrivals of this class run.
+	Type TxnType
+	// Weight is the class's share of arrivals (relative; zero counts as 1).
+	Weight float64
+	// Requests overrides the transaction size n for this class.
+	Requests int
+	// RemoteFrac overrides the share of requests sent to the slave site.
+	RemoteFrac float64
+	// Pattern overrides the record-access pattern.
+	Pattern *AccessPattern
+}
+
+// OpenArrivals switches the simulator from the paper's closed terminals to
+// an open workload: transactions arrive in per-site Poisson streams at the
+// given rate instead of being resubmitted by a fixed user population. The
+// zero value is inert. Closed users may coexist with open arrivals; the
+// analytical model keeps using the closed population (open mode has no
+// analytical counterpart — that contrast is the point).
+type OpenArrivals struct {
+	// LambdaPerSec is the system-wide arrival rate, split evenly across
+	// sites; PerSiteLambdaPerSec (len = nodes) sets per-site rates instead.
+	LambdaPerSec        float64
+	PerSiteLambdaPerSec []float64
+	// Burst optionally modulates the rate (MMPP on-off bursts).
+	Burst BurstModulation
+	// Ramp optionally replaces the constant rate with a piecewise-linear
+	// system-wide schedule (flat before the first and after the last knot).
+	Ramp []RampPoint
+	// Classes is the arrival mix (empty: one class per transaction type the
+	// topology supports, equal weights).
+	Classes []OpenClass
+}
+
+// WithOpenArrivals attaches an open arrival process to the workload's
+// simulator runs. An unknown class Type is reported when the simulation is
+// built. Open-queue measurements appear in NodeMetrics' Open* fields.
+func (w Workload) WithOpenArrivals(o OpenArrivals) Workload {
+	oc := &testbed.OpenConfig{
+		RatePerSec: o.LambdaPerSec,
+		Burst: openload.Burst{
+			Factor:    o.Burst.Factor,
+			OnMeanMS:  o.Burst.OnMeanMS,
+			OffMeanMS: o.Burst.OffMeanMS,
+		},
+	}
+	oc.PerSiteRatePerSec = append(oc.PerSiteRatePerSec, o.PerSiteLambdaPerSec...)
+	for _, p := range o.Ramp {
+		oc.Ramp = append(oc.Ramp, testbed.OpenRampPoint{AtMS: p.AtMS, RatePerSec: p.LambdaPerSec})
+	}
+	for _, c := range o.Classes {
+		k, err := c.Type.kind()
+		if err != nil {
+			k = testbed.TxnKind(99) // out of range: Config validation names it
+		}
+		tc := testbed.OpenClass{
+			Kind:       k,
+			Weight:     c.Weight,
+			Requests:   c.Requests,
+			RemoteFrac: c.RemoteFrac,
+		}
+		if c.Pattern != nil {
+			tc.Pattern = c.Pattern.p
+		}
+		oc.Classes = append(oc.Classes, tc)
+	}
+	w.w.Open = oc
+	return w
+}
+
+// WithoutClosedUsers removes the closed terminal population, leaving the
+// open arrival process (attach one with WithOpenArrivals first) as the
+// only submission source. The analytical model needs the closed users, so
+// SolveModel fails on the result; Simulate and CapacitySweep accept it.
+func (w Workload) WithoutClosedUsers() Workload {
+	w.w.Users = nil
+	return w
+}
+
+// ParseOpenClasses parses the command-line open-mix syntax (caratsim
+// -classes): classes separated by ';', each a comma-separated list of
+// key=value settings:
+//
+//	kind=TYPE      transaction type: LRO, LU, DRO or DU (required)
+//	weight=X       relative share of arrivals (default 1)
+//	n=N            requests per transaction (default: the workload's n)
+//	rf=F           remote fraction for distributed types (default: workload's)
+//	pattern=NAME   record access: uniform, hotspot or zipf (default: workload's)
+//	hot=F          hotspot: hot fraction of records (default 0.2)
+//	frac=F         hotspot: share of accesses aimed at the hot set (default 0.8)
+//	theta=F        zipf: skew exponent (default 0.99)
+//
+// Example: 'kind=LRO,weight=3;kind=DU,weight=1,n=4,rf=0.25,pattern=zipf'.
+func ParseOpenClasses(s string) ([]OpenClass, error) {
+	var out []OpenClass
+	for _, spec := range strings.Split(s, ";") {
+		spec = strings.TrimSpace(spec)
+		if spec == "" {
+			continue
+		}
+		c := OpenClass{}
+		pattern, hot, frac, theta := "", 0.2, 0.8, 0.99
+		for _, part := range strings.Split(spec, ",") {
+			part = strings.TrimSpace(part)
+			if part == "" {
+				continue
+			}
+			key, val, ok := strings.Cut(part, "=")
+			if !ok {
+				return nil, fmt.Errorf("classes: %q is not key=value", part)
+			}
+			switch key {
+			case "kind":
+				c.Type = TxnType(val)
+				if _, err := c.Type.kind(); err != nil {
+					return nil, fmt.Errorf("classes: %w", err)
+				}
+			case "n":
+				n, err := strconv.Atoi(val)
+				if err != nil {
+					return nil, fmt.Errorf("classes: n %q: %w", val, err)
+				}
+				c.Requests = n
+			case "pattern":
+				pattern = val
+			default:
+				x, err := strconv.ParseFloat(val, 64)
+				if err != nil {
+					return nil, fmt.Errorf("classes: %s value %q: %w", key, val, err)
+				}
+				switch key {
+				case "weight":
+					c.Weight = x
+				case "rf":
+					c.RemoteFrac = x
+				case "hot":
+					hot = x
+				case "frac":
+					frac = x
+				case "theta":
+					theta = x
+				default:
+					return nil, fmt.Errorf("classes: unknown key %q", key)
+				}
+			}
+		}
+		if c.Type == "" {
+			return nil, fmt.Errorf("classes: %q needs kind=TYPE", spec)
+		}
+		if pattern != "" {
+			p, err := PatternByName(pattern, hot, frac, theta)
+			if err != nil {
+				return nil, err
+			}
+			c.Pattern = &p
+		}
+		out = append(out, c)
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("classes: empty class list")
+	}
+	return out, nil
+}
+
 // SimOptions controls a simulation run.
 type SimOptions struct {
 	// Seed makes runs reproducible; equal seeds give identical results.
@@ -823,6 +1070,23 @@ type NodeMetrics struct {
 	FailoverReads  int64
 	ReplicaApplies int64
 	QuorumReads    int64
+
+	// Open-arrival metrics (simulation only; zero without WithOpenArrivals).
+
+	// OpenArrivals counts open-mode transactions that arrived at this site
+	// within the window; OpenOfferedPerSec is the measured offered rate.
+	OpenArrivals      int64
+	OpenOfferedPerSec float64
+	// OpenMeanInSystem and OpenPeakInSystem are the time-average and peak
+	// number of open transactions resident at this site, from arrival
+	// (including admission-gate queueing) to completion.
+	OpenMeanInSystem float64
+	OpenPeakInSystem float64
+	// Open response percentiles aggregate the committed response-time
+	// distribution across all transaction types homed here, in ms.
+	OpenMeanResponseMS float64
+	OpenP50ResponseMS  float64
+	OpenP95ResponseMS  float64
 }
 
 // DemandBreakdown decomposes one transaction type's commit cycle into the
@@ -964,6 +1228,13 @@ func measurementFrom(res testbed.Results) *Measurement {
 			FailoverReads:        n.FailoverReads,
 			ReplicaApplies:       n.ReplicaApplies,
 			QuorumReads:          n.QuorumReads,
+			OpenArrivals:         n.OpenArrivals,
+			OpenOfferedPerSec:    n.OpenOfferedPerSec,
+			OpenMeanInSystem:     n.OpenMeanInSystem,
+			OpenPeakInSystem:     n.OpenPeakInSystem,
+			OpenMeanResponseMS:   n.OpenMeanResponseMS,
+			OpenP50ResponseMS:    n.OpenP50ResponseMS,
+			OpenP95ResponseMS:    n.OpenP95ResponseMS,
 		}
 		for cause, count := range n.Retried {
 			if count > 0 {
@@ -1062,6 +1333,71 @@ func RunChaos(w Workload, opts ChaosOptions) (*ChaosReport, error) {
 		out.Runs = append(out.Runs, ChaosRun{
 			Run: run.Run, Seed: run.Seed, GoodputTPS: run.GoodputTPS, Violations: run.Violations,
 		})
+	}
+	return out, nil
+}
+
+// CapacityPoint is the measurement at one offered-load grid point of a
+// capacity sweep. All rates are system-wide transactions per second.
+type CapacityPoint struct {
+	// LambdaTPS is the configured offered rate; OfferedTPS is the rate the
+	// arrival processes actually generated in the measurement window.
+	LambdaTPS  float64
+	OfferedTPS float64
+	// CommittedTPS is the goodput; ShedTPS counts arrivals the admission
+	// gate rejected, AbandonedTPS transactions that exhausted their retry
+	// budget.
+	CommittedTPS float64
+	ShedTPS      float64
+	AbandonedTPS float64
+	// Response-time percentiles over committed transactions, in ms.
+	MeanResponseMS float64
+	P50ResponseMS  float64
+	P95ResponseMS  float64
+	// MeanInSystem is the time-average number of resident open
+	// transactions, system-wide.
+	MeanInSystem float64
+}
+
+// CapacityReport is a full capacity sweep: per-λ measurements plus the
+// derived saturation summary.
+type CapacityReport struct {
+	Workload string
+	Points   []CapacityPoint
+	// PeakCommittedTPS is the measured capacity (largest goodput on the
+	// grid); KneeLambdaTPS is the smallest offered rate reaching 95% of it.
+	PeakCommittedTPS float64
+	KneeLambdaTPS    float64
+	// BottleneckBoundTPS is the closed model's MVA bottleneck bound 1/D_max
+	// (Section 4) — zero when the workload has no closed users or cannot be
+	// modeled.
+	BottleneckBoundTPS float64
+}
+
+// CapacitySweep measures the workload's open-arrival saturation behavior:
+// one simulation per rate in lambdasPerSec (system-wide arrivals per
+// second, open arrivals replacing the closed terminals), reporting
+// offered/committed/shed throughput and response percentiles per point,
+// the saturation knee, and the closed model's bottleneck bound 1/D_max for
+// comparison. The workload's closed users parameterize the bound and the
+// default arrival mix; attach WithOpenArrivals first to control the mix or
+// burstiness, and WithResilience to admission-control the overloaded
+// points. Replications and Workers in opts apply per grid point; results
+// are bit-identical for any worker count.
+func CapacitySweep(w Workload, lambdasPerSec []float64, opts SimOptions) (*CapacityReport, error) {
+	wl := w.w
+	cr, err := experiment.CapacitySweep(func() workload.Workload { return wl }, lambdasPerSec, opts.fill())
+	if err != nil {
+		return nil, err
+	}
+	out := &CapacityReport{
+		Workload:           cr.Workload,
+		PeakCommittedTPS:   cr.PeakCommittedTPS,
+		KneeLambdaTPS:      cr.KneeLambdaTPS,
+		BottleneckBoundTPS: cr.BottleneckBoundTPS,
+	}
+	for _, p := range cr.Points {
+		out.Points = append(out.Points, CapacityPoint(p))
 	}
 	return out, nil
 }

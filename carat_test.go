@@ -449,3 +449,184 @@ func TestReproduceStaticTables(t *testing.T) {
 		t.Fatal("table 2 rendering broken")
 	}
 }
+
+// TestThinkTimeInteractiveLaw exercises the dormant R_UT > 0 closed-mode
+// path (the paper always runs Z = 0): adding think time must lower
+// throughput, and the measured rates must obey the interactive
+// response-time law X = N/(R+Z) chain by chain — MB4 homes one user per
+// type per node, so each chain's commit rate is 1/(R+Z).
+func TestThinkTimeInteractiveLaw(t *testing.T) {
+	const z = 2000.0
+	base, err := Simulate(WorkloadMB4(8), quick)
+	if err != nil {
+		t.Fatal(err)
+	}
+	thought, err := Simulate(WorkloadMB4(8).WithThinkTime(z), quick)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sum := func(m *Measurement) float64 {
+		var x float64
+		for _, n := range m.Nodes {
+			x += n.TxnPerSec
+		}
+		return x
+	}
+	x0, xz := sum(base), sum(thought)
+	if xz >= x0 {
+		t.Fatalf("think time did not lower throughput: %.3f -> %.3f txn/s", x0, xz)
+	}
+	for i, n := range thought.Nodes {
+		for ty, x := range n.TxnPerSecByType {
+			r := n.MeanResponseMS[ty]
+			law := 1000 / (r + z) // one user per (node, type) in MB4
+			if rel := (x - law) / law; rel < -0.2 || rel > 0.2 {
+				t.Errorf("node %d %s: X=%.4f/s violates N/(R+Z)=%.4f/s (R=%.0f ms)", i, ty, x, law, r)
+			}
+		}
+	}
+	// The analytical model covers Z > 0 through Eq. 10: it must track the
+	// simulator about as well as it does at Z = 0.
+	pred, err := SolveModel(WorkloadMB4(8).WithThinkTime(z))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var xm float64
+	for _, n := range pred.Nodes {
+		xm += n.TxnPerSec
+	}
+	if rel := (xm - xz) / xz; rel < -0.15 || rel > 0.15 {
+		t.Errorf("model X=%.3f vs simulated X=%.3f under think time (%.1f%% off)", xm, xz, 100*rel)
+	}
+}
+
+// TestWithThinkTimeDoesNotMutateReceiver pins the copy-on-write contract:
+// deriving a think-time variant must leave the original workload's cost
+// tables untouched (the method used to rebuild defaults, which would also
+// discard any non-default costs).
+func TestWithThinkTimeDoesNotMutateReceiver(t *testing.T) {
+	w := WorkloadMB4(8)
+	a, err := Simulate(w, quick)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_ = w.WithThinkTime(5000)
+	b, err := Simulate(w, quick)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range a.Nodes {
+		if a.Nodes[i].TxnPerSec != b.Nodes[i].TxnPerSec {
+			t.Fatalf("node %d: WithThinkTime mutated its receiver: %.4f vs %.4f",
+				i, a.Nodes[i].TxnPerSec, b.Nodes[i].TxnPerSec)
+		}
+	}
+}
+
+func TestParseOpenClasses(t *testing.T) {
+	mix, err := ParseOpenClasses("kind=LRO,weight=3;kind=DU,weight=1,n=4,rf=0.25,pattern=zipf,theta=0.8")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(mix) != 2 {
+		t.Fatalf("classes = %d, want 2", len(mix))
+	}
+	if mix[0].Type != LocalReadOnly || mix[0].Weight != 3 || mix[0].Pattern != nil {
+		t.Fatalf("first class: %+v", mix[0])
+	}
+	if mix[1].Type != DistributedUpdate || mix[1].Requests != 4 || mix[1].RemoteFrac != 0.25 || mix[1].Pattern == nil {
+		t.Fatalf("second class: %+v", mix[1])
+	}
+	for _, bad := range []string{
+		"", "weight=2", "kind=XYZ", "kind=LU,weight", "kind=LU,n=x",
+		"kind=LU,bogus=1", "kind=LU,pattern=spiral",
+	} {
+		if _, err := ParseOpenClasses(bad); err == nil {
+			t.Errorf("ParseOpenClasses(%q) accepted", bad)
+		}
+	}
+}
+
+// TestOpenArrivalsSimulate smoke-tests open mode through the facade: the
+// Open* metrics populate, closed terminals can be removed, and an unknown
+// class type is reported when the simulation is built.
+func TestOpenArrivalsSimulate(t *testing.T) {
+	w := WorkloadMB4(8).
+		WithOpenArrivals(OpenArrivals{LambdaPerSec: 0.5}).
+		WithoutClosedUsers()
+	meas, err := Simulate(w, quick)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, n := range meas.Nodes {
+		if n.OpenArrivals <= 0 || n.OpenOfferedPerSec <= 0 {
+			t.Errorf("node %d: no open arrivals recorded: %+v", i, n)
+		}
+		if n.OpenMeanResponseMS <= 0 || n.OpenMeanInSystem <= 0 {
+			t.Errorf("node %d: open queue metrics empty", i)
+		}
+	}
+	// Closed-only runs must keep the open metrics at zero (inert default).
+	closed, err := Simulate(WorkloadMB4(8), quick)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, n := range closed.Nodes {
+		if n.OpenArrivals != 0 || n.OpenOfferedPerSec != 0 {
+			t.Errorf("node %d: closed run reports open arrivals", i)
+		}
+	}
+	if _, err := SolveModel(w); err == nil {
+		t.Error("SolveModel accepted a workload without closed users")
+	}
+	bad := WorkloadMB4(8).WithOpenArrivals(OpenArrivals{
+		LambdaPerSec: 0.5,
+		Classes:      []OpenClass{{Type: TxnType("nope")}},
+	})
+	if _, err := Simulate(bad, quick); err == nil {
+		t.Error("Simulate accepted an unknown open class type")
+	}
+}
+
+// TestZipfPatternSimulate smoke-tests the zipf access pattern end to end.
+func TestZipfPatternSimulate(t *testing.T) {
+	meas, err := Simulate(WorkloadMB4(8).WithZipf(0.99), quick)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if meas.Nodes[0].TxnPerSec <= 0 {
+		t.Fatal("zipf workload idle")
+	}
+	if _, err := PatternByName("spiral", 0, 0, 0); err == nil {
+		t.Error("PatternByName accepted an unknown pattern")
+	}
+}
+
+// TestFacadeCapacitySweep smoke-tests the capacity sweep through the public
+// API on a small grid with short windows.
+func TestFacadeCapacitySweep(t *testing.T) {
+	w := WorkloadMB4(8).WithResilience(Resilience{Admission: AdmissionPolicy{MaxMPL: 8}})
+	rep, err := CapacitySweep(w, []float64{0.4, 0.8}, SimOptions{
+		Seed: 3, WarmupMS: 10_000, DurationMS: 130_000,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Points) != 2 {
+		t.Fatalf("points = %d, want 2", len(rep.Points))
+	}
+	if rep.BottleneckBoundTPS <= 0 {
+		t.Error("no bottleneck bound for a modelable workload")
+	}
+	if rep.PeakCommittedTPS <= 0 || rep.KneeLambdaTPS <= 0 {
+		t.Errorf("empty summary: %+v", rep)
+	}
+	for _, p := range rep.Points {
+		if p.OfferedTPS <= 0 || p.CommittedTPS <= 0 {
+			t.Errorf("λ=%v: empty point: %+v", p.LambdaTPS, p)
+		}
+	}
+	if _, err := CapacitySweep(w, nil, SimOptions{}); err == nil {
+		t.Error("CapacitySweep accepted an empty grid")
+	}
+}

@@ -8,6 +8,25 @@
 //	caratsim -workload MB4 -sweep -reps 8 -workers 4   # mean ±95% CI per point
 //	caratsim -workload MB4 -faults 'crash=1@60000+10000,lockto=5000'
 //	caratsim -workload MB4 -chaos 20   # randomized fault audit, 20 runs
+//	caratsim -workload MB8 -open -lambda 0.8            # open Poisson arrivals
+//	caratsim -workload MB8 -lambdas 0.5,0.8,1.0,1.4 -resilience mpl=8  # capacity sweep
+//
+// With -open the simulator runs an open workload: transactions arrive in
+// per-site Poisson streams at -lambda arrivals/s system-wide instead of
+// being resubmitted by the closed terminals (which are removed). The mix
+// defaults to one class per transaction type; -classes overrides it (see
+// carat.ParseOpenClasses), -burstfactor/-burston/-burstoff modulate the
+// rate with on-off bursts, and -ramp 'AT:RATE,AT:RATE,...' (ms:arrivals/s)
+// replaces the constant rate with a piecewise-linear schedule.
+//
+// With -lambdas L1,L2,... the tool instead runs a capacity sweep: one open
+// simulation per offered rate, reporting committed throughput and response
+// percentiles per point, the saturation knee, and the closed model's
+// bottleneck bound 1/D_max (Section 4) for comparison.
+//
+// The -pattern flag selects the record-access pattern (uniform, the
+// paper's assumption; hotspot, the b–c rule shaped by -hot/-hotfrac; zipf,
+// shaped by -zipftheta).
 //
 // The -faults argument is a comma-separated list of key=value settings:
 //
@@ -59,6 +78,8 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"strconv"
+	"strings"
 
 	"carat"
 )
@@ -78,6 +99,16 @@ func main() {
 		cpus    = flag.Int("cpus", 1, "processors per node")
 		hot     = flag.Float64("hot", 0, "hotspot: fraction of records that are hot (0 = uniform)")
 		hotfrac = flag.Float64("hotfrac", 0.8, "hotspot: fraction of accesses aimed at the hot set")
+		pattern = flag.String("pattern", "", "record access pattern: uniform, hotspot or zipf")
+		theta   = flag.Float64("zipftheta", 0.99, "zipf: skew exponent for -pattern zipf")
+		open    = flag.Bool("open", false, "open workload: Poisson arrivals replace the closed terminals")
+		lambda  = flag.Float64("lambda", 1, "open mode: system-wide arrival rate in transactions/s")
+		classes = flag.String("classes", "", "open mode: arrival mix, e.g. 'kind=LRO,weight=3;kind=DU,n=4' (see doc comment)")
+		bfactor = flag.Float64("burstfactor", 0, "open mode: burst rate multiplier (<=1 = no bursts)")
+		bon     = flag.Float64("burston", 0, "open mode: mean burst duration in ms")
+		boff    = flag.Float64("burstoff", 0, "open mode: mean gap between bursts in ms")
+		ramp    = flag.String("ramp", "", "open mode: piecewise-linear schedule 'AT:RATE,AT:RATE' (ms:arrivals/s)")
+		lambdas = flag.String("lambdas", "", "capacity sweep: comma-separated offered rates in transactions/s")
 		cc      = flag.String("cc", "2PL", "concurrency control: 2PL, wait-die, wound-wait, timestamp-ordering")
 		reps    = flag.Int("reps", 1, "independent replications per point; >1 reports mean ±95% CI")
 		workers = flag.Int("workers", 0, "parallel simulation workers for -reps (0 = GOMAXPROCS)")
@@ -115,6 +146,31 @@ func main() {
 			os.Exit(1)
 		}
 		replication = &rp
+	}
+	var openMix []carat.OpenClass
+	if *classes != "" {
+		mix, err := carat.ParseOpenClasses(*classes)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		openMix = mix
+	}
+	rampPoints, err := parseRamp(*ramp)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	arrivals := carat.OpenArrivals{
+		LambdaPerSec: *lambda,
+		Burst:        carat.BurstModulation{Factor: *bfactor, OnMeanMS: *bon, OffMeanMS: *boff},
+		Ramp:         rampPoints,
+		Classes:      openMix,
+	}
+	grid, err := parseGrid(*lambdas)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
 	}
 
 	if *chaos > 0 {
@@ -169,6 +225,18 @@ func main() {
 		if *hot > 0 {
 			wl = wl.WithHotspot(*hot, *hotfrac)
 		}
+		if *pattern != "" {
+			h := *hot
+			if h == 0 {
+				h = 0.2
+			}
+			p, err := carat.PatternByName(*pattern, h, *hotfrac, *theta)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(1)
+			}
+			wl = wl.WithPattern(p)
+		}
 		wl = wl.WithConcurrencyControl(carat.ConcurrencyControl(*cc))
 		if faultPlan != nil {
 			wl = wl.WithFaults(*faultPlan)
@@ -178,6 +246,16 @@ func main() {
 		}
 		if replication != nil {
 			wl = wl.WithReplication(*replication)
+		}
+		if len(grid) > 0 {
+			if *open || *classes != "" || *bfactor > 1 {
+				wl = wl.WithOpenArrivals(arrivals)
+			}
+			runCapacity(wl, size, grid, opts, *asJSON)
+			continue
+		}
+		if *open {
+			wl = wl.WithOpenArrivals(arrivals).WithoutClosedUsers()
 		}
 		if *reps > 1 {
 			runReplicated(wl, size, opts, *asJSON)
@@ -235,6 +313,12 @@ func main() {
 				fmt.Printf("    failover reads %d  replica applies %d  quorum reads %d\n",
 					node.FailoverReads, node.ReplicaApplies, node.QuorumReads)
 			}
+			if *open {
+				fmt.Printf("    arrivals %d (%.3f/s offered)  in-system mean %.1f peak %.0f  R mean/p50/p95 %.0f/%.0f/%.0f ms\n",
+					node.OpenArrivals, node.OpenOfferedPerSec,
+					node.OpenMeanInSystem, node.OpenPeakInSystem,
+					node.OpenMeanResponseMS, node.OpenP50ResponseMS, node.OpenP95ResponseMS)
+			}
 		}
 		if faultPlan != nil {
 			var degraded int64
@@ -246,6 +330,89 @@ func main() {
 		}
 		fmt.Println()
 	}
+}
+
+// parseGrid parses the -lambdas comma-separated rate list.
+func parseGrid(s string) ([]float64, error) {
+	if s == "" {
+		return nil, nil
+	}
+	var grid []float64
+	for _, part := range strings.Split(s, ",") {
+		x, err := strconv.ParseFloat(strings.TrimSpace(part), 64)
+		if err != nil {
+			return nil, fmt.Errorf("lambdas: %q: %w", part, err)
+		}
+		grid = append(grid, x)
+	}
+	return grid, nil
+}
+
+// parseRamp parses the -ramp 'AT:RATE,AT:RATE' schedule (ms:arrivals/s).
+func parseRamp(s string) ([]carat.RampPoint, error) {
+	if s == "" {
+		return nil, nil
+	}
+	var pts []carat.RampPoint
+	for _, part := range strings.Split(s, ",") {
+		at, rate, ok := strings.Cut(strings.TrimSpace(part), ":")
+		if !ok {
+			return nil, fmt.Errorf("ramp: %q wants AT:RATE", part)
+		}
+		var p carat.RampPoint
+		var err error
+		if p.AtMS, err = strconv.ParseFloat(at, 64); err != nil {
+			return nil, fmt.Errorf("ramp: time %q: %w", at, err)
+		}
+		if p.LambdaPerSec, err = strconv.ParseFloat(rate, 64); err != nil {
+			return nil, fmt.Errorf("ramp: rate %q: %w", rate, err)
+		}
+		pts = append(pts, p)
+	}
+	return pts, nil
+}
+
+// runCapacity runs the -lambdas capacity sweep and prints the saturation
+// summary against the closed model's bottleneck bound.
+func runCapacity(wl carat.Workload, size int, grid []float64, opts carat.SimOptions, asJSON bool) {
+	opts.Progress = func(done, total int) {
+		fmt.Fprintf(os.Stderr, "\r%s n=%d: %d/%d capacity runs", wl.Name(), size, done, total)
+		if done == total {
+			fmt.Fprintln(os.Stderr)
+		}
+	}
+	report, err := carat.CapacitySweep(wl, grid, opts)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	if asJSON {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(struct {
+			N    int
+			Seed uint64
+			*carat.CapacityReport
+		}{size, opts.Seed, report}); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		return
+	}
+	fmt.Printf("%s  n=%d  seed=%d  capacity sweep over %d offered rates\n",
+		report.Workload, size, opts.Seed, len(report.Points))
+	for _, p := range report.Points {
+		fmt.Printf("  λ=%6.3f/s  offered %6.3f  committed %6.3f  shed %5.3f  abandoned %5.3f  R %7.0f ms  p95 %7.0f ms  N %7.1f\n",
+			p.LambdaTPS, p.OfferedTPS, p.CommittedTPS, p.ShedTPS, p.AbandonedTPS,
+			p.MeanResponseMS, p.P95ResponseMS, p.MeanInSystem)
+	}
+	fmt.Printf("  peak committed %.3f txn/s  knee λ=%.3f/s", report.PeakCommittedTPS, report.KneeLambdaTPS)
+	if report.BottleneckBoundTPS > 0 {
+		fmt.Printf("  bound 1/Dmax %.3f txn/s (measured peak = %.0f%% of bound)",
+			report.BottleneckBoundTPS, 100*report.PeakCommittedTPS/report.BottleneckBoundTPS)
+	}
+	fmt.Println()
+	fmt.Println()
 }
 
 // runChaos runs the randomized fault audit and exits non-zero if any run

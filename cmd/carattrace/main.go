@@ -9,10 +9,17 @@
 //
 //	carattrace [-workload MB4] [-n 8] [-seconds 30] [-txn 17] [-cc 2PL]
 //	carattrace -faults 'crash=1@10000+5000,lockto=8000' -seconds 30
+//	carattrace -open -lambda 1 -resilience 'mpl=4,shed=1' -seconds 30
 //
 // With -txn only that transaction's events print. With -faults (same
 // syntax as caratsim; see carat.ParseFaultPlan) the stream also carries
-// the site-level crash, restart and timeout-abort events.
+// the site-level crash, restart and timeout-abort events. With -open the
+// closed terminals are replaced by Poisson arrivals at -lambda system-wide
+// transactions per second, and each arrival prints an `arrival` event at
+// its home site (its Txn field is the negated arrival sequence number —
+// no submission exists yet); an arrival rejected by a shedding admission
+// gate (-resilience 'mpl=N,shed=1') prints `admission-shed` instead of
+// entering the system.
 package main
 
 import (
@@ -33,6 +40,9 @@ func main() {
 		cc      = flag.String("cc", "2PL", "concurrency control: 2PL, wait-die, wound-wait, timestamp-ordering")
 		dbsize  = flag.Int("dbsize", 0, "database blocks per site (0 = paper's 3000)")
 		faults  = flag.String("faults", "", "fault plan, e.g. 'crash=1@10000+5000,lockto=8000' (caratsim syntax)")
+		resil   = flag.String("resilience", "", "resilience policy, e.g. 'mpl=4,shed=1' (caratsim syntax)")
+		open    = flag.Bool("open", false, "replace closed terminals with open Poisson arrivals")
+		lambda  = flag.Float64("lambda", 1.0, "open mode: system-wide arrival rate, txn/s")
 	)
 	flag.Parse()
 
@@ -52,6 +62,17 @@ func main() {
 			os.Exit(1)
 		}
 		wl = wl.WithFaults(fp)
+	}
+	if *resil != "" {
+		r, err := carat.ParseResilience(*resil)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		wl = wl.WithResilience(r)
+	}
+	if *open {
+		wl = wl.WithOpenArrivals(carat.OpenArrivals{LambdaPerSec: *lambda}).WithoutClosedUsers()
 	}
 	opts := carat.SimOptions{Seed: *seed, WarmupMS: 1, DurationMS: *seconds * 1000}
 

@@ -1,0 +1,110 @@
+package openload
+
+import (
+	"math"
+	"testing"
+
+	"carat/internal/rng"
+)
+
+// count returns the number of arrivals in [0, horizon).
+func count(p *Process, horizon float64) int {
+	n := 0
+	for t := p.Next(0); t < horizon; t = p.Next(t) {
+		n++
+	}
+	return n
+}
+
+// A plain Poisson process at constant rate should produce close to
+// rate*horizon arrivals over a long horizon.
+func TestPoissonConstantRate(t *testing.T) {
+	const rate = 0.01 // 10/s
+	const horizon = 1_000_000.0
+	p := NewProcess(rate, nil, Burst{}, rng.New(7))
+	n := count(p, horizon)
+	want := rate * horizon
+	if math.Abs(float64(n)-want) > 4*math.Sqrt(want) {
+		t.Fatalf("arrival count %d outside 4σ of %v", n, want)
+	}
+}
+
+// Same seed, same parameters ⇒ identical arrival sequence.
+func TestProcessDeterministic(t *testing.T) {
+	mk := func() *Process {
+		return NewProcess(0.005, []RampPoint{{0, 0.002}, {50_000, 0.01}},
+			Burst{OnMeanMS: 2000, OffMeanMS: 8000, Factor: 4}, rng.New(42))
+	}
+	a, b := mk(), mk()
+	ta, tb := 0.0, 0.0
+	for i := 0; i < 2000; i++ {
+		ta, tb = a.Next(ta), b.Next(tb)
+		if ta != tb {
+			t.Fatalf("arrival %d diverged: %v vs %v", i, ta, tb)
+		}
+	}
+}
+
+// An increasing ramp should put far more arrivals in the late window than
+// the early window, and EnvelopeRate must interpolate linearly.
+func TestRampShapesArrivals(t *testing.T) {
+	ramp := []RampPoint{{0, 0.001}, {100_000, 0.01}}
+	p := NewProcess(0, ramp, Burst{}, rng.New(3))
+	if got := p.EnvelopeRate(50_000); math.Abs(got-0.0055) > 1e-12 {
+		t.Fatalf("midpoint rate = %v, want 0.0055", got)
+	}
+	if got := p.EnvelopeRate(-5); got != 0.001 {
+		t.Fatalf("pre-ramp rate = %v, want first point", got)
+	}
+	if got := p.EnvelopeRate(200_000); got != 0.01 {
+		t.Fatalf("post-ramp rate = %v, want last point", got)
+	}
+	early, late := 0, 0
+	for tt := p.Next(0); tt < 100_000; tt = p.Next(tt) {
+		if tt < 30_000 {
+			early++
+		} else if tt >= 70_000 {
+			late++
+		}
+	}
+	if late < 3*early {
+		t.Fatalf("ramp not shaping arrivals: early=%d late=%d", early, late)
+	}
+}
+
+// The burst modulator raises the long-run rate toward the stationary mix
+// of on and off states.
+func TestBurstRaisesMeanRate(t *testing.T) {
+	const base = 0.004
+	b := Burst{OnMeanMS: 5000, OffMeanMS: 15000, Factor: 5}
+	p := NewProcess(base, nil, b, rng.New(11))
+	const horizon = 2_000_000.0
+	n := count(p, horizon)
+	want := base * b.meanFactor() * horizon // stationary-mix mean
+	if math.Abs(float64(n)-want) > 0.15*want {
+		t.Fatalf("burst arrival count %d not within 15%% of %v", n, want)
+	}
+	if mr := p.MeanRate(horizon); math.Abs(mr-base*b.meanFactor()) > 1e-12 {
+		t.Fatalf("MeanRate = %v, want %v", mr, base*b.meanFactor())
+	}
+}
+
+// A zero-rate process never fires.
+func TestZeroRateNeverFires(t *testing.T) {
+	p := NewProcess(0, nil, Burst{}, rng.New(1))
+	if got := p.Next(0); !math.IsInf(got, 1) {
+		t.Fatalf("zero-rate Next = %v, want +Inf", got)
+	}
+	// A ramp that decays to zero must terminate rather than spin.
+	p2 := NewProcess(0, []RampPoint{{0, 0.01}, {1000, 0}}, Burst{}, rng.New(2))
+	last := 0.0
+	for tt := p2.Next(0); !math.IsInf(tt, 1); tt = p2.Next(tt) {
+		if tt <= last {
+			t.Fatalf("non-increasing arrival time %v after %v", tt, last)
+		}
+		last = tt
+		if last > 10_000 {
+			t.Fatalf("arrival at %v long after the schedule hit zero", last)
+		}
+	}
+}

@@ -8,7 +8,13 @@
 // distinct blocks touched when sampling records without replacement.
 package storage
 
-import "carat/internal/rng"
+import (
+	"math"
+	"sort"
+	"sync"
+
+	"carat/internal/rng"
+)
 
 // Layout describes one site's database file.
 type Layout struct {
@@ -69,6 +75,71 @@ func (h Hotspot) Pick(r *rng.Rand, l Layout, k int) []int {
 			rec = r.Intn(hot)
 		} else {
 			rec = hot + r.Intn(n-hot)
+		}
+		if _, dup := seen[rec]; dup {
+			continue
+		}
+		seen[rec] = struct{}{}
+		out = append(out, rec)
+	}
+	return out
+}
+
+// Zipf picks records from a bounded Zipf distribution over the site's
+// records: rank i (0-based, record 0 the most popular) is drawn with
+// probability proportional to 1/(i+1)^Theta. Theta = 0 degenerates to
+// uniform; the YCSB-style default is Theta ≈ 0.99. Records are distinct
+// within one call, like the other patterns.
+//
+// Sampling inverts the exact cumulative distribution with a binary search;
+// the CDF table is built once per layout and cached, so a single Zipf value
+// can be shared across concurrent simulations (the cache is mutex-guarded
+// and the table itself is immutable once published).
+type Zipf struct {
+	Theta float64
+
+	mu     sync.Mutex
+	cdf    []float64
+	cdfFor Layout
+}
+
+// NewZipf returns a Zipf pattern with the skew exponent theta > 0.
+func NewZipf(theta float64) *Zipf { return &Zipf{Theta: theta} }
+
+// table returns the CDF over the layout's records, building it on first use.
+func (z *Zipf) table(l Layout) []float64 {
+	z.mu.Lock()
+	defer z.mu.Unlock()
+	if z.cdf != nil && z.cdfFor == l {
+		return z.cdf
+	}
+	n := l.Records()
+	cdf := make([]float64, n)
+	sum := 0.0
+	for i := 0; i < n; i++ {
+		sum += 1 / math.Pow(float64(i+1), z.Theta)
+		cdf[i] = sum
+	}
+	for i := range cdf {
+		cdf[i] /= sum
+	}
+	z.cdf, z.cdfFor = cdf, l
+	return cdf
+}
+
+// Pick implements Pattern. Records are distinct within one call.
+func (z *Zipf) Pick(r *rng.Rand, l Layout, k int) []int {
+	cdf := z.table(l)
+	n := len(cdf)
+	if k >= n {
+		return r.SampleInts(n, k)
+	}
+	seen := make(map[int]struct{}, k)
+	out := make([]int, 0, k)
+	for len(out) < k {
+		rec := sort.SearchFloat64s(cdf, r.Float64())
+		if rec >= n {
+			rec = n - 1
 		}
 		if _, dup := seen[rec]; dup {
 			continue

@@ -168,3 +168,52 @@ func TestStoreTouchAndVersions(t *testing.T) {
 		t.Fatal("Layout accessor wrong")
 	}
 }
+
+// TestZipfSkew checks the frequency skew of the bounded Zipf pattern: the
+// empirical frequency ratio between the most popular record and a deep-tail
+// record must track the theoretical (rank ratio)^theta, and the head of the
+// distribution must absorb far more than its uniform share.
+func TestZipfSkew(t *testing.T) {
+	l := Layout{Granules: 100, RecordsPerGran: 6} // 600 records
+	r := rng.New(5)
+	const theta = 1.0
+	z := NewZipf(theta)
+	counts := make([]int, l.Records())
+	const trials = 200000
+	for i := 0; i < trials; i++ {
+		counts[z.Pick(r, l, 1)[0]]++
+	}
+	// P(rank 0)/P(rank 99) = 100^theta = 100.
+	ratio := float64(counts[0]) / float64(counts[99]+1)
+	if ratio < 50 || ratio > 200 {
+		t.Fatalf("rank-0/rank-99 frequency ratio = %v, want ~100", ratio)
+	}
+	// The top 1% of records should draw well over a third of the accesses
+	// at theta=1 (uniform would give them 1%).
+	top := 0
+	for i := 0; i < l.Records()/100; i++ {
+		top += counts[i]
+	}
+	if frac := float64(top) / trials; frac < 0.3 {
+		t.Fatalf("top-1%% share = %v, want skewed well above uniform", frac)
+	}
+}
+
+func TestZipfDistinctAndInRange(t *testing.T) {
+	l := Layout{Granules: 10, RecordsPerGran: 2}
+	r := rng.New(6)
+	z := NewZipf(0.99)
+	for i := 0; i < 200; i++ {
+		recs := z.Pick(r, l, 12)
+		seen := map[int]bool{}
+		for _, rec := range recs {
+			if rec < 0 || rec >= l.Records() {
+				t.Fatalf("record %d out of range", rec)
+			}
+			if seen[rec] {
+				t.Fatalf("duplicate record %d in %v", rec, recs)
+			}
+			seen[rec] = true
+		}
+	}
+}

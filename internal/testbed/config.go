@@ -332,6 +332,14 @@ type Config struct {
 	// fully inert — a testbed extension beyond the paper's single-copy
 	// system.
 	Replication repl.Policy
+
+	// Open, when non-nil and active, drives the testbed with open arrivals
+	// (see OpenConfig): per-site Poisson processes on dedicated RNG
+	// substreams, optionally burst-modulated and ramped, submitting
+	// transactions from a multi-class mix. Users may then be empty (the
+	// closed terminals are replaced) or non-empty (mixed open + closed
+	// load). Nil leaves closed-mode runs byte-identical.
+	Open *OpenConfig
 }
 
 // Validate checks the configuration and fills defaults in place.
@@ -339,7 +347,7 @@ func (c *Config) Validate() error {
 	if len(c.Nodes) == 0 {
 		return fmt.Errorf("testbed: no nodes")
 	}
-	if len(c.Users) == 0 {
+	if len(c.Users) == 0 && !c.Open.Active() {
 		return fmt.Errorf("testbed: no users")
 	}
 	for i, u := range c.Users {
@@ -419,6 +427,11 @@ func (c *Config) Validate() error {
 	}
 	if err := c.Replication.Validate(len(c.Nodes)); err != nil {
 		return fmt.Errorf("testbed: %w", err)
+	}
+	if c.Open.Active() {
+		if err := c.Open.validate(len(c.Nodes)); err != nil {
+			return err
+		}
 	}
 	return nil
 }

@@ -89,6 +89,10 @@ type node struct {
 	replicaApplies stats.Counter // replica applies journaled here (incl. catch-up)
 	quorumReads    stats.Counter // quorum confirmations for reads served here
 
+	// Open-arrival measurement state (open-mode runs only).
+	openArrivals stats.Counter      // arrivals offered at this site
+	openInSystem stats.TimeWeighted // open transactions concurrently resident here
+
 	// Admission gate state: the currently admitted submission count, its
 	// high-water mark, the FIFO of parked arrivals, and the trailing abort
 	// timestamps behind the abort-rate trigger.
@@ -273,6 +277,8 @@ func (n *node) resetStats(t float64) {
 	n.failoverReads.ResetAt(t)
 	n.replicaApplies.ResetAt(t)
 	n.quorumReads.ResetAt(t)
+	n.openArrivals.ResetAt(t)
+	n.openInSystem.ResetAt(t)
 	n.peakMPL = n.admitted
 }
 

@@ -1,5 +1,7 @@
 package testbed
 
+import "carat/internal/stats"
+
 // NodeResults carries one site's measurements over the post-warmup window.
 // Rates are per second (the simulation runs in milliseconds internally),
 // matching the units of the paper's tables: TR-XPUT in transactions/second,
@@ -113,6 +115,25 @@ type NodeResults struct {
 	// QuorumReads counts quorum confirmations performed for reads served at
 	// this site (read-quorum policy only).
 	QuorumReads int64
+
+	// Open-arrival measurements (all zero unless Config.Open is active).
+
+	// OpenArrivals counts open-mode transactions that arrived at this site
+	// within the window; OpenOfferedPerSec is the measured offered rate.
+	OpenArrivals      int64
+	OpenOfferedPerSec float64
+	// OpenMeanInSystem and OpenPeakInSystem are the time-average and peak
+	// number of open transactions concurrently resident at this site
+	// (arrival to commit or abandonment, including admission-gate queueing)
+	// — the open queue's N by Little's law.
+	OpenMeanInSystem float64
+	OpenPeakInSystem float64
+	// OpenMeanResponseMS, OpenP50ResponseMS and OpenP95ResponseMS aggregate
+	// the committed response-time distribution across all transaction kinds
+	// homed here (per-kind figures remain in MeanResponse/P95Response).
+	OpenMeanResponseMS float64
+	OpenP50ResponseMS  float64
+	OpenP95ResponseMS  float64
 }
 
 // Results is a full measurement run.
@@ -199,6 +220,25 @@ func (s *System) collect() Results {
 		nr.FailoverReads = n.failoverReads.N()
 		nr.ReplicaApplies = n.replicaApplies.N()
 		nr.QuorumReads = n.quorumReads.N()
+		if s.open != nil {
+			nr.OpenArrivals = n.openArrivals.N()
+			nr.OpenOfferedPerSec = n.openArrivals.Rate(t) * 1000
+			nr.OpenMeanInSystem = n.openInSystem.Mean(t)
+			nr.OpenPeakInSystem = n.openInSystem.Max()
+			agg := stats.NewHistogram(1, 1.05)
+			var sum float64
+			var cnt int64
+			for _, k := range []TxnKind{LRO, LU, DRO, DU} {
+				agg.Merge(n.respHist[k])
+				sum += n.respTime[k].Sum()
+				cnt += n.respTime[k].N()
+			}
+			if cnt > 0 {
+				nr.OpenMeanResponseMS = sum / float64(cnt)
+			}
+			nr.OpenP50ResponseMS = agg.Quantile(0.50)
+			nr.OpenP95ResponseMS = agg.Quantile(0.95)
+		}
 		res.Nodes = append(res.Nodes, nr)
 	}
 	res.DegradedMS = s.degradedMS

@@ -73,6 +73,9 @@ type System struct {
 	// Replication state (nil unless Config.Replication is active).
 	repl *replState
 
+	// Open-arrival state (nil unless Config.Open is active).
+	open *openState
+
 	// Fault injection state (nil without an active FaultPlan).
 	faults        *faultState
 	downCount     int     // sites currently down
@@ -113,6 +116,9 @@ func New(cfg Config) (*System, error) {
 		}
 		sys.users = append(sys.users, u)
 		sys.env.Spawn(fmt.Sprintf("user-%d-%v", i, spec.Kind), u.run)
+	}
+	if cfg.Open.Active() {
+		sys.initOpen()
 	}
 	return sys, nil
 }

@@ -60,6 +60,10 @@ const (
 	// EvReplicaApply marks a committed writer's update applied at a replica
 	// site (replication; Granule is the replica block id).
 	EvReplicaApply
+	// EvArrival marks an open-mode transaction arriving at its home site
+	// (open arrivals; no submission exists yet, so Txn is the negated
+	// arrival sequence number).
+	EvArrival
 )
 
 var traceNames = map[TraceKind]string{
@@ -83,6 +87,7 @@ var traceNames = map[TraceKind]string{
 	EvRetryBackoff: "retry-backoff",
 	EvFailoverRead: "failover-read",
 	EvReplicaApply: "replica-apply",
+	EvArrival:      "arrival",
 }
 
 // String names the event.

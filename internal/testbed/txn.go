@@ -34,6 +34,12 @@ type user struct {
 	// holdsSlot is true while this user holds an admission slot at its home
 	// site.
 	holdsSlot bool
+	// Open-class overrides (see OpenClass): zero values inherit the
+	// Config-wide transaction size, remote fraction and access pattern.
+	// Closed users always leave them zero.
+	classReq int
+	classRF  float64
+	classPat storage.Pattern
 }
 
 // attemptOutcome is what one submission attempt came to.
@@ -120,7 +126,7 @@ func (u *user) execOne(p *sim.Proc) {
 	home.respTime[u.spec.Kind].Add(p.Now() - start)
 	home.respHist[u.spec.Kind].Add(p.Now() - start)
 	home.recordCommit(u.spec.Kind, p.Now())
-	home.recordsDone[u.spec.Kind].Addn(int64(u.sys.cfg.RequestsPerTxn * u.sys.cfg.RecordsPerRequest))
+	home.recordsDone[u.spec.Kind].Addn(int64(u.reqsPerTxn() * u.sys.cfg.RecordsPerRequest))
 }
 
 // attempt executes one submission of the transaction and reports how it
@@ -315,7 +321,7 @@ func (u *user) noteAbort(home *node, st *txnState) {
 // count is round(RemoteFrac * n), spread over the slave sites by
 // RemoteSplit; positions are shuffled per submission.
 func (u *user) requestSchedule(remotes int) []int {
-	n := u.sys.cfg.RequestsPerTxn
+	n := u.reqsPerTxn()
 	schedule := make([]int, n)
 	for i := range schedule {
 		schedule[i] = -1
@@ -323,7 +329,7 @@ func (u *user) requestSchedule(remotes int) []int {
 	if !u.spec.Kind.Distributed() || remotes == 0 {
 		return schedule
 	}
-	nRemote := int(u.sys.cfg.RemoteFrac*float64(n) + 0.5)
+	nRemote := int(u.remoteFrac()*float64(n) + 0.5)
 	if nRemote > n {
 		nRemote = n
 	}
@@ -362,7 +368,7 @@ func (u *user) dmRequest(p *sim.Proc, st *txnState, nd *node, failover bool) err
 		return errSiteCrash
 	}
 
-	recs := cfg.Pattern.Pick(u.rnd, cfg.Layout, cfg.RecordsPerRequest)
+	recs := u.pattern().Pick(u.rnd, cfg.Layout, cfg.RecordsPerRequest)
 	grans := storage.GranulesOf(cfg.Layout, recs)
 
 	if failover {

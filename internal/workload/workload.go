@@ -98,6 +98,14 @@ type Workload struct {
 	// replication is a testbed extension). The zero value (or Factor 1)
 	// leaves the simulation unchanged.
 	Replication repl.Policy
+
+	// Open switches simulator runs to open arrivals (see
+	// testbed.OpenConfig): transactions arrive at rate λ from an unbounded
+	// population instead of the paper's closed terminal loops. The closed
+	// Users still parameterize the analytical model — which is how the
+	// capacity sweep compares measured open capacity against the closed
+	// model's bottleneck bound. Nil leaves the simulation unchanged.
+	Open *testbed.OpenConfig
 }
 
 // twoNode fills the standard two-node configuration of the experiments:
@@ -239,10 +247,21 @@ func (w Workload) TestbedConfig(seed uint64, warmup, duration float64) testbed.C
 		fp := *w.Faults
 		faults = &fp
 	}
+	var open *testbed.OpenConfig
+	if w.Open != nil {
+		// Deep-copied for the same reason as Faults: validation fills the
+		// default class mix in place.
+		oc := *w.Open
+		oc.PerSiteRatePerSec = append([]float64(nil), w.Open.PerSiteRatePerSec...)
+		oc.Ramp = append([]testbed.OpenRampPoint(nil), w.Open.Ramp...)
+		oc.Classes = append([]testbed.OpenClass(nil), w.Open.Classes...)
+		open = &oc
+	}
 	return testbed.Config{
 		Nodes:             nodes,
 		Users:             w.Users,
 		Faults:            faults,
+		Open:              open,
 		Resilience:        w.Resilience,
 		Replication:       w.Replication,
 		Params:            w.Params,
