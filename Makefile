@@ -3,8 +3,10 @@
 
 GO ?= go
 BENCH_FILE := BENCH_$(shell date +%F).json
+# The committed benchmark baseline the regression gate diffs against.
+BASELINE ?= BENCH_2026-08-08.json
 
-.PHONY: all build test race vet bench chaos
+.PHONY: all build test race vet bench benchdiff chaos
 
 all: build test
 
@@ -24,10 +26,19 @@ vet:
 	$(GO) vet ./...
 
 # Record a benchmark baseline for perf PRs to diff against: the whole -bench
-# suite with allocation stats, one iteration per benchmark, as a JSON event
-# stream in BENCH_<date>.json.
+# suite with allocation stats as a JSON event stream in BENCH_<date>.json.
+# Three iterations per benchmark: single-shot numbers swing ±10% run to run,
+# which is useless against a 20% regression gate; 3x keeps the suite under a
+# few minutes while averaging most of that noise away.
 bench:
-	$(GO) test -run '^$$' -bench . -benchmem -benchtime 1x -json ./... | tee $(BENCH_FILE)
+	$(GO) test -run '^$$' -bench . -benchmem -benchtime 3x -json ./... | tee $(BENCH_FILE)
+
+# Benchmark-regression gate: re-run the two kernel-gated benchmarks at HEAD
+# and fail if either is >20% slower than the committed $(BASELINE). CI runs
+# this on every push; run it locally before perf-sensitive PRs.
+benchdiff:
+	$(GO) test -run '^$$' -bench 'BenchmarkSimulateMB8$$|BenchmarkCapacitySweep$$' -benchmem -benchtime 3x -json . > bench_head.json
+	$(GO) run ./cmd/benchdiff -old $(BASELINE) -new bench_head.json
 
 # The chaos audits CI runs: randomized fault plans, unreplicated and R=2.
 chaos:

@@ -1,0 +1,181 @@
+// Command benchdiff compares two benchmark baselines recorded as `go test
+// -json` event streams (the files `make bench` writes) and fails when a
+// gated benchmark regresses beyond a threshold.
+//
+// Usage:
+//
+//	benchdiff -old BENCH_old.json -new BENCH_new.json [-gate regex] [-max-regress 20]
+//
+// The gate regexp selects which benchmarks are enforced; every gated
+// benchmark must appear in both files. Non-gated benchmarks present in both
+// files are reported for context but never fail the run. The exit status is
+// 1 if any gated benchmark's ns/op grew by more than -max-regress percent.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"regexp"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// gatedDefault enforces the two simulator benchmarks the kernel overhaul
+// is measured by.
+const gatedDefault = `^(BenchmarkSimulateMB8|BenchmarkCapacitySweep)$`
+
+// testEvent is the subset of the test2json event schema benchdiff needs.
+type testEvent struct {
+	Action  string `json:"Action"`
+	Package string `json:"Package"`
+	Output  string `json:"Output"`
+}
+
+// benchLine matches a benchmark result line: name, iteration count, ns/op.
+// The optional -N suffix is the GOMAXPROCS tag go test appends.
+var benchLine = regexp.MustCompile(`^(Benchmark\S+?)(?:-\d+)?\s+\d+\s+([0-9.eE+]+) ns/op`)
+
+// parse extracts name -> ns/op from a go test -json stream. Result lines
+// can be split across several output events (go test flushes the name and
+// the numbers separately), so output is reassembled per package first.
+func parse(path string) (map[string]float64, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+
+	perPkg := map[string]*strings.Builder{}
+	sc := bufio.NewScanner(f)
+	sc.Buffer(make([]byte, 0, 1<<20), 1<<20)
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if line == "" {
+			continue
+		}
+		var ev testEvent
+		if err := json.Unmarshal([]byte(line), &ev); err != nil {
+			return nil, fmt.Errorf("%s: not a go test -json stream: %v", path, err)
+		}
+		if ev.Action != "output" {
+			continue
+		}
+		b := perPkg[ev.Package]
+		if b == nil {
+			b = &strings.Builder{}
+			perPkg[ev.Package] = b
+		}
+		b.WriteString(ev.Output)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+
+	out := map[string]float64{}
+	for _, b := range perPkg {
+		for _, line := range strings.Split(b.String(), "\n") {
+			m := benchLine.FindStringSubmatch(strings.TrimSpace(line))
+			if m == nil {
+				continue
+			}
+			ns, err := strconv.ParseFloat(m[2], 64)
+			if err != nil {
+				continue
+			}
+			out[m[1]] = ns
+		}
+	}
+	return out, nil
+}
+
+func main() {
+	var (
+		oldPath    = flag.String("old", "", "baseline go test -json file")
+		newPath    = flag.String("new", "", "candidate go test -json file")
+		gate       = flag.String("gate", gatedDefault, "regexp selecting the enforced benchmarks")
+		maxRegress = flag.Float64("max-regress", 20, "maximum allowed ns/op growth for gated benchmarks, percent")
+	)
+	flag.Parse()
+	if *oldPath == "" || *newPath == "" {
+		fmt.Fprintln(os.Stderr, "benchdiff: -old and -new are required")
+		flag.Usage()
+		os.Exit(2)
+	}
+	gateRe, err := regexp.Compile(*gate)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchdiff: bad -gate: %v\n", err)
+		os.Exit(2)
+	}
+
+	oldNS, err := parse(*oldPath)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchdiff: %v\n", err)
+		os.Exit(2)
+	}
+	newNS, err := parse(*newPath)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchdiff: %v\n", err)
+		os.Exit(2)
+	}
+
+	names := make([]string, 0, len(newNS))
+	for name := range newNS {
+		if _, ok := oldNS[name]; ok {
+			names = append(names, name)
+		}
+	}
+	sort.Strings(names)
+
+	failed := false
+	gatedSeen := 0
+	for _, name := range names {
+		o, n := oldNS[name], newNS[name]
+		deltaPct := (n - o) / o * 100
+		gated := gateRe.MatchString(name)
+		status := "      "
+		if gated {
+			gatedSeen++
+			if deltaPct > *maxRegress {
+				status = "FAIL  "
+				failed = true
+			} else {
+				status = "ok    "
+			}
+		}
+		fmt.Printf("%s%-45s %14.0f -> %14.0f ns/op  %+7.1f%%\n", status, name, o, n, deltaPct)
+	}
+
+	// A gated benchmark missing from either file is a gate failure: the
+	// regression check silently passing because the benchmark vanished is
+	// exactly the failure mode this tool exists to prevent.
+	for name := range newNS {
+		if gateRe.MatchString(name) {
+			if _, ok := oldNS[name]; !ok {
+				fmt.Fprintf(os.Stderr, "benchdiff: gated benchmark %s missing from %s\n", name, *oldPath)
+				failed = true
+			}
+		}
+	}
+	for name := range oldNS {
+		if gateRe.MatchString(name) {
+			if _, ok := newNS[name]; !ok {
+				fmt.Fprintf(os.Stderr, "benchdiff: gated benchmark %s missing from %s\n", name, *newPath)
+				failed = true
+			}
+		}
+	}
+	if gatedSeen == 0 && !failed {
+		fmt.Fprintf(os.Stderr, "benchdiff: no benchmark matches gate %q in both files\n", *gate)
+		os.Exit(1)
+	}
+
+	if failed {
+		fmt.Fprintf(os.Stderr, "benchdiff: gated benchmark regressed more than %.0f%%\n", *maxRegress)
+		os.Exit(1)
+	}
+	fmt.Println("benchdiff: gated benchmarks within threshold")
+}

@@ -1,0 +1,80 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"regexp"
+	"testing"
+)
+
+// writeStream writes a go test -json event stream whose reassembled output
+// contains the given lines; the first line is split across two events to
+// mirror how go test actually flushes benchmark results (name first, the
+// numbers later).
+func writeStream(t *testing.T, name string, lines []string) string {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), name)
+	var body string
+	for i, line := range lines {
+		if i == 0 && len(line) > 10 {
+			body += `{"Action":"output","Package":"carat","Output":"` + line[:10] + `"}` + "\n"
+			body += `{"Action":"output","Package":"carat","Output":"` + line[10:] + `\n"}` + "\n"
+			continue
+		}
+		body += `{"Action":"output","Package":"carat","Output":"` + line + `\n"}` + "\n"
+	}
+	if err := os.WriteFile(path, []byte(body), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestParseReassemblesSplitLines(t *testing.T) {
+	path := writeStream(t, "bench.json", []string{
+		`BenchmarkSimulateMB8   \t       5\t  52647245 ns/op`,
+		`BenchmarkCapacitySweep \t       5\t 140087276 ns/op\t 0.80 knee-tps`,
+		`BenchmarkOther-8       \t     100\t      1234 ns/op\t 10 B/op`,
+		`not a benchmark line`,
+	})
+	got, err := parse(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := map[string]float64{
+		"BenchmarkSimulateMB8":   52647245,
+		"BenchmarkCapacitySweep": 140087276,
+		"BenchmarkOther":         1234,
+	}
+	if len(got) != len(want) {
+		t.Fatalf("parsed %v, want %v", got, want)
+	}
+	for k, v := range want {
+		if got[k] != v {
+			t.Errorf("%s = %v, want %v", k, got[k], v)
+		}
+	}
+}
+
+func TestParseRejectsNonJSON(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "plain.txt")
+	if err := os.WriteFile(path, []byte("BenchmarkFoo 1 100 ns/op\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := parse(path); err == nil {
+		t.Fatal("parse accepted a non-JSON file")
+	}
+}
+
+func TestGateRegexpMatchesDefaults(t *testing.T) {
+	re := regexp.MustCompile(gatedDefault)
+	for _, name := range []string{"BenchmarkSimulateMB8", "BenchmarkCapacitySweep"} {
+		if !re.MatchString(name) {
+			t.Errorf("default gate must match %s", name)
+		}
+	}
+	for _, name := range []string{"BenchmarkSimulateHourMB8", "BenchmarkCapacitySweepDeterministic", "BenchmarkModelSolveMB8"} {
+		if re.MatchString(name) {
+			t.Errorf("default gate must not match %s", name)
+		}
+	}
+}

@@ -11,7 +11,7 @@ package lock
 
 import (
 	"fmt"
-	"sort"
+	"slices"
 )
 
 // Mode is a lock mode.
@@ -137,9 +137,17 @@ type request struct {
 	upgrade bool
 }
 
+// grantRec is one holder of a granule. The granted set is a small slice —
+// one holder for exclusive locks, rarely more than a handful for shared —
+// so linear scans beat a map and the entry recycles with zero allocation.
+type grantRec struct {
+	txn  TxnID
+	mode Mode
+}
+
 // entry is the lock table entry for one granule.
 type entry struct {
-	granted map[TxnID]Mode
+	granted []grantRec
 	queue   []*request
 }
 
@@ -147,12 +155,45 @@ func (e *entry) grantedMode() (Mode, bool) {
 	if len(e.granted) == 0 {
 		return Shared, false
 	}
-	for _, m := range e.granted {
-		if m == Exclusive {
+	for _, gr := range e.granted {
+		if gr.mode == Exclusive {
 			return Exclusive, true
 		}
 	}
 	return Shared, true
+}
+
+// grantedOf returns txn's granted mode on e, if any.
+func (e *entry) grantedOf(txn TxnID) (Mode, bool) {
+	for _, gr := range e.granted {
+		if gr.txn == txn {
+			return gr.mode, true
+		}
+	}
+	return Shared, false
+}
+
+// setGranted records txn as holding e in mode, replacing any existing record.
+func (e *entry) setGranted(txn TxnID, mode Mode) {
+	for i := range e.granted {
+		if e.granted[i].txn == txn {
+			e.granted[i].mode = mode
+			return
+		}
+	}
+	e.granted = append(e.granted, grantRec{txn: txn, mode: mode})
+}
+
+// dropGranted removes txn's holder record from e, preserving order.
+func (e *entry) dropGranted(txn TxnID) {
+	for i := range e.granted {
+		if e.granted[i].txn == txn {
+			n := len(e.granted)
+			copy(e.granted[i:], e.granted[i+1:])
+			e.granted = e.granted[:n-1]
+			return
+		}
+	}
 }
 
 // Stats aggregates lock-manager activity for the measurement reports.
@@ -175,7 +216,99 @@ type Manager struct {
 	// onGrant is invoked when a queued request is finally granted.
 	onGrant func(txn TxnID, g GranuleID)
 
+	// queuedAt indexes the granules on which each transaction has a queued
+	// request, so the wait-for graph (WaitsFor, Waiting, ReleaseAll's
+	// withdrawal pass) is read without scanning the whole lock table.
+	queuedAt map[TxnID][]GranuleID
+
+	// Free lists and scratch buffers. Lock-table entries, queued requests,
+	// per-transaction held maps and index slices churn once per granule
+	// touch / wait / transaction, so they are recycled (with their map
+	// capacity) instead of reallocated.
+	freeEntries []*entry
+	freeReqs    []*request
+	freeHeld    []map[GranuleID]Mode
+	freeGSlices [][]GranuleID
+	seenBuf     map[TxnID]struct{} // WaitsFor scratch
+	heldBuf     []GranuleID        // ReleaseAll scratch
+	queuedBuf   []GranuleID        // ReleaseAll scratch
+
 	stats Stats
+}
+
+// newEntry takes a lock-table entry from the free list.
+func (m *Manager) newEntry() *entry {
+	if k := len(m.freeEntries); k > 0 {
+		e := m.freeEntries[k-1]
+		m.freeEntries[k-1] = nil
+		m.freeEntries = m.freeEntries[:k-1]
+		return e
+	}
+	return &entry{}
+}
+
+// newRequest takes a request record from the free list.
+func (m *Manager) newRequest(txn TxnID, mode Mode, upgrade bool) *request {
+	if k := len(m.freeReqs); k > 0 {
+		r := m.freeReqs[k-1]
+		m.freeReqs[k-1] = nil
+		m.freeReqs = m.freeReqs[:k-1]
+		*r = request{txn: txn, mode: mode, upgrade: upgrade}
+		return r
+	}
+	return &request{txn: txn, mode: mode, upgrade: upgrade}
+}
+
+func (m *Manager) freeRequest(r *request) {
+	m.freeReqs = append(m.freeReqs, r)
+}
+
+// pushRequest queues req on e (the entry for granule g). Upgrades go to the
+// head of the queue: the holder cannot be asked to wait behind fresh requests
+// for a lock it holds.
+func (m *Manager) pushRequest(e *entry, g GranuleID, req *request) {
+	if req.upgrade {
+		e.queue = append(e.queue, nil)
+		copy(e.queue[1:], e.queue)
+		e.queue[0] = req
+	} else {
+		e.queue = append(e.queue, req)
+	}
+	m.noteQueued(req.txn, g)
+}
+
+// noteQueued records in the index that txn has a queued request on g.
+func (m *Manager) noteQueued(txn TxnID, g GranuleID) {
+	s, ok := m.queuedAt[txn]
+	if !ok {
+		if k := len(m.freeGSlices); k > 0 {
+			s = m.freeGSlices[k-1]
+			m.freeGSlices[k-1] = nil
+			m.freeGSlices = m.freeGSlices[:k-1]
+		}
+	}
+	m.queuedAt[txn] = append(s, g)
+}
+
+// unnoteQueued removes the index record of txn's queued request on g,
+// recycling the slice once txn has no queued requests left.
+func (m *Manager) unnoteQueued(txn TxnID, g GranuleID) {
+	s := m.queuedAt[txn]
+	for i, x := range s {
+		if x == g {
+			s[i] = s[len(s)-1]
+			s = s[:len(s)-1]
+			break
+		}
+	}
+	if len(s) == 0 {
+		delete(m.queuedAt, txn)
+		if s != nil {
+			m.freeGSlices = append(m.freeGSlices, s)
+		}
+		return
+	}
+	m.queuedAt[txn] = s
 }
 
 // NewManager creates a detection-discipline lock manager. onGrant may be
@@ -193,6 +326,8 @@ func NewManagerWithDiscipline(d Discipline, policy VictimPolicy, onGrant func(tx
 		policy:     policy,
 		discipline: d,
 		ts:         make(map[TxnID]int64),
+		queuedAt:   make(map[TxnID][]GranuleID),
+		seenBuf:    make(map[TxnID]struct{}),
 		onGrant:    onGrant,
 	}
 }
@@ -250,12 +385,12 @@ func (m *Manager) Request(txn TxnID, g GranuleID, mode Mode) (out Outcome, victi
 	m.stats.Requests++
 	e := m.table[g]
 	if e == nil {
-		e = &entry{granted: make(map[TxnID]Mode)}
+		e = m.newEntry()
 		m.table[g] = e
 	}
 
 	// Re-entrant: already held in a sufficient mode.
-	if have, ok := e.granted[txn]; ok {
+	if have, ok := e.grantedOf(txn); ok {
 		if mode == Shared || have == Exclusive {
 			m.stats.Immediate++
 			return Granted, nil
@@ -263,7 +398,7 @@ func (m *Manager) Request(txn TxnID, g GranuleID, mode Mode) (out Outcome, victi
 		// Upgrade S -> X.
 		m.stats.Upgrades++
 		if m.soleHolder(e, txn) {
-			e.granted[txn] = Exclusive
+			e.setGranted(txn, Exclusive)
 			m.held[txn][g] = Exclusive
 			m.stats.Immediate++
 			return Granted, nil
@@ -283,15 +418,15 @@ func (m *Manager) Request(txn TxnID, g GranuleID, mode Mode) (out Outcome, victi
 // request by txn in the given mode.
 func (m *Manager) conflictingHolders(e *entry, txn TxnID, mode Mode) []TxnID {
 	var out []TxnID
-	for holder, hm := range e.granted {
-		if holder == txn {
+	for _, gr := range e.granted {
+		if gr.txn == txn {
 			continue
 		}
-		if !compatible(mode, hm) {
-			out = append(out, holder)
+		if !compatible(mode, gr.mode) {
+			out = append(out, gr.txn)
 		}
 	}
-	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	slices.Sort(out)
 	return out
 }
 
@@ -325,12 +460,7 @@ func (m *Manager) block(e *entry, txn TxnID, g GranuleID, mode Mode, upgrade boo
 			// wounded holder and dies with it, so skip the detection
 			// backstop and queue directly.
 			m.stats.Deadlocks += int64(len(wounds))
-			req := &request{txn: txn, mode: mode, upgrade: upgrade}
-			if upgrade {
-				e.queue = append([]*request{req}, e.queue...)
-			} else {
-				e.queue = append(e.queue, req)
-			}
+			m.pushRequest(e, g, m.newRequest(txn, mode, upgrade))
 			m.stats.Waits++
 			return Wait, wounds
 		}
@@ -342,11 +472,7 @@ func (m *Manager) block(e *entry, txn TxnID, g GranuleID, mode Mode, upgrade boo
 
 // soleHolder reports whether txn is the only holder of e.
 func (m *Manager) soleHolder(e *entry, txn TxnID) bool {
-	if len(e.granted) != 1 {
-		return false
-	}
-	_, ok := e.granted[txn]
-	return ok
+	return len(e.granted) == 1 && e.granted[0].txn == txn
 }
 
 // grantableNow reports whether a fresh request can be granted immediately:
@@ -355,11 +481,11 @@ func (m *Manager) grantableNow(e *entry, txn TxnID, mode Mode) bool {
 	if len(e.queue) > 0 {
 		return false
 	}
-	for holder, hm := range e.granted {
-		if holder == txn {
+	for _, gr := range e.granted {
+		if gr.txn == txn {
 			continue
 		}
-		if !compatible(mode, hm) {
+		if !compatible(mode, gr.mode) {
 			return false
 		}
 	}
@@ -368,12 +494,18 @@ func (m *Manager) grantableNow(e *entry, txn TxnID, mode Mode) bool {
 
 // grant records txn as a holder of g.
 func (m *Manager) grant(e *entry, txn TxnID, g GranuleID, mode Mode) {
-	if have, ok := e.granted[txn]; !ok || mode == Exclusive && have == Shared {
-		e.granted[txn] = mode
+	if have, ok := e.grantedOf(txn); !ok || mode == Exclusive && have == Shared {
+		e.setGranted(txn, mode)
 	}
 	hm := m.held[txn]
 	if hm == nil {
-		hm = make(map[GranuleID]Mode)
+		if k := len(m.freeHeld); k > 0 {
+			hm = m.freeHeld[k-1]
+			m.freeHeld[k-1] = nil
+			m.freeHeld = m.freeHeld[:k-1]
+		} else {
+			hm = make(map[GranuleID]Mode)
+		}
 		m.held[txn] = hm
 	}
 	if have, ok := hm[g]; !ok || mode == Exclusive && have == Shared {
@@ -386,14 +518,7 @@ func (m *Manager) grant(e *entry, txn TxnID, g GranuleID, mode Mode) {
 // disciplines (FCFS queue ordering can, rarely, arrange waits the
 // timestamp rules did not foresee).
 func (m *Manager) enqueue(e *entry, txn TxnID, g GranuleID, mode Mode, upgrade bool) (Outcome, []TxnID) {
-	req := &request{txn: txn, mode: mode, upgrade: upgrade}
-	if upgrade {
-		// Upgrades go to the head of the queue: the holder cannot be
-		// asked to wait behind fresh requests for a lock it holds.
-		e.queue = append([]*request{req}, e.queue...)
-	} else {
-		e.queue = append(e.queue, req)
-	}
+	m.pushRequest(e, g, m.newRequest(txn, mode, upgrade))
 	m.stats.Waits++
 
 	cycle := m.findCycle(txn)
@@ -405,7 +530,7 @@ func (m *Manager) enqueue(e *entry, txn TxnID, g GranuleID, mode Mode, upgrade b
 	if v == txn || m.discipline != Detect {
 		// Withdraw the request; the caller aborts itself. Prevention
 		// disciplines always sacrifice the requester on the backstop path.
-		m.removeFromQueue(e, txn)
+		m.removeFromQueue(e, g, txn)
 		return Deadlock, nil
 	}
 	// Someone else dies. The caller must abort v (ReleaseAll(v)), which
@@ -438,11 +563,16 @@ func (m *Manager) chooseVictim(requester TxnID, cycle []TxnID) TxnID {
 	}
 }
 
-// removeFromQueue deletes txn's queued request on e, if any.
-func (m *Manager) removeFromQueue(e *entry, txn TxnID) {
+// removeFromQueue deletes txn's queued request on e (granule g), if any.
+func (m *Manager) removeFromQueue(e *entry, g GranuleID, txn TxnID) {
 	for i, r := range e.queue {
 		if r.txn == txn {
-			e.queue = append(e.queue[:i], e.queue[i+1:]...)
+			n := len(e.queue)
+			copy(e.queue[i:], e.queue[i+1:])
+			e.queue[n-1] = nil
+			e.queue = e.queue[:n-1]
+			m.freeRequest(r)
+			m.unnoteQueued(txn, g)
 			return
 		}
 	}
@@ -452,42 +582,44 @@ func (m *Manager) removeFromQueue(e *entry, txn TxnID) {
 // abort) and dispatches newly grantable waiters. Granules are processed in
 // sorted order so grant sequences are deterministic.
 func (m *Manager) ReleaseAll(txn TxnID) {
-	held := make([]GranuleID, 0, len(m.held[txn]))
+	held := m.heldBuf[:0]
 	for g := range m.held[txn] {
 		held = append(held, g)
 	}
-	sort.Slice(held, func(i, j int) bool { return held[i] < held[j] })
+	slices.Sort(held)
+	m.heldBuf = held
 	for _, g := range held {
 		e := m.table[g]
-		delete(e.granted, txn)
+		e.dropGranted(txn)
 		m.dispatch(e, g)
 		m.cleanup(e, g)
 	}
+	if hm, ok := m.held[txn]; ok {
+		clear(hm)
+		m.freeHeld = append(m.freeHeld, hm)
+	}
 	delete(m.held, txn)
 	delete(m.ts, txn)
-	// Remove any still-queued requests (a victim may be waiting somewhere).
-	queued := make([]GranuleID, 0, 1)
-	for g, e := range m.table {
-		for _, r := range e.queue {
-			if r.txn == txn {
-				queued = append(queued, g)
-				break
-			}
-		}
-	}
-	sort.Slice(queued, func(i, j int) bool { return queued[i] < queued[j] })
+	// Withdraw any still-queued requests (a victim may be waiting somewhere).
+	// The index slice is copied because removeFromQueue mutates it.
+	queued := append(m.queuedBuf[:0], m.queuedAt[txn]...)
+	slices.Sort(queued)
+	m.queuedBuf = queued
 	for _, g := range queued {
 		e := m.table[g]
-		m.removeFromQueue(e, txn)
+		m.removeFromQueue(e, g, txn)
 		m.dispatch(e, g)
 		m.cleanup(e, g)
 	}
 }
 
-// cleanup deletes empty lock-table entries.
+// cleanup recycles empty lock-table entries; both slices keep their
+// capacity for the next use.
 func (m *Manager) cleanup(e *entry, g GranuleID) {
 	if len(e.granted) == 0 && len(e.queue) == 0 {
 		delete(m.table, g)
+		e.queue = e.queue[:0]
+		m.freeEntries = append(m.freeEntries, e)
 	}
 }
 
@@ -497,11 +629,11 @@ func (m *Manager) dispatch(e *entry, g GranuleID) {
 	for len(e.queue) > 0 {
 		req := e.queue[0]
 		ok := true
-		for holder, hm := range e.granted {
-			if holder == req.txn {
+		for _, gr := range e.granted {
+			if gr.txn == req.txn {
 				continue
 			}
-			if !compatible(req.mode, hm) {
+			if !compatible(req.mode, gr.mode) {
 				ok = false
 				break
 			}
@@ -509,10 +641,16 @@ func (m *Manager) dispatch(e *entry, g GranuleID) {
 		if !ok {
 			return
 		}
-		e.queue = e.queue[1:]
-		m.grant(e, req.txn, g, req.mode)
+		n := len(e.queue)
+		copy(e.queue, e.queue[1:])
+		e.queue[n-1] = nil
+		e.queue = e.queue[:n-1]
+		txn := req.txn
+		m.unnoteQueued(txn, g)
+		m.grant(e, txn, g, req.mode)
+		m.freeRequest(req)
 		if m.onGrant != nil {
-			m.onGrant(req.txn, g)
+			m.onGrant(txn, g)
 		}
 	}
 }
@@ -522,8 +660,10 @@ func (m *Manager) dispatch(e *entry, g GranuleID) {
 // plus incompatible requests queued ahead of it (they will hold the lock
 // before txn can). Sorted for determinism.
 func (m *Manager) WaitsFor(txn TxnID) []TxnID {
-	seen := make(map[TxnID]struct{})
-	for _, e := range m.table {
+	seen := m.seenBuf
+	clear(seen)
+	for _, g := range m.queuedAt[txn] {
+		e := m.table[g]
 		pos := -1
 		var mode Mode
 		for i, r := range e.queue {
@@ -536,12 +676,12 @@ func (m *Manager) WaitsFor(txn TxnID) []TxnID {
 		if pos < 0 {
 			continue
 		}
-		for holder, hm := range e.granted {
-			if holder == txn {
+		for _, gr := range e.granted {
+			if gr.txn == txn {
 				continue
 			}
-			if !compatible(mode, hm) || mode == Exclusive || hm == Exclusive {
-				seen[holder] = struct{}{}
+			if !compatible(mode, gr.mode) || mode == Exclusive || gr.mode == Exclusive {
+				seen[gr.txn] = struct{}{}
 			}
 		}
 		for i := 0; i < pos; i++ {
@@ -555,21 +695,12 @@ func (m *Manager) WaitsFor(txn TxnID) []TxnID {
 	for t := range seen {
 		out = append(out, t)
 	}
-	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	slices.Sort(out)
 	return out
 }
 
 // Waiting reports whether txn has a queued (ungranted) request.
-func (m *Manager) Waiting(txn TxnID) bool {
-	for _, e := range m.table {
-		for _, r := range e.queue {
-			if r.txn == txn {
-				return true
-			}
-		}
-	}
-	return false
-}
+func (m *Manager) Waiting(txn TxnID) bool { return len(m.queuedAt[txn]) > 0 }
 
 // findCycle searches the wait-for graph for a cycle reachable from start
 // that includes start, returning the cycle members (nil if none). Depth-
@@ -614,17 +745,11 @@ func (m *Manager) LockedGranules() int { return len(m.table) }
 // WaitEdges returns every wait-for edge at this site as (waiter, holder)
 // pairs, for the distributed probe algorithm. Sorted for determinism.
 func (m *Manager) WaitEdges() [][2]TxnID {
-	waiterSet := make(map[TxnID]struct{})
-	for _, e := range m.table {
-		for _, r := range e.queue {
-			waiterSet[r.txn] = struct{}{}
-		}
-	}
-	waiters := make([]TxnID, 0, len(waiterSet))
-	for t := range waiterSet {
+	waiters := make([]TxnID, 0, len(m.queuedAt))
+	for t := range m.queuedAt {
 		waiters = append(waiters, t)
 	}
-	sort.Slice(waiters, func(i, j int) bool { return waiters[i] < waiters[j] })
+	slices.Sort(waiters)
 	var out [][2]TxnID
 	for _, w := range waiters {
 		for _, h := range m.WaitsFor(w) {

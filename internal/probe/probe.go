@@ -15,7 +15,7 @@
 // values; the testbed carries them between sites as messages.
 package probe
 
-import "sort"
+import "slices"
 
 // TxnID identifies a global transaction (the same id at every site it
 // touches).
@@ -67,6 +67,11 @@ type Detector struct {
 	// seq is the current probe round per initiator blocked at this site;
 	// absent means round 0 (plain Initiate).
 	seq map[TxnID]int
+	// visitBuf is the scratch visited-set for chase, reused across calls.
+	visitBuf map[TxnID]bool
+	// probeBuf is the scratch output slice for chase, reused across calls.
+	// Callers consume the returned probes before the next detector call.
+	probeBuf []Probe
 
 	initiated int64
 	received  int64
@@ -75,7 +80,7 @@ type Detector struct {
 
 // NewDetector creates the engine for one site.
 func NewDetector(site SiteID, host Host) *Detector {
-	return &Detector{site: site, host: host, sent: make(map[probeKey]bool), seq: make(map[TxnID]int)}
+	return &Detector{site: site, host: host, sent: make(map[probeKey]bool), seq: make(map[TxnID]int), visitBuf: make(map[TxnID]bool)}
 }
 
 // Counts returns (probes initiated, probes received, deadlocks detected).
@@ -101,7 +106,8 @@ func (d *Detector) ClearTxn(t TxnID) {
 // and are not reported here.
 func (d *Detector) Initiate(blocked TxnID) []Probe {
 	d.initiated++
-	return d.chase(blocked, blocked, d.seq[blocked], nil)
+	d.probeBuf = d.chase(blocked, blocked, d.seq[blocked], nil, d.probeBuf[:0])
+	return d.probeBuf
 }
 
 // Reprobe re-initiates edge chasing for a transaction still blocked at this
@@ -112,7 +118,8 @@ func (d *Detector) Initiate(blocked TxnID) []Probe {
 func (d *Detector) Reprobe(blocked TxnID) []Probe {
 	d.seq[blocked]++
 	d.initiated++
-	return d.chase(blocked, blocked, d.seq[blocked], nil)
+	d.probeBuf = d.chase(blocked, blocked, d.seq[blocked], nil, d.probeBuf[:0])
+	return d.probeBuf
 }
 
 // Receive processes an incoming probe at this site. It returns any probes
@@ -124,7 +131,8 @@ func (d *Detector) Receive(p Probe) (forward []Probe, victim TxnID, found bool) 
 		d.detected++
 		return nil, p.Initiator, true
 	}
-	forward = d.chase(p.Initiator, p.To, p.Seq, nil)
+	forward = d.chase(p.Initiator, p.To, p.Seq, nil, d.probeBuf[:0])
+	d.probeBuf = forward
 	// chase reports a closed cycle by emitting a probe addressed to the
 	// initiator at its own site; intercept that here if the initiator is
 	// local-to-this-site conceptually immaterial — detection happens when
@@ -142,15 +150,22 @@ func (d *Detector) Receive(p Probe) (forward []Probe, victim TxnID, found bool) 
 }
 
 // chase walks the local wait-for graph from txn on behalf of initiator's
-// probe round seq, producing probes for every dependency whose target is
-// active at another site. visited guards against local cycles re-entering.
-func (d *Detector) chase(initiator, txn TxnID, seq int, visited map[TxnID]bool) []Probe {
+// probe round seq, appending a probe to out for every dependency whose
+// target is active at another site, and returns out. visited guards against
+// local cycles re-entering. The top-level call passes the detector's reused
+// scratch slice; the result is only valid until the next detector call.
+func (d *Detector) chase(initiator, txn TxnID, seq int, visited map[TxnID]bool, out []Probe) []Probe {
 	if visited == nil {
-		visited = map[TxnID]bool{txn: true}
+		visited = d.visitBuf
+		clear(visited)
+		visited[txn] = true
 	}
-	var out []Probe
 	deps := d.host.WaitsFor(txn)
-	sort.Slice(deps, func(i, j int) bool { return deps[i] < deps[j] })
+	// The testbed host returns sorted dependencies; sorting is only a
+	// determinism backstop for hosts that don't.
+	if !slices.IsSorted(deps) {
+		slices.Sort(deps)
+	}
 	for _, m := range deps {
 		if m == initiator {
 			// Cycle closed locally against a remote initiator: emit a
@@ -165,7 +180,7 @@ func (d *Detector) chase(initiator, txn TxnID, seq int, visited map[TxnID]bool) 
 		if site == d.site {
 			if !visited[m] {
 				visited[m] = true
-				out = append(out, d.chase(initiator, m, seq, visited)...)
+				out = d.chase(initiator, m, seq, visited, out)
 			}
 			continue
 		}

@@ -141,23 +141,52 @@ func (r *Rand) Perm(n int) []int {
 	return p
 }
 
+// PermAppend appends a permutation of [0, n) to dst and returns the extended
+// slice, drawing identically to Perm but allocating nothing when dst has
+// capacity.
+func (r *Rand) PermAppend(dst []int, n int) []int {
+	base := len(dst)
+	for i := 0; i < n; i++ {
+		j := r.Intn(i + 1)
+		if j == i {
+			dst = append(dst, i)
+		} else {
+			dst = append(dst, dst[base+j])
+			dst[base+j] = i
+		}
+	}
+	return dst
+}
+
 // SampleInts returns k distinct uniform integers from [0, n) using Floyd's
 // algorithm. It panics if k > n.
 func (r *Rand) SampleInts(n, k int) []int {
+	return r.SampleIntsAppend(make([]int, 0, k), n, k)
+}
+
+// SampleIntsAppend appends k distinct uniform integers from [0, n) to dst
+// and returns the extended slice. The random draws are identical to
+// SampleInts; duplicates are detected by scanning the appended prefix, which
+// beats a map for the small k of a per-request sample and allocates nothing
+// when dst has capacity.
+func (r *Rand) SampleIntsAppend(dst []int, n, k int) []int {
 	if k > n {
 		panic("rng: sample larger than population")
 	}
-	seen := make(map[int]struct{}, k)
-	out := make([]int, 0, k)
+	base := len(dst)
 	for j := n - k; j < n; j++ {
 		t := r.Intn(j + 1)
-		if _, dup := seen[t]; dup {
-			t = j
+		for _, x := range dst[base:] {
+			if x == t {
+				// Values sampled so far came from smaller ranges, so j
+				// itself cannot be among them.
+				t = j
+				break
+			}
 		}
-		seen[t] = struct{}{}
-		out = append(out, t)
+		dst = append(dst, t)
 	}
-	return out
+	return dst
 }
 
 // Choice returns a uniform index weighted by w (weights must be

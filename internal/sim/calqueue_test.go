@@ -1,0 +1,100 @@
+package sim
+
+import (
+	"container/heap"
+	"math/rand"
+	"testing"
+)
+
+// refHeap is the reference ordering: a plain binary heap over (t, seq),
+// mirroring the seed kernel's eventHeap. The calendar queue must produce
+// exactly this dequeue sequence.
+type refHeap []*event
+
+func (h refHeap) Len() int            { return len(h) }
+func (h refHeap) Less(i, j int) bool  { return eventBefore(h[i], h[j]) }
+func (h refHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *refHeap) Push(x interface{}) { *h = append(*h, x.(*event)) }
+func (h *refHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	ev := old[n-1]
+	old[n-1] = nil
+	*h = old[:n-1]
+	return ev
+}
+
+// TestCalQueueMatchesHeap drives the calendar queue and a reference heap
+// with the same randomized schedule/cancel/pop workload and requires the
+// identical (t, seq) dequeue sequence. Timestamps mimic a simulation:
+// a moving "now" plus service-time-like increments at several scales, with
+// bursts of equal-time events, far-future outliers, and enough churn to
+// cross several resize thresholds in both directions.
+func TestCalQueueMatchesHeap(t *testing.T) {
+	for _, seed := range []int64{1, 2, 3, 7, 42} {
+		rng := rand.New(rand.NewSource(seed))
+		var q calQueue
+		q.init()
+		var ref refHeap
+		pending := map[int64]*event{} // seq -> queue's copy, for cancels
+		var seq int64
+		now := 0.0
+
+		push := func(t float64) {
+			seq++
+			ev := q.alloc()
+			ev.t, ev.seq = t, seq
+			q.push(ev)
+			heap.Push(&ref, &event{t: t, seq: seq})
+			pending[seq] = ev
+		}
+		pop := func() {
+			want := heap.Pop(&ref).(*event)
+			got := q.pop()
+			if got == nil || got.t != want.t || got.seq != want.seq {
+				t.Fatalf("seed %d: dequeue mismatch: calqueue %+v, heap t=%v seq=%d",
+					seed, got, want.t, want.seq)
+			}
+			delete(pending, got.seq)
+			now = got.t
+			q.release(got)
+		}
+
+		for step := 0; step < 20000; step++ {
+			switch r := rng.Float64(); {
+			case r < 0.45 || len(ref) == 0:
+				switch b := rng.Float64(); {
+				case b < 0.3:
+					push(now) // same-time wakeups
+				case b < 0.8:
+					push(now + rng.Float64()*10)
+				case b < 0.95:
+					push(now + rng.Float64()*500)
+				default:
+					push(now + 1e6 + rng.Float64()*1e6) // far-future outlier
+				}
+			case r < 0.55 && len(pending) > 0:
+				// Cancel a random pending event in both structures.
+				for s, ev := range pending {
+					q.unschedule(ev)
+					for i, rev := range ref {
+						if rev.seq == s {
+							heap.Remove(&ref, i)
+							break
+						}
+					}
+					delete(pending, s)
+					break
+				}
+			default:
+				pop()
+			}
+		}
+		for len(ref) > 0 {
+			pop()
+		}
+		if got := q.pop(); got != nil {
+			t.Fatalf("seed %d: calqueue still has %+v after heap drained", seed, got)
+		}
+	}
+}

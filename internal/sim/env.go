@@ -7,16 +7,22 @@
 // orders simultaneous events by schedule order, so a simulation with a fixed
 // seed is fully reproducible.
 //
-// The kernel is intentionally small: an event heap, a process abstraction
-// built on goroutine handoff, and a handful of synchronization primitives
-// (Resource, Queue, Event) that cover the needs of queueing-network style
-// models.
+// Internally the kernel is a single-threaded state-machine event loop: an
+// indexed calendar-queue scheduler over pooled event structs, dispatching
+// process continuations inline via coroutine switches (iter.Pull). A
+// process is a coroutine the kernel resumes and that yields back when it
+// blocks — one user-space switch per wakeup, with the Go scheduler, channel
+// locks and goroutine parking entirely off the hot path. The process API
+// (Proc, Hold, Resource, Queue, Event) is a thin veneer over this loop, so
+// model code still reads as sequential programs.
 package sim
 
 import (
-	"container/heap"
 	"errors"
 	"fmt"
+	"iter"
+	"math"
+	"slices"
 )
 
 // ErrInterrupted is returned from interruptible blocking calls when another
@@ -40,41 +46,14 @@ func (e *InterruptError) Error() string {
 // Unwrap reports ErrInterrupted so errors.Is(err, ErrInterrupted) holds.
 func (e *InterruptError) Unwrap() error { return ErrInterrupted }
 
-// errKilled is delivered on a process's resume channel by Shutdown. It never
-// reaches model code: yield converts it into a killSentinel panic that
-// unwinds the process goroutine, and the spawn wrapper swallows the sentinel.
-var errKilled = errors.New("sim: environment shut down")
-
-// killSentinel is the panic value used to unwind a process goroutine during
-// Shutdown. It is recovered (and discarded) by the spawn wrapper.
+// killSentinel is the panic value used to unwind a process coroutine during
+// Shutdown. It is recovered (and discarded) by the process wrapper.
 type killSentinel struct{}
 
-// event is a scheduled callback. Events at equal times fire in schedule order.
-type event struct {
-	t   float64
-	seq int64
-	fn  func()
-}
-
-type eventHeap []*event
-
-func (h eventHeap) Len() int { return len(h) }
-func (h eventHeap) Less(i, j int) bool {
-	if h[i].t != h[j].t {
-		return h[i].t < h[j].t
-	}
-	return h[i].seq < h[j].seq
-}
-func (h eventHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
-func (h *eventHeap) Push(x interface{}) { *h = append(*h, x.(*event)) }
-func (h *eventHeap) Pop() interface{} {
-	old := *h
-	n := len(old)
-	ev := old[n-1]
-	old[n-1] = nil
-	*h = old[:n-1]
-	return ev
-}
+// detacher is implemented by the waiter records of the interruptible
+// primitives (Resource, Queue, Event): detach removes the record from its
+// waiter list so the interrupted process stops being a wakeup target.
+type detacher interface{ detach() }
 
 // Env is a simulation environment: a virtual clock and an event queue.
 // Create one with NewEnv, spawn processes with Spawn, then call Run.
@@ -82,86 +61,186 @@ func (h *eventHeap) Pop() interface{} {
 // code executes under the kernel's single-runnable discipline.
 type Env struct {
 	now     float64
-	events  eventHeap
 	seq     int64
 	procSeq int64
+	q       calQueue
 
-	// done is the handoff channel: the running process (or an event
-	// callback that resumed a process) signals the kernel through it.
-	done chan struct{}
+	// nowQ[nowHead:] is the same-time FIFO: events scheduled at exactly the
+	// current clock reading (wakeups, zero-delay callbacks). They are sorted
+	// by construction — seq is monotonic — so they bypass the calendar
+	// queue's bucket machinery entirely. The clock cannot advance while the
+	// FIFO is non-empty (its events precede everything in the calendar), so
+	// the t == now invariant holds for every entry.
+	nowQ    []*event
+	nowHead int
 
-	running   bool
+	running bool
+	until   float64 // time bound of the active Run/RunAll, for Hold fusion
+
 	nlive     int             // live (spawned, not yet terminated) processes
 	procs     map[int64]*Proc // live processes by id, for Shutdown
 	dead      bool            // set by Shutdown; the environment is finished
 	panicked  interface{}
 	panicProc string
+
+	// evwPool recycles Event waiter records environment-wide (Events are
+	// typically short-lived, so they cannot pool their own waiters).
+	evwPool []*eventWaiter
 }
 
 // NewEnv returns an empty environment with the clock at zero.
 func NewEnv() *Env {
-	return &Env{done: make(chan struct{}), procs: make(map[int64]*Proc)}
+	e := &Env{procs: make(map[int64]*Proc)}
+	e.q.init()
+	return e
 }
 
 // Now returns the current simulation time.
 func (e *Env) Now() float64 { return e.now }
 
-// schedule enqueues fn to run at time t. Panics if t is in the past.
-func (e *Env) schedule(t float64, fn func()) *event {
+// schedule enqueues a pooled event at time t. Events at exactly the current
+// time go to the same-time FIFO; future events go to the calendar queue.
+// Panics if t is in the past.
+func (e *Env) schedule(t float64) *event {
 	if t < e.now {
 		panic(fmt.Sprintf("sim: schedule at %v before now %v", t, e.now))
 	}
 	e.seq++
-	ev := &event{t: t, seq: e.seq, fn: fn}
-	heap.Push(&e.events, ev)
+	ev := e.q.alloc()
+	ev.t, ev.seq = t, e.seq
+	if t == e.now {
+		e.nowQ = append(e.nowQ, ev)
+	} else {
+		e.q.push(ev)
+	}
 	return ev
+}
+
+// peekNext returns the earliest pending event — the same-time FIFO head or
+// the calendar minimum, whichever is (t, seq)-first — or nil if none.
+func (e *Env) peekNext() *event {
+	c := e.q.peek()
+	if e.nowHead < len(e.nowQ) {
+		nw := e.nowQ[e.nowHead]
+		if c == nil || eventBefore(nw, c) {
+			return nw
+		}
+	}
+	return c
+}
+
+// popNext removes ev, which must be the event peekNext just returned.
+func (e *Env) popNext(ev *event) {
+	if e.nowHead < len(e.nowQ) && e.nowQ[e.nowHead] == ev {
+		e.nowQ[e.nowHead] = nil
+		e.nowHead++
+		if e.nowHead == len(e.nowQ) {
+			e.nowQ = e.nowQ[:0]
+			e.nowHead = 0
+		}
+		return
+	}
+	e.q.pop()
 }
 
 // At schedules fn to run as a bare event (not a process) at absolute time t.
 // The callback must not block; to model activity over time, spawn a process.
-func (e *Env) At(t float64, fn func()) { e.schedule(t, fn) }
+func (e *Env) At(t float64, fn func()) {
+	ev := e.schedule(t)
+	ev.kind, ev.fn = evCall, fn
+}
 
 // After schedules fn to run d time units from now.
 func (e *Env) After(d float64, fn func()) {
 	if d < 0 {
 		panic("sim: negative delay")
 	}
-	e.schedule(e.now+d, fn)
+	e.At(e.now+d, fn)
 }
 
 // Run executes events until the event queue is empty or the clock would pass
-// until. It returns the time at which the simulation stopped. Run may be
+// until. On return the clock reads until on both exit paths — queue drained
+// early and bound reached — so a subsequent After(d) schedules relative to
+// the end of the interval that was simulated, not relative to whenever the
+// last event happened to fire. (The only exception: until in the past never
+// moves the clock backward.)
+//
+// The return value is the time at which the simulation stopped executing:
+// until when the bound was reached with events still pending, or the time of
+// the last executed event when the queue drained first. Callers measuring
+// rates over the simulated interval should use the returned stop time as the
+// window end; a drained queue means nothing happened after it. Run may be
 // called repeatedly to continue a paused simulation.
 func (e *Env) Run(until float64) float64 {
-	e.running = true
-	defer func() { e.running = false }()
-	for len(e.events) > 0 {
-		next := e.events[0]
-		if next.t > until {
-			e.now = until
-			return e.now
-		}
-		heap.Pop(&e.events)
-		e.now = next.t
-		next.fn()
-		if e.panicked != nil {
-			panic(fmt.Sprintf("sim: process %s panicked: %v", e.panicProc, e.panicked))
-		}
-	}
-	return e.now
+	return e.runLoop(until, true)
 }
 
-// RunAll executes events until the queue drains, with no time bound.
+// RunAll executes events until the queue drains, with no time bound. It
+// returns the time of the last event executed (the clock is not advanced
+// past it: with no bound there is no "end of interval" to advance to).
 func (e *Env) RunAll() float64 {
-	for len(e.events) > 0 {
-		next := heap.Pop(&e.events).(*event)
-		e.now = next.t
-		next.fn()
+	return e.runLoop(math.Inf(1), false)
+}
+
+// runLoop is the kernel: pop the minimum (t, seq) event, advance the clock,
+// dispatch the continuation inline, repeat. bounded selects the drained-
+// queue clock semantics (Run advances to until, RunAll does not). It
+// returns the stop time: the clock as of the last executed event if the
+// queue drained, the bound otherwise.
+func (e *Env) runLoop(until float64, bounded bool) float64 {
+	e.running = true
+	e.until = until
+	defer func() { e.running = false }()
+	for {
+		ev := e.peekNext()
+		if ev == nil {
+			stop := e.now
+			if bounded && until > e.now {
+				e.now = until
+			}
+			return stop
+		}
+		if ev.t > until {
+			if until > e.now {
+				e.now = until
+			}
+			return e.now
+		}
+		e.popNext(ev)
+		e.now = ev.t
+		e.dispatch(ev)
 		if e.panicked != nil {
 			panic(fmt.Sprintf("sim: process %s panicked: %v", e.panicProc, e.panicked))
 		}
 	}
-	return e.now
+}
+
+// dispatch runs one event. The event is released to the pool first, so the
+// continuation can schedule freely without growing the pool.
+func (e *Env) dispatch(ev *event) {
+	switch ev.kind {
+	case evResume:
+		p, err := ev.proc, ev.err
+		e.q.release(ev)
+		e.resume(p, err)
+	case evCall:
+		fn := ev.fn
+		e.q.release(ev)
+		fn()
+	case evStart:
+		p := ev.proc
+		e.q.release(ev)
+		p.started = true
+		p.next, p.stop = iter.Pull(p.coroutine)
+		e.resume(p, nil)
+	}
+}
+
+// resume transfers control into p's coroutine with err as the result of its
+// pending yield, and returns when p blocks again or terminates.
+func (e *Env) resume(p *Proc, err error) {
+	p.resumeErr = err
+	p.next()
 }
 
 // Live returns the number of spawned processes that have not terminated.
@@ -172,44 +251,53 @@ func (e *Env) Live() int { return e.nlive }
 // simulated crash: leave shared state frozen) from a normal completion.
 func (e *Env) Terminated() bool { return e.dead }
 
-// Shutdown terminates the simulation: every live process goroutine is
-// unwound (via a kill sentinel panic recovered in the spawn wrapper) and
+// Shutdown terminates the simulation: every live process coroutine is
+// unwound (via a kill sentinel panic recovered in the process wrapper) and
 // all pending events are discarded. Without it, any process still parked
-// when Run stops at its time bound is a goroutine blocked forever — a
-// leak that compounds across repeated simulations in one OS process.
+// when Run stops at its time bound is a suspended coroutine pinned forever —
+// a leak that compounds across repeated simulations in one OS process.
 //
+// Processes are killed in ascending id order, one sorted pass per
+// generation: a pass snapshots the live ids, sorts them once, and kills
+// each (teardown is O(n log n), not the quadratic min-scan it replaced);
+// processes spawned by dying defers are collected by the next pass.
 // Deferred functions of unwound processes do run; they may schedule events
-// (discarded) or block again (the process is simply killed again). The
-// environment must not be used after Shutdown. Calling Shutdown on an
-// already-drained or already-shut-down environment is a no-op.
+// (discarded) or block again (the blocking call unwinds immediately: the
+// kill is permanent). The environment must not be used after Shutdown.
+// Calling Shutdown on an already-drained or already-shut-down environment
+// is a no-op.
 func (e *Env) Shutdown() {
 	if e.running {
 		panic("sim: Shutdown called from inside Run")
 	}
 	e.dead = true
 	for len(e.procs) > 0 {
-		// Kill in ascending id order so teardown is deterministic.
-		var victim *Proc
-		for _, p := range e.procs {
-			if victim == nil || p.id < victim.id {
-				victim = p
+		ids := make([]int64, 0, len(e.procs))
+		for id := range e.procs {
+			ids = append(ids, id)
+		}
+		slices.Sort(ids)
+		for _, id := range ids {
+			p, ok := e.procs[id]
+			if !ok {
+				continue
 			}
+			if !p.started {
+				// Its start event never fired, so no coroutine exists yet.
+				e.nlive--
+				delete(e.procs, p.id)
+				continue
+			}
+			// The coroutine is suspended in a yield (the kernel is stopped,
+			// so no process is mid-run). stop makes that yield report the
+			// kill, unwinding the coroutine synchronously — including any
+			// deferred functions, whose own blocking calls unwind the same
+			// way.
+			p.stop()
 		}
-		if !victim.started {
-			// Its start event never fired, so no goroutine exists yet.
-			e.nlive--
-			delete(e.procs, victim.id)
-			continue
-		}
-		// The goroutine is parked in yield's resume receive (the kernel is
-		// stopped, so no process is mid-run). Deliver the kill and wait for
-		// the wrapper's exit handshake. A process whose deferred functions
-		// block again re-enters e.procs-visible parked state and is killed
-		// again on the next iteration.
-		victim.resume <- errKilled
-		<-e.done
 	}
-	e.events = nil
+	e.nowQ, e.nowHead = nil, 0
+	e.q.reset()
 	if e.panicked != nil {
 		panic(fmt.Sprintf("sim: process %s panicked during shutdown: %v", e.panicProc, e.panicked))
 	}
@@ -221,17 +309,26 @@ type Proc struct {
 	env  *Env
 	id   int64
 	name string
+	fn   func(*Proc)
 
-	resume chan error
+	// Coroutine handles: next resumes the process (kernel side), stop
+	// unwinds it, yieldFn suspends it (process side). resumeErr carries the
+	// wakeup result across the switch.
+	next      func() (struct{}, bool)
+	stop      func()
+	yieldFn   func(struct{}) bool
+	resumeErr error
 
-	// started flips once the start event fires and the goroutine exists;
-	// Shutdown must not deliver a kill to a process that was never started.
+	// started flips once the start event fires and the coroutine exists;
+	// Shutdown must not unwind a process that was never started.
 	started bool
+	// terminated flips when the process function returns or is unwound.
+	terminated bool
 
-	// cancel detaches the process from whatever waiter list it is parked
-	// on. It is set by interruptible blocking primitives and nil while the
-	// process is runnable or parked non-interruptibly.
-	cancel func()
+	// waiter is the waiter-list record the process is parked on. It is set
+	// by interruptible blocking primitives and nil while the process is
+	// runnable or parked non-interruptibly.
+	waiter detacher
 }
 
 // Name returns the name given at Spawn.
@@ -255,61 +352,66 @@ func (e *Env) Spawn(name string, fn func(p *Proc)) *Proc {
 // SpawnAt creates a process running fn, starting at absolute time t >= now.
 func (e *Env) SpawnAt(t float64, name string, fn func(p *Proc)) *Proc {
 	e.procSeq++
-	p := &Proc{env: e, id: e.procSeq, name: name, resume: make(chan error)}
+	p := &Proc{env: e, id: e.procSeq, name: name, fn: fn}
 	e.nlive++
 	e.procs[p.id] = p
-	e.schedule(t, func() {
-		p.started = true
-		go func() {
-			defer func() {
-				if r := recover(); r != nil {
-					if _, killed := r.(killSentinel); !killed {
-						e.panicked = r
-						e.panicProc = p.name
-					}
-				}
-				e.nlive--
-				delete(e.procs, p.id)
-				e.done <- struct{}{}
-			}()
-			if err := <-p.resume; err != nil {
-				// A process can be interrupted before its first
-				// instruction only through kernel misuse.
-				panic("sim: process interrupted before start")
-			}
-			fn(p)
-		}()
-		p.resume <- nil
-		<-e.done
-	})
+	ev := e.schedule(t)
+	ev.kind, ev.proc = evStart, p
 	return p
 }
 
-// yield hands control from the running process back to the kernel and
-// blocks until some event resumes this process. The returned error is the
-// value passed to wake (nil for normal wakeups, an *InterruptError for
-// interrupts). A kill delivered by Shutdown never returns: it unwinds the
-// goroutine with a sentinel panic the spawn wrapper recovers.
+// coroutine is the body the kernel runs inside iter.Pull: it publishes the
+// yield handle, runs the model function, and on the way out — normal
+// return, model panic, or kill — performs the liveness bookkeeping. Model
+// panics are stashed for the kernel loop to rethrow with the process name;
+// the kill sentinel is swallowed.
+func (p *Proc) coroutine(yield func(struct{}) bool) {
+	p.yieldFn = yield
+	defer func() {
+		e := p.env
+		if r := recover(); r != nil {
+			if _, killed := r.(killSentinel); !killed {
+				e.panicked = r
+				e.panicProc = p.name
+			}
+		}
+		p.terminated = true
+		e.nlive--
+		delete(e.procs, p.id)
+	}()
+	p.fn(p)
+}
+
+// yield suspends the process until the kernel resumes it. The returned
+// error is the wakeup result (nil for normal wakeups, an *InterruptError
+// for interrupts). A kill delivered by Shutdown never returns: the yield
+// reports it and the coroutine unwinds with a sentinel panic the process
+// wrapper recovers.
 func (p *Proc) yield() error {
-	p.env.done <- struct{}{}
-	err := <-p.resume
-	if err == errKilled {
+	if !p.yieldFn(struct{}{}) {
 		panic(killSentinel{})
 	}
-	return err
+	return p.resumeErr
 }
 
 // wake schedules process p to resume at the current time with err as the
 // result of its pending yield. All wakeups flow through the event queue so
-// that only one process runs at a time.
+// that only one process runs at a time and simultaneous wakeups keep their
+// schedule order.
 func (e *Env) wake(p *Proc, err error) {
-	e.schedule(e.now, func() {
-		p.resume <- err
-		<-e.done
-	})
+	ev := e.schedule(e.now)
+	ev.kind, ev.proc, ev.err = evResume, p, err
 }
 
 // Hold advances the process's local time by d. It is not interruptible.
+//
+// Fast path ("hold fusion"): when no pending event precedes the hold's
+// expiry and the expiry lies within the active Run bound, the kernel would
+// pop the expiry event immediately after this process yields — nothing can
+// run in between. In that case the clock advances in place and the
+// coroutine switch, the queue traffic and the event are all skipped. A
+// sequence number is still consumed so the slow path's dispatch order is
+// reproduced exactly.
 func (p *Proc) Hold(d float64) {
 	if d < 0 {
 		panic("sim: negative hold")
@@ -318,21 +420,27 @@ func (p *Proc) Hold(d float64) {
 		return
 	}
 	e := p.env
-	e.schedule(e.now+d, func() {
-		p.resume <- nil
-		<-e.done
-	})
+	t := e.now + d
+	if e.running && t <= e.until && e.nowHead == len(e.nowQ) {
+		if min := e.q.peek(); min == nil || min.t > t {
+			e.seq++
+			e.now = t
+			return
+		}
+	}
+	ev := e.schedule(t)
+	ev.kind, ev.proc = evResume, p
 	if err := p.yield(); err != nil {
 		panic("sim: Hold interrupted: " + err.Error())
 	}
 }
 
 // park blocks the process until woken. Before calling park the primitive
-// must have registered the process on a waiter list and set p.cancel to a
-// function that removes it from that list. park clears cancel on wakeup.
+// must have registered the process on a waiter list and set p.waiter to
+// that record. park clears the registration on wakeup.
 func (p *Proc) park() error {
 	err := p.yield()
-	p.cancel = nil
+	p.waiter = nil
 	return err
 }
 
@@ -341,15 +449,15 @@ func (p *Proc) park() error {
 // It reports whether the interrupt was delivered. Interrupting a runnable
 // process or one blocked in Hold is not supported and returns false.
 func (p *Proc) Interrupt(cause error) bool {
-	if p.cancel == nil {
+	if p.waiter == nil {
 		return false
 	}
-	p.cancel()
-	p.cancel = nil
+	p.waiter.detach()
+	p.waiter = nil
 	p.env.wake(p, &InterruptError{Cause: cause})
 	return true
 }
 
 // Interruptible reports whether the process is currently parked on an
 // interruptible primitive.
-func (p *Proc) Interruptible() bool { return p.cancel != nil }
+func (p *Proc) Interruptible() bool { return p.waiter != nil }

@@ -20,6 +20,32 @@ type eventWaiter struct {
 	removed bool
 }
 
+// detach implements the interrupt hook: the waiter becomes a tombstone that
+// Trigger and Reset skip (and reclaim).
+func (w *eventWaiter) detach() { w.removed = true }
+
+// Event waiter records are pooled on the Env, not the Event: the testbed
+// creates Events per transaction, so a per-Event pool would never amortize.
+func (ev *Event) newWaiter(p *Proc) *eventWaiter {
+	e := ev.env
+	var w *eventWaiter
+	if k := len(e.evwPool); k > 0 {
+		w = e.evwPool[k-1]
+		e.evwPool[k-1] = nil
+		e.evwPool = e.evwPool[:k-1]
+	} else {
+		w = &eventWaiter{}
+	}
+	w.p = p
+	w.removed = false
+	return w
+}
+
+func (ev *Event) freeWaiter(w *eventWaiter) {
+	w.p = nil
+	ev.env.evwPool = append(ev.env.evwPool, w)
+}
+
 // NewEvent creates an untriggered event.
 func NewEvent(env *Env, name string) *Event {
 	return &Event{env: env, name: name}
@@ -43,13 +69,13 @@ func (ev *Event) Trigger(result error) {
 	ev.triggered = true
 	ev.result = result
 	ws := ev.waiters
-	ev.waiters = nil
+	ev.waiters = ev.waiters[:0]
 	for _, w := range ws {
-		if w.removed {
-			continue
+		if !w.removed {
+			w.p.waiter = nil
+			ev.env.wake(w.p, nil)
 		}
-		w.p.cancel = nil
-		ev.env.wake(w.p, nil)
+		ev.freeWaiter(w)
 	}
 }
 
@@ -60,9 +86,12 @@ func (ev *Event) Reset() {
 			panic("sim: Reset on event with waiters")
 		}
 	}
+	for _, w := range ev.waiters {
+		ev.freeWaiter(w)
+	}
 	ev.triggered = false
 	ev.result = nil
-	ev.waiters = nil
+	ev.waiters = ev.waiters[:0]
 }
 
 // Wait blocks (interruptibly) until the event is triggered, then returns
@@ -72,9 +101,9 @@ func (ev *Event) Wait(p *Proc) error {
 	if ev.triggered {
 		return ev.result
 	}
-	w := &eventWaiter{p: p}
+	w := ev.newWaiter(p)
 	ev.waiters = append(ev.waiters, w)
-	p.cancel = func() { w.removed = true }
+	p.waiter = w
 	if err := p.park(); err != nil {
 		return err
 	}

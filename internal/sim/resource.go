@@ -19,7 +19,12 @@ type Resource struct {
 	servers int
 	inUse   int
 
+	// waiters[wHead:] is the FCFS wait queue. Dequeue advances wHead and
+	// the backing array is reused once the queue empties, so steady-state
+	// queueing does not grow the slice.
 	waiters []*resWaiter
+	wHead   int
+	pool    []*resWaiter // free waiter records; steady state allocates none
 
 	busy        stats.TimeWeighted // number of busy servers over time
 	population  stats.TimeWeighted // waiting + in service
@@ -29,10 +34,51 @@ type Resource struct {
 }
 
 type resWaiter struct {
+	r       *Resource
 	p       *Proc
 	n       int
 	arrived float64
 	removed bool
+}
+
+// detach implements the interrupt hook: the waiter stays in the FCFS slice
+// as a tombstone (reclaimed when dispatch reaches it) and the customer
+// leaves the station's population immediately.
+func (w *resWaiter) detach() {
+	w.removed = true
+	w.r.population.Adjust(-1, w.r.env.now)
+}
+
+// newWaiter takes a waiter record from the station's pool.
+func (r *Resource) newWaiter(p *Proc, n int) *resWaiter {
+	var w *resWaiter
+	if k := len(r.pool); k > 0 {
+		w = r.pool[k-1]
+		r.pool[k-1] = nil
+		r.pool = r.pool[:k-1]
+	} else {
+		w = &resWaiter{}
+	}
+	*w = resWaiter{r: r, p: p, n: n, arrived: r.env.now}
+	return w
+}
+
+func (r *Resource) freeWaiter(w *resWaiter) {
+	*w = resWaiter{}
+	r.pool = append(r.pool, w)
+}
+
+// popWaiter removes the queue head, resetting the backing array for reuse
+// when the queue empties.
+func (r *Resource) popWaiter() *resWaiter {
+	w := r.waiters[r.wHead]
+	r.waiters[r.wHead] = nil
+	r.wHead++
+	if r.wHead == len(r.waiters) {
+		r.waiters = r.waiters[:0]
+		r.wHead = 0
+	}
+	return w
 }
 
 // NewResource creates a station with the given number of servers (>= 1).
@@ -56,7 +102,7 @@ func (r *Resource) Servers() int { return r.servers }
 func (r *Resource) InUse() int { return r.inUse }
 
 // QueueLen returns the number of processes waiting for a server.
-func (r *Resource) QueueLen() int { return len(r.waiters) }
+func (r *Resource) QueueLen() int { return len(r.waiters) - r.wHead }
 
 // Acquire obtains one server, waiting FCFS if none is free. The wait is
 // interruptible; on interrupt the process leaves the queue and the error is
@@ -70,22 +116,20 @@ func (r *Resource) AcquireN(p *Proc, n int) error {
 	}
 	now := r.env.now
 	r.population.Adjust(1, now)
-	if len(r.waiters) == 0 && r.inUse+n <= r.servers {
+	if r.wHead == len(r.waiters) && r.inUse+n <= r.servers {
 		r.grant(n)
 		r.waitTime.Add(0)
 		return nil
 	}
-	w := &resWaiter{p: p, n: n, arrived: now}
+	w := r.newWaiter(p, n)
 	r.waiters = append(r.waiters, w)
-	p.cancel = func() {
-		w.removed = true
-		r.population.Adjust(-1, r.env.now)
-	}
+	p.waiter = w
 	if err := p.park(); err != nil {
 		r.dispatch() // our slot may now be grantable to someone behind us
 		return err
 	}
 	r.waitTime.Add(r.env.now - w.arrived)
+	r.freeWaiter(w)
 	return nil
 }
 
@@ -116,18 +160,19 @@ func (r *Resource) ReleaseN(n int) {
 // dispatch grants servers to queued waiters in FCFS order while capacity
 // allows, skipping waiters removed by interrupts.
 func (r *Resource) dispatch() {
-	for len(r.waiters) > 0 {
-		w := r.waiters[0]
+	for r.wHead < len(r.waiters) {
+		w := r.waiters[r.wHead]
 		if w.removed {
-			r.waiters = r.waiters[1:]
+			r.popWaiter()
+			r.freeWaiter(w)
 			continue
 		}
 		if r.inUse+w.n > r.servers {
 			return
 		}
-		r.waiters = r.waiters[1:]
+		r.popWaiter()
 		r.grant(w.n)
-		w.p.cancel = nil
+		w.p.waiter = nil
 		r.env.wake(w.p, nil)
 	}
 }

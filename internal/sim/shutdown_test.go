@@ -105,6 +105,42 @@ func TestShutdownIdempotentAndEmptyEnv(t *testing.T) {
 	}
 }
 
+// TestShutdownLargeParkedPopulation is the regression test for the old
+// quadratic Shutdown: each kill round rescanned the whole process table for
+// the minimum live id, so tearing down n parked processes cost O(n²) map
+// scans. The rewrite sorts the ids once per round; this population size
+// finishes instantly now and took seconds before.
+func TestShutdownLargeParkedPopulation(t *testing.T) {
+	const parked = 20_000
+	e := NewEnv()
+	q := NewQueue[int](e, "q")
+	r := NewResource(e, "cpu", 1)
+	unwound := 0
+	for i := 0; i < parked; i++ {
+		blockOnQueue := i%2 == 0
+		e.Spawn("p", func(p *Proc) {
+			defer func() { unwound++ }()
+			if blockOnQueue {
+				_, _ = q.Get(p)
+			} else {
+				_ = r.Acquire(p)
+				p.Hold(1e9)
+			}
+		})
+	}
+	e.Run(10)
+	if e.Live() != parked {
+		t.Fatalf("Live before Shutdown = %d, want %d", e.Live(), parked)
+	}
+	e.Shutdown()
+	if e.Live() != 0 {
+		t.Fatalf("Live after Shutdown = %d, want 0", e.Live())
+	}
+	if unwound != parked {
+		t.Fatalf("unwound %d processes, want %d", unwound, parked)
+	}
+}
+
 func TestShutdownDeterministicKillOrder(t *testing.T) {
 	run := func() []string {
 		e := NewEnv()

@@ -10,6 +10,7 @@ package storage
 
 import (
 	"math"
+	"slices"
 	"sort"
 	"sync"
 
@@ -38,6 +39,14 @@ type Pattern interface {
 	Pick(r *rng.Rand, l Layout, k int) []int
 }
 
+// AppendPattern is the allocation-free variant of Pattern: PickAppend
+// appends the picked records to dst with draws identical to Pick. All the
+// patterns in this package implement it; hot callers type-assert for it and
+// fall back to Pick.
+type AppendPattern interface {
+	PickAppend(dst []int, r *rng.Rand, l Layout, k int) []int
+}
+
 // Uniform picks records uniformly at random without replacement — the
 // paper's workload assumption ("records are chosen randomly from among all
 // the database records located at the site").
@@ -46,6 +55,11 @@ type Uniform struct{}
 // Pick implements Pattern.
 func (Uniform) Pick(r *rng.Rand, l Layout, k int) []int {
 	return r.SampleInts(l.Records(), k)
+}
+
+// PickAppend implements AppendPattern.
+func (Uniform) PickAppend(dst []int, r *rng.Rand, l Layout, k int) []int {
+	return r.SampleIntsAppend(dst, l.Records(), k)
 }
 
 // Hotspot implements the b–c rule: a fraction Frac of accesses go to the
@@ -59,30 +73,33 @@ type Hotspot struct {
 
 // Pick implements Pattern. Records are distinct within one call.
 func (h Hotspot) Pick(r *rng.Rand, l Layout, k int) []int {
+	return h.PickAppend(make([]int, 0, k), r, l, k)
+}
+
+// PickAppend implements AppendPattern.
+func (h Hotspot) PickAppend(dst []int, r *rng.Rand, l Layout, k int) []int {
 	n := l.Records()
 	hot := int(h.Hot * float64(n))
 	if hot < 1 {
 		hot = 1
 	}
 	if hot >= n {
-		return r.SampleInts(n, k)
+		return r.SampleIntsAppend(dst, n, k)
 	}
-	seen := make(map[int]struct{}, k)
-	out := make([]int, 0, k)
-	for len(out) < k {
+	base := len(dst)
+	for len(dst)-base < k {
 		var rec int
 		if r.Bool(h.Frac) {
 			rec = r.Intn(hot)
 		} else {
 			rec = hot + r.Intn(n-hot)
 		}
-		if _, dup := seen[rec]; dup {
+		if slices.Contains(dst[base:], rec) {
 			continue
 		}
-		seen[rec] = struct{}{}
-		out = append(out, rec)
+		dst = append(dst, rec)
 	}
-	return out
+	return dst
 }
 
 // Zipf picks records from a bounded Zipf distribution over the site's
@@ -129,41 +146,48 @@ func (z *Zipf) table(l Layout) []float64 {
 
 // Pick implements Pattern. Records are distinct within one call.
 func (z *Zipf) Pick(r *rng.Rand, l Layout, k int) []int {
+	return z.PickAppend(make([]int, 0, k), r, l, k)
+}
+
+// PickAppend implements AppendPattern.
+func (z *Zipf) PickAppend(dst []int, r *rng.Rand, l Layout, k int) []int {
 	cdf := z.table(l)
 	n := len(cdf)
 	if k >= n {
-		return r.SampleInts(n, k)
+		return r.SampleIntsAppend(dst, n, k)
 	}
-	seen := make(map[int]struct{}, k)
-	out := make([]int, 0, k)
-	for len(out) < k {
+	base := len(dst)
+	for len(dst)-base < k {
 		rec := sort.SearchFloat64s(cdf, r.Float64())
 		if rec >= n {
 			rec = n - 1
 		}
-		if _, dup := seen[rec]; dup {
+		if slices.Contains(dst[base:], rec) {
 			continue
 		}
-		seen[rec] = struct{}{}
-		out = append(out, rec)
+		dst = append(dst, rec)
 	}
-	return out
+	return dst
 }
 
 // GranulesOf maps record ids to the distinct granules holding them,
 // preserving first-touch order.
 func GranulesOf(l Layout, records []int) []int {
-	seen := make(map[int]struct{}, len(records))
-	out := make([]int, 0, len(records))
+	return GranulesOfAppend(make([]int, 0, len(records)), l, records)
+}
+
+// GranulesOfAppend appends the distinct granules holding records to dst in
+// first-touch order and returns the extended slice. Deduplication scans the
+// appended prefix, which beats a map for per-request granule counts.
+func GranulesOfAppend(dst []int, l Layout, records []int) []int {
+	base := len(dst)
 	for _, rec := range records {
 		g := l.GranuleOf(rec)
-		if _, dup := seen[g]; dup {
-			continue
+		if !slices.Contains(dst[base:], g) {
+			dst = append(dst, g)
 		}
-		seen[g] = struct{}{}
-		out = append(out, g)
 	}
-	return out
+	return dst
 }
 
 // Yao returns the expected number of distinct blocks accessed when k

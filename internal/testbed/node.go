@@ -205,7 +205,7 @@ func (n *node) dbDiskFor(g int) *disk.Device {
 // site: all locks (2PL family) and the TO bookkeeping.
 func (n *node) releaseTxn(gid int64) {
 	n.locks.ReleaseAll(lock.TxnID(gid))
-	n.tso.Finish(tso.TxnID(gid))
+	n.tso.Forget(tso.TxnID(gid))
 }
 
 // separateLog reports whether the log has its own device.

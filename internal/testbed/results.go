@@ -146,9 +146,9 @@ type Results struct {
 	DegradedMS float64
 }
 
-// collect snapshots every node's statistics at the current time.
-func (s *System) collect() Results {
-	t := s.env.Now()
+// collect snapshots every node's statistics at time t, the end of the
+// measurement window (the time the simulation stopped executing events).
+func (s *System) collect(t float64) Results {
 	res := Results{Window: t - s.cfg.Warmup}
 	for _, n := range s.nodes {
 		nr := NodeResults{

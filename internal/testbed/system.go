@@ -134,19 +134,23 @@ func (s *System) Env() *sim.Env { return s.env }
 // of dead goroutines. The teardown models a crash: journal, store and the
 // in-flight transaction registry stay frozen for CrashRecover.
 func (s *System) Run() Results {
+	warmEnd := 0.0
 	if s.cfg.Warmup > 0 {
-		s.env.Run(s.cfg.Warmup)
+		warmEnd = s.env.Run(s.cfg.Warmup)
 	}
-	s.resetStats()
-	s.env.Run(s.cfg.Duration)
-	res := s.collect()
+	s.resetStats(warmEnd)
+	// Measure through the time the simulation actually stopped: the
+	// configured horizon, or earlier if the event queue drained first (for
+	// example when every user is wedged in the lock-thrashing regime) —
+	// rates are taken over the interval in which activity was possible.
+	stop := s.env.Run(s.cfg.Duration)
+	res := s.collect(stop)
 	s.env.Shutdown()
 	return res
 }
 
-// resetStats truncates all statistics at the current time (end of warmup).
-func (s *System) resetStats() {
-	t := s.env.Now()
+// resetStats truncates all statistics at time t (end of warmup).
+func (s *System) resetStats(t float64) {
 	for _, n := range s.nodes {
 		n.resetStats(t)
 	}

@@ -34,6 +34,13 @@ type user struct {
 	// holdsSlot is true while this user holds an admission slot at its home
 	// site.
 	holdsSlot bool
+	// Per-submission scratch buffers (a user runs one attempt at a time),
+	// reused so the request path stays allocation-free in steady state.
+	recsBuf  []int
+	gransBuf []int
+	schedBuf []int
+	permBuf  []int
+	shufBuf  []int
 	// Open-class overrides (see OpenClass): zero values inherit the
 	// Config-wide transaction size, remote fraction and access pattern.
 	// Closed users always leave them zero.
@@ -322,10 +329,11 @@ func (u *user) noteAbort(home *node, st *txnState) {
 // RemoteSplit; positions are shuffled per submission.
 func (u *user) requestSchedule(remotes int) []int {
 	n := u.reqsPerTxn()
-	schedule := make([]int, n)
-	for i := range schedule {
-		schedule[i] = -1
+	schedule := u.schedBuf[:0]
+	for i := 0; i < n; i++ {
+		schedule = append(schedule, -1)
 	}
+	u.schedBuf = schedule
 	if !u.spec.Kind.Distributed() || remotes == 0 {
 		return schedule
 	}
@@ -341,12 +349,28 @@ func (u *user) requestSchedule(remotes int) []int {
 			pos++
 		}
 	}
-	perm := u.rnd.Perm(n)
-	shuffled := make([]int, n)
-	for i, j := range perm {
+	u.permBuf = u.rnd.PermAppend(u.permBuf[:0], n)
+	shuffled := u.shufBuf[:0]
+	for i := 0; i < n; i++ {
+		shuffled = append(shuffled, 0)
+	}
+	for i, j := range u.permBuf {
 		shuffled[j] = schedule[i]
 	}
+	u.shufBuf = shuffled
 	return shuffled
+}
+
+// pickRecords draws the records for one request into the user's scratch
+// buffer, using the pattern's allocation-free path when it has one.
+func (u *user) pickRecords(l storage.Layout, k int) []int {
+	pat := u.pattern()
+	if ap, ok := pat.(storage.AppendPattern); ok {
+		u.recsBuf = ap.PickAppend(u.recsBuf[:0], u.rnd, l, k)
+	} else {
+		u.recsBuf = append(u.recsBuf[:0], pat.Pick(u.rnd, l, k)...)
+	}
+	return u.recsBuf
 }
 
 // dmRequest executes one database request at node nd: the DM/LR/DMIO phase
@@ -368,8 +392,9 @@ func (u *user) dmRequest(p *sim.Proc, st *txnState, nd *node, failover bool) err
 		return errSiteCrash
 	}
 
-	recs := u.pattern().Pick(u.rnd, cfg.Layout, cfg.RecordsPerRequest)
-	grans := storage.GranulesOf(cfg.Layout, recs)
+	recs := u.pickRecords(cfg.Layout, cfg.RecordsPerRequest)
+	u.gransBuf = storage.GranulesOfAppend(u.gransBuf[:0], cfg.Layout, recs)
+	grans := u.gransBuf
 
 	if failover {
 		return u.failoverRead(p, st, nd, grans)

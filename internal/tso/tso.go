@@ -15,7 +15,7 @@
 // there are no deadlocks.
 package tso
 
-import "sort"
+import "slices"
 
 // TxnID identifies a transaction; GranuleID a database block.
 type (
@@ -62,7 +62,10 @@ type Manager struct {
 	// touched tracks, per live transaction, the granules it has accessed,
 	// so Finish can expose them for accounting parity with 2PL.
 	touched map[TxnID]map[GranuleID]bool
-	stats   Stats
+	// freeSets recycles touched sets (with their capacity) across
+	// transactions.
+	freeSets []map[GranuleID]bool
+	stats    Stats
 
 	// ThomasWriteRule, when set, silently skips obsolete writes (a write
 	// older than the granule's write timestamp but not conflicting with a
@@ -93,7 +96,13 @@ func (m *Manager) entry(g GranuleID) *granuleTS {
 func (m *Manager) touch(txn TxnID, g GranuleID) {
 	set := m.touched[txn]
 	if set == nil {
-		set = make(map[GranuleID]bool)
+		if k := len(m.freeSets); k > 0 {
+			set = m.freeSets[k-1]
+			m.freeSets[k-1] = nil
+			m.freeSets = m.freeSets[:k-1]
+		} else {
+			set = make(map[GranuleID]bool)
+		}
 		m.touched[txn] = set
 	}
 	set[g] = true
@@ -141,16 +150,29 @@ func (m *Manager) Write(txn TxnID, timestamp int64, g GranuleID) (out Outcome, s
 
 // Finish forgets a transaction's bookkeeping (commit or abort) and returns
 // the granules it touched, sorted. Granule timestamps persist — that is
-// the essence of TO.
+// the essence of TO. Callers that don't need the touched set should use
+// Forget, which allocates nothing.
 func (m *Manager) Finish(txn TxnID) []GranuleID {
 	set := m.touched[txn]
-	delete(m.touched, txn)
 	out := make([]GranuleID, 0, len(set))
 	for g := range set {
 		out = append(out, g)
 	}
-	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	slices.Sort(out)
+	m.Forget(txn)
 	return out
+}
+
+// Forget drops a transaction's bookkeeping without materializing its
+// touched set, recycling the set's storage.
+func (m *Manager) Forget(txn TxnID) {
+	if set, ok := m.touched[txn]; ok {
+		if set != nil {
+			clear(set)
+			m.freeSets = append(m.freeSets, set)
+		}
+		delete(m.touched, txn)
+	}
 }
 
 // Live returns the number of transactions with bookkeeping.
