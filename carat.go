@@ -332,12 +332,36 @@ type SiteCrash struct {
 	DownForMS float64
 }
 
+// PartitionSchedule schedules one network partition: at AtMS the sites
+// split into the given groups (any site not listed stays in an implicit
+// last group), messages cross group boundaries in neither direction, and
+// after HealAfterMS the network heals and deferred reconciliation runs.
+type PartitionSchedule struct {
+	Groups      [][]int
+	AtMS        float64
+	HealAfterMS float64
+}
+
+// GrayFailure degrades one site without failing it: from AtMS for ForMS
+// the site's CPU service times are stretched by CPUFactor and its disk
+// service times by DiskFactor (each >= 1; zero leaves that resource
+// unchanged). The site stays up and answers every protocol — just slowly.
+type GrayFailure struct {
+	Site       int
+	AtMS       float64
+	ForMS      float64
+	CPUFactor  float64
+	DiskFactor float64
+}
+
 // FaultPlan injects mid-run faults into simulator runs: site crashes
-// (explicit schedule and/or an exponential crash process), message loss and
-// extra delay on the inter-site network, and the protocol timeouts surviving
-// sites use to degrade gracefully. Fault timing is driven by a dedicated RNG
-// stream derived from Seed, so it is deterministic and independent of the
-// workload seed. A zero plan is fully inert. All times are milliseconds.
+// (explicit schedule and/or an exponential crash process), network
+// partitions (scheduled and/or a random partition process), gray failures,
+// message loss and extra delay on the inter-site network, and the protocol
+// timeouts surviving sites use to degrade gracefully. Fault timing is
+// driven by a dedicated RNG stream derived from Seed, so it is
+// deterministic and independent of the workload seed. A zero plan is fully
+// inert. All times are milliseconds.
 type FaultPlan struct {
 	// Seed drives the fault RNG (zero selects a fixed default stream).
 	Seed uint64
@@ -372,6 +396,22 @@ type FaultPlan struct {
 	// ProbeLossUntilMS, when positive, drops every inter-site probe before
 	// this simulation instant — a bounded detection-channel outage.
 	ProbeLossUntilMS float64
+	// Partitions lists explicit network partitions.
+	Partitions []PartitionSchedule
+	// PartitionMTBFMS > 0 adds a random partition process with this mean
+	// time between partitions; each lasts an exponential time with mean
+	// PartitionMeanMS (default 10000), splitting sites into two groups
+	// with per-site probability PartitionSplitProb (default 0.5).
+	PartitionMTBFMS    float64
+	PartitionMeanMS    float64
+	PartitionSplitProb float64
+	// GraySites lists scheduled gray-failure windows.
+	GraySites []GrayFailure
+	// HeartbeatIntervalMS and SuspectAfterMS tune the heartbeat failure
+	// detector that partitions arm (defaults 250 and 1000): a site
+	// unobserved for SuspectAfterMS is suspected until heard from again.
+	HeartbeatIntervalMS float64
+	SuspectAfterMS      float64
 }
 
 // WithFaults attaches a fault plan to the workload's simulator runs; the
@@ -391,10 +431,35 @@ func (w Workload) WithFaults(f FaultPlan) Workload {
 		RetryBackoffMS:    f.RetryBackoffMS,
 		ProbeLossProb:     f.ProbeLossProb,
 		ProbeLossUntilMS:  f.ProbeLossUntilMS,
+
+		PartitionMTBFMS:     f.PartitionMTBFMS,
+		PartitionMeanMS:     f.PartitionMeanMS,
+		PartitionSplitProb:  f.PartitionSplitProb,
+		HeartbeatIntervalMS: f.HeartbeatIntervalMS,
+		SuspectAfterMS:      f.SuspectAfterMS,
 	}
 	for _, c := range f.Crashes {
 		fp.Crashes = append(fp.Crashes, testbed.SiteCrash{
 			Site: testbed.NodeID(c.Site), AtMS: c.AtMS, DownForMS: c.DownForMS,
+		})
+	}
+	for _, ps := range f.Partitions {
+		groups := make([][]testbed.NodeID, 0, len(ps.Groups))
+		for _, g := range ps.Groups {
+			ids := make([]testbed.NodeID, 0, len(g))
+			for _, s := range g {
+				ids = append(ids, testbed.NodeID(s))
+			}
+			groups = append(groups, ids)
+		}
+		fp.Partitions = append(fp.Partitions, testbed.PartitionSchedule{
+			Groups: groups, AtMS: ps.AtMS, HealAfterMS: ps.HealAfterMS,
+		})
+	}
+	for _, g := range f.GraySites {
+		fp.GraySites = append(fp.GraySites, testbed.GrayFailure{
+			Site: testbed.NodeID(g.Site), AtMS: g.AtMS, ForMS: g.ForMS,
+			CPUFactor: g.CPUFactor, DiskFactor: g.DiskFactor,
 		})
 	}
 	w.w.Faults = fp
@@ -491,6 +556,141 @@ func ParseFaultPlan(s string) (FaultPlan, error) {
 		}
 	}
 	return f, nil
+}
+
+// ParsePartitions parses the command-line network-partition syntax
+// (caratsim -partition) into the plan: semicolon-separated entries, each
+// either a scheduled split
+//
+//	GROUPS@AT+HEAL   e.g. 0,1|2,3@60000+20000
+//
+// — GROUPS is |-separated comma lists of sites; the split takes effect at
+// AT ms and heals HEAL ms later — or one of the key=value options
+//
+//	mtbf=MS     random partition process: mean time between partitions
+//	mean=MS     mean partition duration (default 10000)
+//	split=P     per-site probability of landing in the first group (0.5)
+//	hb=MS       failure-detector heartbeat interval (default 250)
+//	suspect=MS  suspicion timeout (default 1000)
+func ParsePartitions(s string, f *FaultPlan) error {
+	for _, part := range strings.Split(s, ";") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		if key, val, ok := strings.Cut(part, "="); ok && !strings.Contains(key, "@") {
+			x, err := strconv.ParseFloat(val, 64)
+			if err != nil {
+				return fmt.Errorf("partition: %s value %q: %w", key, val, err)
+			}
+			switch key {
+			case "mtbf":
+				f.PartitionMTBFMS = x
+			case "mean":
+				f.PartitionMeanMS = x
+			case "split":
+				f.PartitionSplitProb = x
+			case "hb":
+				f.HeartbeatIntervalMS = x
+			case "suspect":
+				f.SuspectAfterMS = x
+			default:
+				return fmt.Errorf("partition: unknown key %q", key)
+			}
+			continue
+		}
+		groupsPart, timing, ok := strings.Cut(part, "@")
+		if !ok {
+			return fmt.Errorf("partition: %q wants GROUPS@AT+HEAL", part)
+		}
+		at, heal, ok := strings.Cut(timing, "+")
+		if !ok {
+			return fmt.Errorf("partition: %q wants GROUPS@AT+HEAL", part)
+		}
+		var ps PartitionSchedule
+		var err error
+		if ps.AtMS, err = strconv.ParseFloat(at, 64); err != nil {
+			return fmt.Errorf("partition: time %q: %w", at, err)
+		}
+		if ps.HealAfterMS, err = strconv.ParseFloat(heal, 64); err != nil {
+			return fmt.Errorf("partition: heal %q: %w", heal, err)
+		}
+		for _, grp := range strings.Split(groupsPart, "|") {
+			var ids []int
+			for _, site := range strings.Split(grp, ",") {
+				site = strings.TrimSpace(site)
+				if site == "" {
+					continue
+				}
+				id, err := strconv.Atoi(site)
+				if err != nil {
+					return fmt.Errorf("partition: site %q: %w", site, err)
+				}
+				ids = append(ids, id)
+			}
+			if len(ids) > 0 {
+				ps.Groups = append(ps.Groups, ids)
+			}
+		}
+		if len(ps.Groups) == 0 {
+			return fmt.Errorf("partition: %q names no sites", part)
+		}
+		f.Partitions = append(f.Partitions, ps)
+	}
+	return nil
+}
+
+// ParseGraySites parses the command-line gray-failure syntax (caratsim
+// -graysites) into the plan: semicolon-separated windows
+//
+//	SITE@AT+FOR*FACTOR        e.g. 1@60000+30000*3
+//	SITE@AT+FOR*CPU/DISK      e.g. 1@60000+30000*3/2
+//
+// — site SITE runs with CPU (and disk) service times stretched by the
+// factor from AT ms for FOR ms. A single factor degrades both resources;
+// CPU/DISK sets them separately.
+func ParseGraySites(s string, f *FaultPlan) error {
+	for _, part := range strings.Split(s, ";") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		sitePart, rest, ok := strings.Cut(part, "@")
+		if !ok {
+			return fmt.Errorf("graysites: %q wants SITE@AT+FOR*FACTOR", part)
+		}
+		timing, factors, ok := strings.Cut(rest, "*")
+		if !ok {
+			return fmt.Errorf("graysites: %q wants SITE@AT+FOR*FACTOR", part)
+		}
+		at, dur, ok := strings.Cut(timing, "+")
+		if !ok {
+			return fmt.Errorf("graysites: %q wants SITE@AT+FOR*FACTOR", part)
+		}
+		var g GrayFailure
+		var err error
+		if g.Site, err = strconv.Atoi(strings.TrimSpace(sitePart)); err != nil {
+			return fmt.Errorf("graysites: site %q: %w", sitePart, err)
+		}
+		if g.AtMS, err = strconv.ParseFloat(at, 64); err != nil {
+			return fmt.Errorf("graysites: time %q: %w", at, err)
+		}
+		if g.ForMS, err = strconv.ParseFloat(dur, 64); err != nil {
+			return fmt.Errorf("graysites: duration %q: %w", dur, err)
+		}
+		cpu, dsk, split := strings.Cut(factors, "/")
+		if g.CPUFactor, err = strconv.ParseFloat(cpu, 64); err != nil {
+			return fmt.Errorf("graysites: factor %q: %w", cpu, err)
+		}
+		g.DiskFactor = g.CPUFactor
+		if split {
+			if g.DiskFactor, err = strconv.ParseFloat(dsk, 64); err != nil {
+				return fmt.Errorf("graysites: disk factor %q: %w", dsk, err)
+			}
+		}
+		f.GraySites = append(f.GraySites, g)
+	}
+	return nil
 }
 
 // RetryPolicy bounds and paces transaction resubmission after aborts
@@ -1034,6 +1234,17 @@ type NodeMetrics struct {
 	InDoubtAborted   int64
 	// MessagesLost counts lost (and retransmitted) messages leaving here.
 	MessagesLost int64
+	// PartitionAborts counts aborted submissions of transactions homed
+	// here whose participants were severed by a network partition;
+	// PartitionShed counts submissions blocked before they began because
+	// the home site could not reach (or suspected) a remote participant.
+	PartitionAborts int64
+	PartitionShed   int64
+	// SuspectEvents counts suspicion transitions this site's failure
+	// detector raised against peers.
+	SuspectEvents int64
+	// GrayMS is the time this site spent inside a gray-failure window.
+	GrayMS float64
 	// DegradedCommits counts commits recorded here while some site was
 	// down — the goodput under partial outage.
 	DegradedCommits int64
@@ -1122,6 +1333,10 @@ type Measurement struct {
 	// DegradedMS is the time within the window during which at least one
 	// site was down (zero without WithFaults).
 	DegradedMS float64
+	// Partitions counts network partitions that took effect within the
+	// window; PartitionMS is the time a partition was in effect.
+	Partitions  int64
+	PartitionMS float64
 }
 
 // Comparison pairs the two for one workload.
@@ -1196,7 +1411,12 @@ func Simulate(w Workload, opts SimOptions) (*Measurement, error) {
 }
 
 func measurementFrom(res testbed.Results) *Measurement {
-	m := &Measurement{WindowMS: res.Window, DegradedMS: res.DegradedMS}
+	m := &Measurement{
+		WindowMS:    res.Window,
+		DegradedMS:  res.DegradedMS,
+		Partitions:  res.Partitions,
+		PartitionMS: res.PartitionMS,
+	}
 	for _, n := range res.Nodes {
 		nm := NodeMetrics{
 			TxnPerSec:            n.TotalTxnThroughput,
@@ -1218,6 +1438,10 @@ func measurementFrom(res testbed.Results) *Measurement {
 			InDoubtCommitted:     n.InDoubtCommitted,
 			InDoubtAborted:       n.InDoubtAborted,
 			MessagesLost:         n.MessagesLost,
+			PartitionAborts:      n.PartitionAborts,
+			PartitionShed:        n.PartitionShed,
+			SuspectEvents:        n.SuspectEvents,
+			GrayMS:               n.GrayMS,
 			DegradedCommits:      n.DegradedCommits,
 			ShedArrivals:         n.ShedArrivals,
 			DelayedArrivals:      n.DelayedArrivals,
@@ -1282,6 +1506,11 @@ type ChaosOptions struct {
 	WarmupMS       float64
 	DurationMS     float64
 	MinGoodputFrac float64
+	// Partitions additionally draws scheduled network partitions and
+	// failure-detector timings into every run's plan, arming the
+	// split-brain invariants (cross-site atomicity, replica agreement,
+	// post-heal reconciliation).
+	Partitions bool
 }
 
 // ChaosRun is one randomized run's record.
@@ -1324,6 +1553,7 @@ func RunChaos(w Workload, opts ChaosOptions) (*ChaosReport, error) {
 		Warmup:         opts.WarmupMS,
 		Duration:       opts.DurationMS,
 		MinGoodputFrac: opts.MinGoodputFrac,
+		Partitions:     opts.Partitions,
 	})
 	if err != nil {
 		return nil, err

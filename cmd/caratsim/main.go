@@ -44,6 +44,23 @@
 //	probeout=MS         drop every inter-site probe before this instant
 //	fseed=N             fault RNG seed (default: fixed stream)
 //
+// The -partition argument schedules network partitions (semicolon-
+// separated; see carat.ParsePartitions). Each entry is either a split
+// GROUPS@AT+HEAL — |-separated site lists, e.g. '0,1|2,3@60000+20000'
+// splits sites {0,1} from {2,3} at t=60 s for 20 s — or a key=value
+// option: mtbf=MS and mean=MS arm a random partition process, split=P
+// sets its per-site group probability, and hb=MS / suspect=MS tune the
+// heartbeat failure detector. During a partition, messages do not cross
+// group boundaries: distributed transactions needing unreachable (or
+// suspected) participants are shed at submission, in-flight ones abort
+// (presumed abort; in-doubt slaves resolve by cooperative termination at
+// heal), and minority-side sites refuse failover reads.
+//
+// The -graysites argument schedules gray failures (semicolon-separated;
+// see carat.ParseGraySites): '1@60000+30000*3/2' runs site 1 with CPU
+// service times stretched 3x and disk 2x from t=60 s for 30 s. A single
+// factor ('1@60000+30000*3') degrades both resources.
+//
 // The -resilience argument configures retry, admission control and probe
 // retransmission (see carat.ParseResilience):
 //
@@ -70,7 +87,10 @@
 // bounded fault plans and resilience policies, audits each against the
 // testbed's correctness invariants (2PC atomicity, durability under
 // restart replay, transaction conservation, a goodput floor) and exits
-// non-zero if any run violates one.
+// non-zero if any run violates one. Adding -chaospartitions draws
+// scheduled network partitions into every run's plan, arming the
+// split-brain invariants (replica agreement and post-heal
+// reconciliation).
 package main
 
 import (
@@ -113,6 +133,9 @@ func main() {
 		reps    = flag.Int("reps", 1, "independent replications per point; >1 reports mean ±95% CI")
 		workers = flag.Int("workers", 0, "parallel simulation workers for -reps (0 = GOMAXPROCS)")
 		faults  = flag.String("faults", "", "fault plan, e.g. 'crash=1@60000+10000,lockto=5000' (see doc comment)")
+		partStr = flag.String("partition", "", "network partitions, e.g. '0,1|2,3@60000+20000;mtbf=120000' (see doc comment)")
+		grayStr = flag.String("graysites", "", "gray failures, e.g. '1@60000+30000*3/2' (see doc comment)")
+		chParts = flag.Bool("chaospartitions", false, "with -chaos: also draw scheduled partitions into every run")
 		resil   = flag.String("resilience", "", "resilience policy, e.g. 'retries=8,backoff=50,mpl=4,probe=500' (see doc comment)")
 		replStr = flag.String("repl", "", "replication policy, e.g. 'R=2,read=quorum' (see doc comment)")
 		chaos   = flag.Int("chaos", 0, "run a randomized fault audit with this many runs instead of a measurement")
@@ -128,6 +151,23 @@ func main() {
 			os.Exit(1)
 		}
 		faultPlan = &fp
+	}
+	if *partStr != "" || *grayStr != "" {
+		if faultPlan == nil {
+			faultPlan = &carat.FaultPlan{}
+		}
+		if *partStr != "" {
+			if err := carat.ParsePartitions(*partStr, faultPlan); err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(1)
+			}
+		}
+		if *grayStr != "" {
+			if err := carat.ParseGraySites(*grayStr, faultPlan); err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(1)
+			}
+		}
 	}
 	var resilience *carat.Resilience
 	if *resil != "" {
@@ -182,7 +222,7 @@ func main() {
 		if replication != nil {
 			wl = wl.WithReplication(*replication)
 		}
-		runChaos(wl, *chaos, *seed, *asJSON)
+		runChaos(wl, *chaos, *seed, *chParts, *asJSON)
 		return
 	}
 
@@ -297,6 +337,10 @@ func main() {
 					node.CrashAborts, node.TimeoutAborts,
 					node.InDoubtCommitted, node.InDoubtAborted, node.MessagesLost)
 			}
+			if *partStr != "" || *grayStr != "" {
+				fmt.Printf("    partition aborts/shed %d/%d  suspects %d  gray %.0f ms\n",
+					node.PartitionAborts, node.PartitionShed, node.SuspectEvents, node.GrayMS)
+			}
 			if resilience != nil {
 				var retried, abandoned int64
 				for _, c := range node.Retried {
@@ -327,6 +371,10 @@ func main() {
 			}
 			fmt.Printf("  degraded: %.0f ms with a site down, %d commits during outages\n",
 				meas.DegradedMS, degraded)
+			if meas.Partitions > 0 {
+				fmt.Printf("  partitions: %d taking effect, network severed %.0f ms\n",
+					meas.Partitions, meas.PartitionMS)
+			}
 		}
 		fmt.Println()
 	}
@@ -417,8 +465,8 @@ func runCapacity(wl carat.Workload, size int, grid []float64, opts carat.SimOpti
 
 // runChaos runs the randomized fault audit and exits non-zero if any run
 // violates an invariant.
-func runChaos(wl carat.Workload, runs int, seed uint64, asJSON bool) {
-	report, err := carat.RunChaos(wl, carat.ChaosOptions{Runs: runs, Seed: seed})
+func runChaos(wl carat.Workload, runs int, seed uint64, partitions, asJSON bool) {
+	report, err := carat.RunChaos(wl, carat.ChaosOptions{Runs: runs, Seed: seed, Partitions: partitions})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)

@@ -13,7 +13,10 @@
 //
 // With -txn only that transaction's events print. With -faults (same
 // syntax as caratsim; see carat.ParseFaultPlan) the stream also carries
-// the site-level crash, restart and timeout-abort events. With -open the
+// the site-level crash, restart and timeout-abort events. With -partition
+// and -graysites (caratsim syntax; see carat.ParsePartitions and
+// carat.ParseGraySites) it carries the partition, partition-heal, suspect
+// and trust events of the failure-detector layer. With -open the
 // closed terminals are replaced by Poisson arrivals at -lambda system-wide
 // transactions per second, and each arrival prints an `arrival` event at
 // its home site (its Txn field is the negated arrival sequence number —
@@ -40,6 +43,8 @@ func main() {
 		cc      = flag.String("cc", "2PL", "concurrency control: 2PL, wait-die, wound-wait, timestamp-ordering")
 		dbsize  = flag.Int("dbsize", 0, "database blocks per site (0 = paper's 3000)")
 		faults  = flag.String("faults", "", "fault plan, e.g. 'crash=1@10000+5000,lockto=8000' (caratsim syntax)")
+		partStr = flag.String("partition", "", "network partitions, e.g. '0|1@10000+8000' (caratsim syntax)")
+		grayStr = flag.String("graysites", "", "gray failures, e.g. '1@10000+8000*3' (caratsim syntax)")
 		resil   = flag.String("resilience", "", "resilience policy, e.g. 'mpl=4,shed=1' (caratsim syntax)")
 		open    = flag.Bool("open", false, "replace closed terminals with open Poisson arrivals")
 		lambda  = flag.Float64("lambda", 1.0, "open mode: system-wide arrival rate, txn/s")
@@ -55,11 +60,25 @@ func main() {
 	if *dbsize > 0 {
 		wl = wl.WithDatabaseSize(*dbsize)
 	}
-	if *faults != "" {
-		fp, err := carat.ParseFaultPlan(*faults)
-		if err != nil {
-			fmt.Fprintln(os.Stderr, err)
-			os.Exit(1)
+	if *faults != "" || *partStr != "" || *grayStr != "" {
+		var fp carat.FaultPlan
+		if *faults != "" {
+			if fp, err = carat.ParseFaultPlan(*faults); err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(1)
+			}
+		}
+		if *partStr != "" {
+			if err := carat.ParsePartitions(*partStr, &fp); err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(1)
+			}
+		}
+		if *grayStr != "" {
+			if err := carat.ParseGraySites(*grayStr, &fp); err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(1)
+			}
 		}
 		wl = wl.WithFaults(fp)
 	}

@@ -1,0 +1,57 @@
+package comm
+
+// PartitionMap tracks the current network partition, if any: an assignment
+// of sites to disjoint groups such that only same-group sites can exchange
+// messages. Sites not named by the split stay in the implicit group -1 and
+// remain reachable from everyone — this models a partial partition where a
+// subset of links is severed while the rest of the fabric is intact.
+//
+// The map is a pure reachability oracle: it injects no delay and draws no
+// randomness, so holding one that was never Split leaves every behavior of
+// the network byte-identical.
+type PartitionMap struct {
+	group  []int
+	active bool
+}
+
+// NewPartitionMap creates a map for n sites with no partition in effect.
+func NewPartitionMap(n int) *PartitionMap {
+	return &PartitionMap{group: make([]int, n)}
+}
+
+// Split installs a partition: groups[i] lists the sites in group i. Sites
+// appearing in no group are reachable from every site (group -1). A site
+// listed twice lands in its last-listed group. Out-of-range sites are
+// ignored.
+func (m *PartitionMap) Split(groups [][]int) {
+	for i := range m.group {
+		m.group[i] = -1
+	}
+	for g, sites := range groups {
+		for _, s := range sites {
+			if s >= 0 && s < len(m.group) {
+				m.group[s] = g
+			}
+		}
+	}
+	m.active = true
+}
+
+// Heal removes the partition; every pair of sites is reachable again.
+func (m *PartitionMap) Heal() {
+	m.active = false
+}
+
+// Active reports whether a partition is currently in effect.
+func (m *PartitionMap) Active() bool { return m != nil && m.active }
+
+// Reachable reports whether a message from site a can reach site b under
+// the current partition. Local delivery (a == b) always succeeds, as does
+// any pair involving a site outside every named group.
+func (m *PartitionMap) Reachable(a, b int) bool {
+	if m == nil || !m.active || a == b {
+		return true
+	}
+	ga, gb := m.group[a], m.group[b]
+	return ga == -1 || gb == -1 || ga == gb
+}

@@ -165,6 +165,11 @@ type Device struct {
 	model   ServiceModel
 	r       *rng.Rand
 
+	// slow > 1 stretches every service time by that factor — a gray failure
+	// (degraded controller, failing media retries). Values <= 1 leave the
+	// drawn times bit-exact, so an unset factor changes nothing.
+	slow float64
+
 	reads, writes, logs int64
 }
 
@@ -187,10 +192,17 @@ func (d *Device) Station() *sim.Resource { return d.station }
 // Model returns the device's service model.
 func (d *Device) Model() ServiceModel { return d.model }
 
+// SetSlowdown sets the gray-failure service-time multiplier; factors <= 1
+// restore full speed.
+func (d *Device) SetSlowdown(f float64) { d.slow = f }
+
 // Do performs one disk operation: queue FCFS, hold for the drawn service
 // time, release. The queue wait is interruptible.
 func (d *Device) Do(p *sim.Proc, op OpKind, block int) error {
 	t := d.model.Time(d.r, op, block)
+	if d.slow > 1 {
+		t *= d.slow
+	}
 	if err := d.station.Use(p, t); err != nil {
 		return err
 	}

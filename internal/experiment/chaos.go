@@ -29,6 +29,13 @@ type ChaosOptions struct {
 	// violation (default 0.05, i.e. the system must not collapse). Set
 	// negative to disable the floor.
 	MinGoodputFrac float64
+	// Partitions, when true, additionally draws scheduled network
+	// partitions (healing before the run ends) and failure-detector
+	// timings into every run's plan, arming the split-brain checks: the
+	// auditor's cross-site atomicity, replica-agreement, and post-heal
+	// reconciliation invariants. Off by default so the historical audit
+	// stream is unchanged.
+	Partitions bool
 	// Progress, when non-nil, is called after each completed run.
 	Progress func(done, total int)
 }
@@ -106,6 +113,40 @@ func drawPlan(r *rng.Rand) testbed.FaultPlan {
 	return p
 }
 
+// drawPartitions augments a plan with one or two scheduled partitions —
+// random two-sided splits, each healing well before the run ends so the
+// post-heal reconciliation invariant is actually exercised — plus the
+// failure-detector timings that arm suspicion-based shedding and failover
+// refusal.
+func drawPartitions(r *rng.Rand, p *testbed.FaultPlan, sites int, duration float64) {
+	at := 0.1 * duration
+	for i := 0; i < 2; i++ {
+		at += r.Float64() * 0.15 * duration
+		heal := 5_000 + r.Float64()*0.15*duration
+		if at+heal > 0.75*duration {
+			break
+		}
+		var a, b []testbed.NodeID
+		for s := 0; s < sites; s++ {
+			if r.Bool(0.5) {
+				a = append(a, testbed.NodeID(s))
+			} else {
+				b = append(b, testbed.NodeID(s))
+			}
+		}
+		if len(a) > 0 && len(b) > 0 {
+			p.Partitions = append(p.Partitions, testbed.PartitionSchedule{
+				Groups:      [][]testbed.NodeID{a, b},
+				AtMS:        at,
+				HealAfterMS: heal,
+			})
+		}
+		at += heal
+	}
+	p.HeartbeatIntervalMS = 100 + 200*r.Float64()
+	p.SuspectAfterMS = 500 + 1_000*r.Float64()
+}
+
 // drawResilience samples a resilience policy, including the degenerate
 // corners (no retry budget, no admission gate) so the audit also covers the
 // paper's retry-forever behavior under faults.
@@ -153,6 +194,9 @@ func RunChaos(wl workload.Workload, opts ChaosOptions) (*ChaosReport, error) {
 	for run := 0; run < opts.Runs; run++ {
 		r := rng.New(rng.SeedStream(opts.Seed, uint64(run)))
 		plan := drawPlan(r)
+		if opts.Partitions {
+			drawPartitions(r, &plan, wl.NumNodes, opts.Duration)
+		}
 		res := drawResilience(r, usersPerSite)
 		seed := r.Uint64()
 

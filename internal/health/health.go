@@ -1,0 +1,157 @@
+// Package health implements a heartbeat-style failure detector for the
+// simulated testbed. Every site periodically observes every other site; a
+// site that has been unobservable for longer than the suspicion timeout is
+// suspected, and trusted again as soon as an observation gets through.
+//
+// The detector is deliberately simple — a timeout-based eventually-perfect
+// detector in the Chandra–Toueg taxonomy — because its job in the testbed is
+// not protocol novelty but realism: admission gates, replica failover, and
+// 2PC termination must act on *suspicion* (which can be wrong during gray
+// periods and detector lag) rather than on the simulator's ground truth.
+//
+// The detector is driven entirely by an injected Clock, so it runs on the
+// simulation's virtual time and is byte-for-byte deterministic: ticks fire
+// at fixed multiples of the heartbeat interval and the per-tick scan visits
+// ordered site pairs in a fixed order. It draws no randomness.
+package health
+
+// Clock abstracts the simulation clock: the current time and one-shot
+// timers. All durations share the simulation's unit (milliseconds in the
+// CARAT configuration).
+type Clock interface {
+	Now() float64
+	After(d float64, fn func())
+}
+
+// Probe answers whether an observer site can currently hear a heartbeat
+// from a subject site. The testbed wires this to the conjunction of both
+// sites being up and the partition map allowing the pair; a detector built
+// on ground truth plus a timeout yields exactly the lag-window semantics of
+// a real heartbeat exchange without simulating every heartbeat message.
+type Probe interface {
+	Reachable(observer, subject int) bool
+}
+
+// Options tunes the detector.
+type Options struct {
+	// IntervalMS is the heartbeat/observation period (default 250).
+	IntervalMS float64
+	// SuspectAfterMS is how long a subject must stay unobservable before the
+	// observer suspects it (default 1000). Must exceed IntervalMS for the
+	// detector to ever trust anyone between ticks.
+	SuspectAfterMS float64
+}
+
+// withDefaults fills zero fields.
+func (o Options) withDefaults() Options {
+	if o.IntervalMS <= 0 {
+		o.IntervalMS = 250
+	}
+	if o.SuspectAfterMS <= 0 {
+		o.SuspectAfterMS = 1000
+	}
+	return o
+}
+
+// Detector tracks, for every ordered pair of sites, when the observer last
+// heard the subject and whether it currently suspects it.
+type Detector struct {
+	clock    Clock
+	probe    Probe
+	opt      Options
+	n        int
+	lastSeen [][]float64
+	suspect  [][]bool
+	onChange func(observer, subject int, suspected bool)
+	running  bool
+}
+
+// New builds a detector for n sites. onChange, if non-nil, fires on every
+// suspicion transition (suspected=true) and recovery (suspected=false), in
+// ascending (observer, subject) order within a tick.
+func New(n int, clock Clock, probe Probe, opt Options,
+	onChange func(observer, subject int, suspected bool)) *Detector {
+	d := &Detector{
+		clock:    clock,
+		probe:    probe,
+		opt:      opt.withDefaults(),
+		n:        n,
+		onChange: onChange,
+	}
+	d.lastSeen = make([][]float64, n)
+	d.suspect = make([][]bool, n)
+	for i := 0; i < n; i++ {
+		d.lastSeen[i] = make([]float64, n)
+		d.suspect[i] = make([]bool, n)
+	}
+	return d
+}
+
+// Start begins the heartbeat ticks. Every pair starts out trusted as of the
+// current instant, so a subject must be silent for a full suspicion timeout
+// before the first transition.
+func (d *Detector) Start() {
+	if d.running {
+		return
+	}
+	d.running = true
+	now := d.clock.Now()
+	for i := 0; i < d.n; i++ {
+		for j := 0; j < d.n; j++ {
+			d.lastSeen[i][j] = now
+		}
+	}
+	d.clock.After(d.opt.IntervalMS, d.tick)
+}
+
+// Stop halts the detector; pending ticks become no-ops.
+func (d *Detector) Stop() { d.running = false }
+
+// tick performs one observation round and re-arms the timer.
+func (d *Detector) tick() {
+	if !d.running {
+		return
+	}
+	now := d.clock.Now()
+	for obs := 0; obs < d.n; obs++ {
+		for sub := 0; sub < d.n; sub++ {
+			if obs == sub {
+				continue
+			}
+			if d.probe.Reachable(obs, sub) {
+				d.lastSeen[obs][sub] = now
+			}
+			suspected := now-d.lastSeen[obs][sub] >= d.opt.SuspectAfterMS
+			if suspected != d.suspect[obs][sub] {
+				d.suspect[obs][sub] = suspected
+				if d.onChange != nil {
+					d.onChange(obs, sub, suspected)
+				}
+			}
+		}
+	}
+	d.clock.After(d.opt.IntervalMS, d.tick)
+}
+
+// Suspects reports whether observer currently suspects subject. A site
+// never suspects itself.
+func (d *Detector) Suspects(observer, subject int) bool {
+	if observer == subject {
+		return false
+	}
+	return d.suspect[observer][subject]
+}
+
+// MajorityReachable reports whether the observer trusts a strict majority
+// of all sites (counting itself). A site on the minority side of a
+// partition fails this — the predicate replica failover uses to refuse
+// serving reads that could be stale relative to the majority side.
+func (d *Detector) MajorityReachable(observer int) bool {
+	trusted := 1 // self
+	for sub := 0; sub < d.n; sub++ {
+		if sub != observer && !d.suspect[observer][sub] {
+			trusted++
+		}
+	}
+	return 2*trusted > d.n
+}

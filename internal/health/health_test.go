@@ -1,0 +1,185 @@
+package health
+
+import (
+	"sort"
+	"testing"
+)
+
+// fakeClock is a minimal virtual-time event loop for driving the detector
+// in isolation.
+type fakeClock struct {
+	now    float64
+	timers []timer
+	seq    int
+}
+
+type timer struct {
+	at  float64
+	seq int
+	fn  func()
+}
+
+func (c *fakeClock) Now() float64 { return c.now }
+
+func (c *fakeClock) After(d float64, fn func()) {
+	c.seq++
+	c.timers = append(c.timers, timer{at: c.now + d, seq: c.seq, fn: fn})
+}
+
+// advance runs virtual time forward to t, firing due timers in order.
+func (c *fakeClock) advance(t float64) {
+	for {
+		sort.Slice(c.timers, func(i, j int) bool {
+			if c.timers[i].at != c.timers[j].at {
+				return c.timers[i].at < c.timers[j].at
+			}
+			return c.timers[i].seq < c.timers[j].seq
+		})
+		if len(c.timers) == 0 || c.timers[0].at > t {
+			break
+		}
+		tm := c.timers[0]
+		c.timers = c.timers[1:]
+		c.now = tm.at
+		tm.fn()
+	}
+	c.now = t
+}
+
+// fakeProbe is a mutable reachability matrix.
+type fakeProbe struct{ blocked map[[2]int]bool }
+
+func (p *fakeProbe) Reachable(obs, sub int) bool { return !p.blocked[[2]int{obs, sub}] }
+
+func (p *fakeProbe) cut(a, b int) {
+	if p.blocked == nil {
+		p.blocked = make(map[[2]int]bool)
+	}
+	p.blocked[[2]int{a, b}] = true
+	p.blocked[[2]int{b, a}] = true
+}
+
+func (p *fakeProbe) restore(a, b int) {
+	delete(p.blocked, [2]int{a, b})
+	delete(p.blocked, [2]int{b, a})
+}
+
+type transition struct {
+	obs, sub  int
+	suspected bool
+	at        float64
+}
+
+func TestSuspicionAndRecovery(t *testing.T) {
+	clk := &fakeClock{}
+	pr := &fakeProbe{}
+	var log []transition
+	d := New(3, clk, pr, Options{IntervalMS: 100, SuspectAfterMS: 400},
+		func(obs, sub int, s bool) {
+			log = append(log, transition{obs, sub, s, clk.Now()})
+		})
+	d.Start()
+
+	clk.advance(1000)
+	if len(log) != 0 {
+		t.Fatalf("healthy cluster produced transitions: %+v", log)
+	}
+	for i := 0; i < 3; i++ {
+		if !d.MajorityReachable(i) {
+			t.Fatalf("site %d lost majority while healthy", i)
+		}
+	}
+
+	// Cut site 2 off from 0 and 1 at t=1000. Last observation is the
+	// t=1000 tick, so suspicion lands on the first tick at or after
+	// 1000+400: t=1400.
+	pr.cut(0, 2)
+	pr.cut(1, 2)
+	clk.advance(1300)
+	if d.Suspects(0, 2) || d.Suspects(2, 0) {
+		t.Fatal("suspicion raised before the timeout elapsed")
+	}
+	clk.advance(1400)
+	for _, pair := range [][2]int{{0, 2}, {1, 2}, {2, 0}, {2, 1}} {
+		if !d.Suspects(pair[0], pair[1]) {
+			t.Fatalf("pair %v not suspected after timeout", pair)
+		}
+	}
+	if d.Suspects(0, 1) || d.Suspects(1, 0) {
+		t.Fatal("intact pair 0-1 suspected")
+	}
+	if !d.MajorityReachable(0) || !d.MajorityReachable(1) {
+		t.Fatal("majority side lost its majority")
+	}
+	if d.MajorityReachable(2) {
+		t.Fatal("isolated site 2 still claims a majority")
+	}
+
+	// Heal at t=2000: the first tick after the heal re-observes the pairs
+	// and recovery is immediate.
+	clk.advance(2000)
+	pr.restore(0, 2)
+	pr.restore(1, 2)
+	clk.advance(2100)
+	for _, pair := range [][2]int{{0, 2}, {1, 2}, {2, 0}, {2, 1}} {
+		if d.Suspects(pair[0], pair[1]) {
+			t.Fatalf("pair %v still suspected after heal", pair)
+		}
+	}
+	if !d.MajorityReachable(2) {
+		t.Fatal("site 2 did not regain its majority after heal")
+	}
+
+	// The transition log must contain exactly 4 suspicions then 4
+	// recoveries, at the expected ticks.
+	if len(log) != 8 {
+		t.Fatalf("expected 8 transitions, got %d: %+v", len(log), log)
+	}
+	for i, tr := range log[:4] {
+		if !tr.suspected || tr.at != 1400 {
+			t.Fatalf("transition %d: want suspicion at 1400, got %+v", i, tr)
+		}
+	}
+	for i, tr := range log[4:] {
+		if tr.suspected || tr.at != 2100 {
+			t.Fatalf("transition %d: want recovery at 2100, got %+v", i+4, tr)
+		}
+	}
+}
+
+func TestStopHaltsTicks(t *testing.T) {
+	clk := &fakeClock{}
+	pr := &fakeProbe{}
+	fired := 0
+	d := New(2, clk, pr, Options{IntervalMS: 50, SuspectAfterMS: 100},
+		func(int, int, bool) { fired++ })
+	d.Start()
+	clk.advance(200)
+	d.Stop()
+	pr.cut(0, 1)
+	clk.advance(1000)
+	if fired != 0 {
+		t.Fatalf("stopped detector still produced %d transitions", fired)
+	}
+	if len(clk.timers) != 0 {
+		t.Fatalf("stopped detector left %d timers armed", len(clk.timers))
+	}
+}
+
+func TestDefaultsAndSelfTrust(t *testing.T) {
+	clk := &fakeClock{}
+	d := New(2, clk, &fakeProbe{}, Options{}, nil)
+	if d.opt.IntervalMS != 250 || d.opt.SuspectAfterMS != 1000 {
+		t.Fatalf("defaults not applied: %+v", d.opt)
+	}
+	if d.Suspects(0, 0) {
+		t.Fatal("site suspects itself")
+	}
+	// Double Start must not double the tick cadence.
+	d.Start()
+	d.Start()
+	clk.advance(250)
+	if len(clk.timers) != 1 {
+		t.Fatalf("double Start armed %d timers, want 1", len(clk.timers))
+	}
+}

@@ -183,6 +183,39 @@ func (a *Auditor) Audit(sys *System) []string {
 	}
 
 	bad = append(bad, a.auditReplicas(sys)...)
+	bad = append(bad, a.auditPartitions(sys)...)
+	return bad
+}
+
+// auditPartitions checks the split-brain reconciliation invariant: once the
+// last partition has healed and the drain has had its margin to run, no up
+// site may still owe queued cooperative terminations or pending replica
+// applies. A run torn down mid-partition (or inside the drain margin) is
+// exempt — that state is exactly what the heal would have reconciled.
+func (a *Auditor) auditPartitions(sys *System) []string {
+	f := sys.faults
+	if f == nil || f.part == nil || f.part.Active() {
+		return nil
+	}
+	if sys.env.Now()-f.lastHealT < healDrainMarginMS {
+		return nil
+	}
+	var bad []string
+	for i, nd := range sys.nodes {
+		if nd.down {
+			continue
+		}
+		if n := len(f.term[NodeID(i)]); n > 0 {
+			bad = append(bad, fmt.Sprintf(
+				"partition: site %d still owes %d queued terminations after the heal", i, n))
+		}
+		if sys.repl != nil {
+			if n := len(sys.repl.pending[NodeID(i)]); n > 0 {
+				bad = append(bad, fmt.Sprintf(
+					"partition: site %d still has %d pending replica applies after the heal", i, n))
+			}
+		}
+	}
 	return bad
 }
 
@@ -213,6 +246,12 @@ func (a *Auditor) auditReplicas(sys *System) []string {
 	sort.Ints(sorted)
 	granules := sys.cfg.Layout.Granules
 	for _, b := range sorted {
+		if pendingApplyFor(sys, b) {
+			// A catch-up apply for this block is still queued somewhere
+			// (teardown froze the run before the restart or heal that would
+			// drain it): the copies legitimately disagree.
+			continue
+		}
 		owner := b/granules - 1
 		g := b % granules
 		want := int64(-1)
@@ -242,4 +281,17 @@ func (a *Auditor) auditReplicas(sys *System) []string {
 		}
 	}
 	return bad
+}
+
+// pendingApplyFor reports whether any site still has a queued catch-up
+// apply for block b.
+func pendingApplyFor(sys *System, b int) bool {
+	for _, q := range sys.repl.pending {
+		for _, a := range q {
+			if a.block == b {
+				return true
+			}
+		}
+	}
+	return false
 }

@@ -418,9 +418,15 @@ func (c *Config) Validate() error {
 		c.Params = DefaultParams(len(c.Nodes))
 	}
 	if c.Faults != nil {
-		if err := c.Faults.validate(len(c.Nodes)); err != nil {
+		// Fault plans are shareable across replications (sweeps hand many
+		// concurrent runs the same pointer), so validation — which fills
+		// scalar defaults — operates on a private copy and re-points this
+		// config at it, never writing through the caller's plan.
+		fp := *c.Faults
+		if err := fp.validate(len(c.Nodes)); err != nil {
 			return err
 		}
+		c.Faults = &fp
 	}
 	if err := c.Resilience.validate(); err != nil {
 		return err

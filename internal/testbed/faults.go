@@ -5,7 +5,9 @@ import (
 	"fmt"
 	"sort"
 
+	"carat/internal/comm"
 	"carat/internal/disk"
+	"carat/internal/health"
 	"carat/internal/rng"
 	"carat/internal/sim"
 	"carat/internal/wal"
@@ -22,7 +24,37 @@ var (
 	// errPrepareTimeout aborts a two-phase commit whose prepare
 	// acknowledgments did not all arrive in time (presumed abort).
 	errPrepareTimeout = errors.New("testbed: 2PC prepare timed out")
+	// errPartitioned dooms a transaction that needs a site the current
+	// network partition makes unreachable from its home. Classified under
+	// CauseCrash for retry accounting (the participant is unavailable either
+	// way) but tallied separately per site.
+	errPartitioned = errors.New("testbed: participant site unreachable (network partition)")
 )
+
+// PartitionSchedule schedules one network partition: at AtMS the sites split
+// into the listed Groups — only same-group sites can exchange messages —
+// and the partition heals HealAfterMS later. Sites appearing in no group
+// stay reachable from everyone (a partial partition). A scheduled partition
+// whose onset falls while another partition is still in effect is ignored:
+// the model carries one partition at a time.
+type PartitionSchedule struct {
+	Groups      [][]NodeID
+	AtMS        float64
+	HealAfterMS float64
+}
+
+// GrayFailure degrades one site without failing it: from AtMS for ForMS the
+// site's CPU service times are stretched by CPUFactor and its disk service
+// times by DiskFactor (each >= 1; zero leaves that resource unchanged). The
+// site stays up and answers every protocol — just slowly — which is exactly
+// the failure mode timeout-based detection misjudges.
+type GrayFailure struct {
+	Site       NodeID
+	AtMS       float64
+	ForMS      float64
+	CPUFactor  float64
+	DiskFactor float64
+}
 
 // SiteCrash schedules one explicit crash: site Site loses volatile state at
 // AtMS and begins restart recovery DownForMS later.
@@ -42,6 +74,13 @@ type SiteCrash struct {
 // crashes the same sites at the same instants whatever workload runs under
 // it. A nil or zero plan is fully inert — the simulation is byte-identical
 // to one configured without it.
+//
+// Probability convention: the probability of a recoverable event that the
+// injector loops on lies in [0,1) — MsgLossProb's geometric retransmission
+// diverges at 1 — while the probability of an unrecoverable one-shot event
+// lies in [0,1], where 1 means "always": MsgExtraDelayProb, ProbeLossProb
+// (1.0 models a fully partitioned detection channel), and
+// PartitionSplitProb.
 type FaultPlan struct {
 	// Seed drives the fault RNG streams (crash timing, message faults).
 	// Zero selects a fixed default stream, still independent of the
@@ -95,6 +134,41 @@ type FaultPlan struct {
 	// this instant: a bounded probe-channel outage. Probes sent at or after
 	// the instant are subject only to ProbeLossProb.
 	ProbeLossUntilMS float64
+
+	// Partitions lists scheduled network partitions, enforced at the link
+	// layer: every message crossing a severed pair — user requests, 2PC
+	// votes, replica propagation, deadlock probes — is undeliverable until
+	// the heal.
+	Partitions []PartitionSchedule
+
+	// PartitionMTBFMS > 0 adds a random partition process on a dedicated RNG
+	// stream: time to the next onset is exponential with this mean, each
+	// partition lasts an exponential time with mean PartitionMeanMS (default
+	// 5000 ms, minimum 1 ms), and each site lands on side A independently
+	// with probability PartitionSplitProb (default 0.5). A draw that puts
+	// every site on one side is a degenerate, no-op partition.
+	PartitionMTBFMS    float64
+	PartitionMeanMS    float64
+	PartitionSplitProb float64
+
+	// GraySites lists scheduled gray failures: per-site CPU/disk
+	// service-rate degradation windows. Windows for the same site must not
+	// overlap.
+	GraySites []GrayFailure
+
+	// HeartbeatIntervalMS and SuspectAfterMS tune the heartbeat failure
+	// detector that the partition-aware mechanisms consult (admission
+	// shedding toward unreachable coordinators, minority-side failover
+	// refusal, cooperative 2PC termination). The detector runs only when
+	// partitions are configured; defaults are 250 ms heartbeats and a
+	// 1000 ms suspicion timeout.
+	HeartbeatIntervalMS float64
+	SuspectAfterMS      float64
+}
+
+// partitionsConfigured reports whether the plan can ever sever a link.
+func (f *FaultPlan) partitionsConfigured() bool {
+	return len(f.Partitions) > 0 || f.PartitionMTBFMS > 0
 }
 
 // Active reports whether the plan injects anything at all.
@@ -105,12 +179,15 @@ func (f *FaultPlan) Active() bool {
 	return len(f.Crashes) > 0 || f.CrashMTTFMS > 0 ||
 		f.MsgLossProb > 0 || f.MsgExtraDelayProb > 0 ||
 		f.PrepareTimeoutMS > 0 || f.LockWaitTimeoutMS > 0 ||
-		f.ProbeLossProb > 0 || f.ProbeLossUntilMS > 0
+		f.ProbeLossProb > 0 || f.ProbeLossUntilMS > 0 ||
+		f.partitionsConfigured() || len(f.GraySites) > 0
 }
 
 // validate checks the plan against the node count and fills scalar defaults
-// in place. The Crashes slice is never mutated (plans may be shared across
-// replications; TestbedConfig hands each run its own scalar copy).
+// in place. Plans are documented as shareable across replications, so
+// Config.Validate always hands validate a private copy and re-points the
+// config at it — the caller's plan is never written through. The Crashes,
+// Partitions and GraySites slices are never mutated either way.
 func (f *FaultPlan) validate(nodes int) error {
 	for i, c := range f.Crashes {
 		if int(c.Site) < 0 || int(c.Site) >= nodes {
@@ -140,6 +217,66 @@ func (f *FaultPlan) validate(nodes int) error {
 	}
 	if f.ProbeLossUntilMS < 0 {
 		return fmt.Errorf("testbed: fault plan ProbeLossUntilMS must be non-negative")
+	}
+	for i, ps := range f.Partitions {
+		if ps.AtMS < 0 {
+			return fmt.Errorf("testbed: fault plan partition %d: negative time %v", i, ps.AtMS)
+		}
+		if ps.HealAfterMS <= 0 {
+			return fmt.Errorf("testbed: fault plan partition %d: HealAfterMS must be positive", i)
+		}
+		if len(ps.Groups) < 2 {
+			return fmt.Errorf("testbed: fault plan partition %d: needs at least two groups", i)
+		}
+		seen := make(map[NodeID]bool)
+		for _, grp := range ps.Groups {
+			for _, site := range grp {
+				if int(site) < 0 || int(site) >= nodes {
+					return fmt.Errorf("testbed: fault plan partition %d: site %d out of range", i, site)
+				}
+				if seen[site] {
+					return fmt.Errorf("testbed: fault plan partition %d: site %d in two groups", i, site)
+				}
+				seen[site] = true
+			}
+		}
+	}
+	if f.PartitionMTBFMS < 0 || f.PartitionMeanMS < 0 {
+		return fmt.Errorf("testbed: fault plan partition MTBF/mean must be non-negative")
+	}
+	if f.PartitionSplitProb < 0 || f.PartitionSplitProb > 1 {
+		return fmt.Errorf("testbed: fault plan PartitionSplitProb %v out of [0,1]", f.PartitionSplitProb)
+	}
+	for i, g := range f.GraySites {
+		if int(g.Site) < 0 || int(g.Site) >= nodes {
+			return fmt.Errorf("testbed: fault plan gray failure %d: site %d out of range", i, g.Site)
+		}
+		if g.AtMS < 0 {
+			return fmt.Errorf("testbed: fault plan gray failure %d: negative time %v", i, g.AtMS)
+		}
+		if g.ForMS <= 0 {
+			return fmt.Errorf("testbed: fault plan gray failure %d: ForMS must be positive", i)
+		}
+		if (g.CPUFactor != 0 && g.CPUFactor < 1) || (g.DiskFactor != 0 && g.DiskFactor < 1) {
+			return fmt.Errorf("testbed: fault plan gray failure %d: factors must be >= 1 (or 0 for unchanged)", i)
+		}
+		for j := 0; j < i; j++ {
+			o := f.GraySites[j]
+			if o.Site == g.Site && g.AtMS < o.AtMS+o.ForMS && o.AtMS < g.AtMS+g.ForMS {
+				return fmt.Errorf("testbed: fault plan gray failures %d and %d overlap on site %d", j, i, g.Site)
+			}
+		}
+	}
+	if f.HeartbeatIntervalMS < 0 || f.SuspectAfterMS < 0 {
+		return fmt.Errorf("testbed: fault plan detector timings must be non-negative")
+	}
+	if f.PartitionMTBFMS > 0 {
+		if f.PartitionMeanMS == 0 {
+			f.PartitionMeanMS = 5000
+		}
+		if f.PartitionSplitProb == 0 {
+			f.PartitionSplitProb = 0.5
+		}
 	}
 	if f.CrashMTTFMS > 0 && f.CrashMTTRMS == 0 {
 		f.CrashMTTRMS = 5000
@@ -179,6 +316,32 @@ type faultState struct {
 	msgRnd   *rng.Rand
 	probeRnd *rng.Rand
 	crashRnd []*rng.Rand
+
+	// partRnd drives the random partition process; it is split off the root
+	// unconditionally (Split is pure) so configuring partitions never shifts
+	// the crash or message streams.
+	partRnd *rng.Rand
+
+	// part is the live partition map, non-nil only when the plan can sever
+	// links; every reachability check through System.reachable is a no-op
+	// while it is nil.
+	part *comm.PartitionMap
+
+	// detector is the heartbeat failure detector, started only when
+	// partitions are configured.
+	detector *health.Detector
+
+	// term queues commit-protocol terminations per site: work a site owes a
+	// transaction whose coordinator became unreachable mid-protocol, drained
+	// when the partition heals (a crash of the site supersedes the queue —
+	// restart recovery resolves everything durable).
+	term map[NodeID][]termEntry
+
+	// Partition measurement (reset at end of warmup).
+	partitions     int64   // partitions begun
+	partitionMS    float64 // accumulated wall time with a partition in effect
+	partitionSince float64 // onset of the current partition, if any
+	lastHealT      float64 // instant the last partition healed
 }
 
 // initFaults installs an active fault plan: RNG streams are derived and the
@@ -190,7 +353,7 @@ func (s *System) initFaults(plan FaultPlan) {
 		seed = 0x9E3779B97F4A7C15
 	}
 	root := rng.New(rng.SeedStream(seed, faultStreamSalt))
-	f := &faultState{plan: plan, msgRnd: root.Split(1), probeRnd: root.Split(2)}
+	f := &faultState{plan: plan, msgRnd: root.Split(1), probeRnd: root.Split(2), partRnd: root.Split(3)}
 	for i := range s.nodes {
 		f.crashRnd = append(f.crashRnd, root.Split(uint64(1000+i)))
 	}
@@ -204,6 +367,8 @@ func (s *System) initFaults(plan FaultPlan) {
 			s.scheduleRandomCrash(NodeID(i))
 		}
 	}
+	s.initPartitions()
+	s.initGray()
 }
 
 // scheduleRandomCrash draws the site's next (crash time, outage length) pair
@@ -292,6 +457,10 @@ func (s *System) crashSite(id NodeID, downFor float64) {
 		}
 	}
 	nd.wipeVolatile()
+	// Any queued partition terminations are superseded: restart recovery
+	// resolves every durable branch, and the volatile locks they would have
+	// released are gone with the wipe.
+	delete(s.faults.term, id)
 	s.env.After(downFor, func() { s.restartSite(id) })
 }
 
@@ -308,7 +477,7 @@ func (s *System) restartSite(id NodeID) {
 		_ = losers
 		for _, g := range undo {
 			g := g
-			mustUse(nd, p, func() error { return nd.cpu.Use(p, costs.DMIOCPU) })
+			mustUse(nd, p, func() error { return nd.cpuUse(p, costs.DMIOCPU) })
 			mustUse(nd, p, func() error { return nd.dbDiskFor(g).Do(p, disk.Write, g) })
 		}
 		for _, gid := range inDoubt {
@@ -319,7 +488,7 @@ func (s *System) restartSite(id NodeID) {
 			} else {
 				k := nd.journal.BeforeImageCount(gid)
 				for i := 0; i < k; i++ {
-					mustUse(nd, p, func() error { return nd.cpu.Use(p, costs.DMIOCPU) })
+					mustUse(nd, p, func() error { return nd.cpuUse(p, costs.DMIOCPU) })
 					mustUse(nd, p, func() error { return nd.dbDiskFor(0).Do(p, disk.Write, 0) })
 				}
 				nd.inDoubtAbort.Inc()
@@ -408,8 +577,9 @@ func (st *txnState) hasParticipant(id NodeID) bool {
 
 // awaitFaults is the degraded-mode throttle in the user's retry loop: a user
 // homed at a down site parks until its restart completes; a user whose slave
-// site is down backs off before retrying, so outages do not spin the closed
-// loop. No-op while every relevant site is up.
+// site is down, partitioned away, or suspected by the failure detector backs
+// off before retrying, so outages do not spin the closed loop. No-op while
+// every relevant site is up and reachable.
 func (u *user) awaitFaults(p *sim.Proc) {
 	sys := u.sys
 	home := sys.nodes[u.spec.Home]
@@ -419,8 +589,9 @@ func (u *user) awaitFaults(p *sim.Proc) {
 		}
 	}
 	for _, r := range u.spec.RemoteSites() {
-		if sys.nodes[r].down {
-			if sys.replReadFailover(u.spec.Kind) {
+		nd := sys.nodes[r]
+		if nd.down || !sys.reachable(u.spec.Home, nd.id) || sys.suspected(u.spec.Home, nd.id) {
+			if sys.replReadFailover(u.spec.Home, u.spec.Kind) {
 				// Reads fail over to surviving replicas; the outage does not
 				// block this user.
 				continue

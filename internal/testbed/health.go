@@ -1,0 +1,43 @@
+package testbed
+
+import "carat/internal/health"
+
+// healthClock adapts the simulation environment to health.Clock so the
+// detector's heartbeat timers run on the simulated clock.
+type healthClock struct{ s *System }
+
+func (c healthClock) Now() float64               { return c.s.env.Now() }
+func (c healthClock) After(d float64, fn func()) { c.s.env.After(d, fn) }
+
+// healthProbe is the ground-truth oracle the detector's heartbeats sample:
+// a heartbeat from sub lands at obs iff both sites are up and the partition
+// map allows the pair. The detector's suspicion timeout then turns that
+// instantaneous truth into the lag-windowed view a real failure detector
+// has — a site is only suspected SuspectAfterMS after its last heartbeat.
+type healthProbe struct{ s *System }
+
+func (h healthProbe) Reachable(obs, sub int) bool {
+	s := h.s
+	return !s.nodes[obs].down && !s.nodes[sub].down && s.reachable(NodeID(obs), NodeID(sub))
+}
+
+// initDetector starts the heartbeat failure detector. Only runs on
+// partition-configured plans (crash-only and gray-only plans keep the
+// pre-detector behavior, bit-exactly). Suspicion transitions are traced and
+// counted at the observer.
+func (s *System) initDetector() {
+	opt := health.Options{
+		IntervalMS:     s.faults.plan.HeartbeatIntervalMS,
+		SuspectAfterMS: s.faults.plan.SuspectAfterMS,
+	}
+	s.faults.detector = health.New(len(s.nodes), healthClock{s}, healthProbe{s}, opt,
+		func(obs, sub int, suspected bool) {
+			if suspected {
+				s.nodes[obs].suspectEvents.Inc()
+				s.trace(-1, KindNone, NodeID(obs), EvSuspect, sub)
+			} else {
+				s.trace(-1, KindNone, NodeID(obs), EvTrust, sub)
+			}
+		})
+	s.faults.detector.Start()
+}

@@ -69,6 +69,19 @@ type node struct {
 	degradedCommits stats.Counter // commits recorded here while some site was down
 	downtimeMS      float64
 
+	// Gray-failure state: grayCPU > 1 stretches every CPU service time at
+	// this site (disk degradation lives on the devices); grayActive/graySince
+	// track the degradation clock for GrayMS.
+	grayCPU    float64
+	grayActive bool
+	graySince  float64
+	grayMS     float64
+
+	// Partition/health measurement state (partition-configured runs only).
+	partitionAborts stats.Counter // aborts of txns homed here caused by an unreachable participant
+	partitionShed   stats.Counter // submissions blocked pre-begin by partition or suspicion
+	suspectEvents   stats.Counter // suspicion transitions raised by this site's detector
+
 	// Resilience measurement state (txns homed here).
 	retried         [numAbortCauses]stats.Counter // aborted submissions that were resubmitted
 	abandoned       [numAbortCauses]stats.Counter // transactions that exhausted the retry budget
@@ -173,13 +186,23 @@ func (n *node) onGrant(txn lock.TxnID, _ lock.GranuleID) {
 	}
 }
 
+// cpuUse charges one CPU burst at this site, stretched by the gray-failure
+// factor while a degradation window is in effect. With no factor set the
+// time passes through bit-exact.
+func (n *node) cpuUse(p *sim.Proc, t float64) error {
+	if n.grayCPU > 1 {
+		t *= n.grayCPU
+	}
+	return n.cpu.Use(p, t)
+}
+
 // tmStep models one TM server message-processing step: the TM is a critical
 // section (Section 5.5) whose body is a burst of CPU time.
 func (n *node) tmStep(p *sim.Proc, cpuTime float64) error {
 	if err := n.tm.Acquire(p); err != nil {
 		return err
 	}
-	err := n.cpu.Use(p, cpuTime)
+	err := n.cpuUse(p, cpuTime)
 	n.tm.Release()
 	return err
 }
@@ -265,6 +288,13 @@ func (n *node) resetStats(t float64) {
 	if n.down {
 		n.downSince = t
 	}
+	n.grayMS = 0
+	if n.grayActive {
+		n.graySince = t
+	}
+	n.partitionAborts.ResetAt(t)
+	n.partitionShed.ResetAt(t)
+	n.suspectEvents.ResetAt(t)
 	for c := range n.retried {
 		n.retried[c].ResetAt(t)
 		n.abandoned[c].ResetAt(t)

@@ -1,0 +1,184 @@
+package testbed
+
+import (
+	"reflect"
+	"sync"
+	"testing"
+
+	"carat/internal/repl"
+)
+
+// partitionPlan is a scheduled 1|1 split of the two-node system from t=60s,
+// healing after 20s, with the detector on its defaults and finite timeouts
+// so minority-side work aborts instead of wedging.
+func partitionPlan() *FaultPlan {
+	return &FaultPlan{
+		Partitions: []PartitionSchedule{{
+			Groups:      [][]NodeID{{0}, {1}},
+			AtMS:        60_000,
+			HealAfterMS: 20_000,
+		}},
+		PrepareTimeoutMS:  4_000,
+		LockWaitTimeoutMS: 8_000,
+	}
+}
+
+// TestScheduledPartitionEffects drives one explicit partition window and
+// checks the bookkeeping around it: the trace events, the severed-time
+// accounting, the detector's suspicion transitions, and the admission-side
+// shedding of distributed submissions.
+func TestScheduledPartitionEffects(t *testing.T) {
+	cfg := faultTestConfig(5)
+	cfg.Faults = partitionPlan()
+	var parts, heals, suspects, trusts []TraceEvent
+	cfg.Trace = func(ev TraceEvent) {
+		switch ev.Ev {
+		case EvPartition:
+			parts = append(parts, ev)
+		case EvPartitionHeal:
+			heals = append(heals, ev)
+		case EvSuspect:
+			suspects = append(suspects, ev)
+		case EvTrust:
+			trusts = append(trusts, ev)
+		}
+	}
+	sys, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := sys.Run()
+
+	if res.Partitions != 1 || res.PartitionMS != 20_000 {
+		t.Fatalf("partitions=%d severed=%.0fms, want 1 and 20000ms", res.Partitions, res.PartitionMS)
+	}
+	if len(parts) != 2 || parts[0].T != 60_000 || parts[1].T != 60_000 {
+		t.Fatalf("partition events = %+v, want one per site at t=60000", parts)
+	}
+	if len(heals) != 1 || heals[0].T != 80_000 {
+		t.Fatalf("heal events = %+v, want one at t=80000", heals)
+	}
+	// Each side suspects the other once per window, then trusts it again.
+	if len(suspects) != 2 || len(trusts) != 2 {
+		t.Fatalf("suspicion transitions: %d suspects, %d trusts, want 2 and 2", len(suspects), len(trusts))
+	}
+	var shed, suspectEvents int64
+	for _, n := range res.Nodes {
+		shed += n.PartitionShed
+		suspectEvents += n.SuspectEvents
+	}
+	if shed == 0 {
+		t.Fatal("no distributed submissions were shed during the partition")
+	}
+	if suspectEvents != 2 {
+		t.Fatalf("SuspectEvents = %d, want 2", suspectEvents)
+	}
+}
+
+// TestPartitionRunDeterministic pins partition determinism: the same seed
+// and plan (scheduled splits plus the random partition process) must
+// reproduce bit-identical Results.
+func TestPartitionRunDeterministic(t *testing.T) {
+	run := func() Results {
+		cfg := faultTestConfig(23)
+		plan := partitionPlan()
+		plan.PartitionMTBFMS = 90_000
+		plan.PartitionMeanMS = 8_000
+		cfg.Faults = plan
+		sys, err := New(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return sys.Run()
+	}
+	a, b := run(), run()
+	if !reflect.DeepEqual(a, b) {
+		t.Fatalf("two runs with the same seed and partition plan diverge:\nfirst:  %+v\nsecond: %+v", a, b)
+	}
+}
+
+// TestPartitionReplicatedAuditClean is the testbed-level split-brain check:
+// a replicated run through a full partition window must satisfy every audit
+// invariant — no transaction committed on one side and aborted on the
+// other, and replicas reconciled to agreement after the heal.
+func TestPartitionReplicatedAuditClean(t *testing.T) {
+	cfg := replTestConfig(31, repl.Policy{Factor: 2, Read: repl.ReadOne})
+	cfg.Faults = partitionPlan()
+	aud := NewAuditor()
+	cfg.Trace = aud.Record
+	sys, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := sys.Run()
+	if res.Partitions != 1 {
+		t.Fatalf("partitions = %d, want 1", res.Partitions)
+	}
+	if bad := aud.Audit(sys); len(bad) > 0 {
+		t.Fatalf("replicated partition run violated invariants:\n%v", bad)
+	}
+}
+
+// TestGrayFailureDegrades drives one gray window — site 1 at a third of its
+// speed for two simulated minutes — and checks the degradation accounting
+// and that the slowdown is actually visible in commit latency.
+func TestGrayFailureDegrades(t *testing.T) {
+	run := func(f *FaultPlan) Results {
+		cfg := faultTestConfig(13)
+		cfg.Faults = f
+		sys, err := New(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return sys.Run()
+	}
+	gray := run(&FaultPlan{GraySites: []GrayFailure{
+		{Site: 1, AtMS: 60_000, ForMS: 120_000, CPUFactor: 3, DiskFactor: 3},
+	}})
+	plain := run(&FaultPlan{})
+
+	if gray.Nodes[1].GrayMS != 120_000 {
+		t.Fatalf("GrayMS = %.0f, want 120000", gray.Nodes[1].GrayMS)
+	}
+	if gray.Nodes[0].GrayMS != 0 {
+		t.Fatalf("healthy site reported GrayMS = %.0f", gray.Nodes[0].GrayMS)
+	}
+	mean := func(r Results) float64 {
+		var w float64
+		var c int64
+		for _, n := range r.Nodes {
+			for k, cc := range n.Commits {
+				c += cc
+				w += n.MeanResponse[k] * float64(cc)
+			}
+		}
+		return w / float64(c)
+	}
+	if g, p := mean(gray), mean(plain); g <= p {
+		t.Fatalf("gray run mean latency %.2fms not above the healthy %.2fms", g, p)
+	}
+}
+
+// TestSharedFaultPlanNotMutated is the -race regression for the validate
+// copy fix: many Systems built concurrently from configs sharing one
+// FaultPlan pointer must neither race nor write defaults through it.
+func TestSharedFaultPlanNotMutated(t *testing.T) {
+	plan := &FaultPlan{CrashMTTFMS: 60_000, PartitionMTBFMS: 120_000}
+	want := *plan
+	var wg sync.WaitGroup
+	for i := 0; i < 4; i++ {
+		wg.Add(1)
+		go func(seed uint64) {
+			defer wg.Done()
+			cfg := faultTestConfig(seed)
+			cfg.Faults = plan
+			if _, err := New(cfg); err != nil {
+				t.Errorf("seed %d: %v", seed, err)
+			}
+		}(uint64(40 + i))
+	}
+	wg.Wait()
+	if !reflect.DeepEqual(*plan, want) {
+		t.Fatalf("shared plan mutated by validation: %+v, want %+v", *plan, want)
+	}
+}

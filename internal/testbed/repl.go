@@ -49,9 +49,12 @@ func (s *System) replBlock(owner NodeID, g int) int {
 }
 
 // replReadFailover reports whether reads of the kind may be served at a
-// surviving replica while the primary's site is down.
-func (s *System) replReadFailover(kind TxnKind) bool {
-	return s.repl != nil && !kind.Update()
+// surviving replica while the primary's site is down or unreachable. A home
+// site whose failure detector cannot see a majority refuses to fail over:
+// on the minority side of a partition its reads could be stale relative to
+// writes committing on the majority side.
+func (s *System) replReadFailover(home NodeID, kind TxnKind) bool {
+	return s.repl != nil && !kind.Update() && s.majorityReachable(home)
 }
 
 // replQuorum reports whether an access in the mode must confirm against a
@@ -60,14 +63,21 @@ func (s *System) replQuorum(mode lock.Mode) bool {
 	return s.repl != nil && s.repl.policy.Read == repl.ReadQuorum && mode == lock.Shared
 }
 
-// failoverSite returns the first live replica of granule g of site owner in
-// placement order (deterministic — no runtime draws), or nil when every
-// copy's site is down.
-func (s *System) failoverSite(owner NodeID, g int) *node {
+// failoverSite returns the first replica of granule g of site owner — in
+// placement order, deterministic, no runtime draws — that is up, reachable
+// from home, and on the majority side of any partition. A minority-side
+// replica refuses failover reads: it cannot rule out a newer committed
+// write on the majority side. Returns nil when no copy qualifies.
+func (s *System) failoverSite(home, owner NodeID, g int) *node {
 	for _, sid := range s.repl.place.Replicas(int(owner), g) {
-		if nd := s.nodes[sid]; !nd.down {
-			return nd
+		nd := s.nodes[sid]
+		if nd.down || !s.reachable(home, nd.id) {
+			continue
 		}
+		if !s.majorityReachable(nd.id) {
+			continue
+		}
+		return nd
 	}
 	return nil
 }
@@ -75,6 +85,20 @@ func (s *System) failoverSite(owner NodeID, g int) *node {
 // queueReplicaApply parks a committed writer's apply for a down site.
 func (s *System) queueReplicaApply(id NodeID, block int, gid int64) {
 	s.repl.pending[id] = append(s.repl.pending[id], pendingApply{block: block, gid: gid})
+}
+
+// pendingReplApply reports whether an apply for the block is already queued
+// at the site. While it is, later committed writes to the same block must
+// park behind it — a direct apply would be overtaken by the older queued
+// write when the catch-up drain reaches it. Blocks with nothing queued are
+// free to apply directly; per-block order is all replica agreement needs.
+func (s *System) pendingReplApply(id NodeID, blk int) bool {
+	for _, a := range s.repl.pending[id] {
+		if a.block == blk {
+			return true
+		}
+	}
+	return false
 }
 
 // recoverReplicas is the replication half of restart recovery: the replica
@@ -85,15 +109,33 @@ func (s *System) queueReplicaApply(id NodeID, block int, gid int64) {
 // new applies may be queued.
 func (s *System) recoverReplicas(p *sim.Proc, nd *node) {
 	nd.replVersion = nd.journal.ReplicaVersions()
+	s.drainReplicaApplies(p, nd)
+}
+
+// drainReplicaApplies drains the site's catch-up queue, journaling and
+// charging each apply. Shared by restart recovery and the partition-heal
+// drain; the latter must NOT rebuild the version map first — the site never
+// lost its volatile state, only its connectivity.
+func (s *System) drainReplicaApplies(p *sim.Proc, nd *node) {
+	// Restart recovery drains while the site is still marked down (markUp
+	// follows recovery); only a crash that lands mid-drain aborts the loop.
+	downAtStart := nd.down
 	for len(s.repl.pending[nd.id]) > 0 {
-		q := s.repl.pending[nd.id]
-		s.repl.pending[nd.id] = nil
-		for _, a := range q {
-			nd.journal.LogReplicaApply(a.gid, a.block)
-			mustUse(nd, p, func() error { return nd.logDisk.Do(p, disk.LogWrite, 0) })
-			nd.replVersion[a.block] = a.gid
-			nd.replicaApplies.Inc()
+		if nd.down && !downAtStart {
+			// The site crashed mid-drain: leave the rest of the queue for
+			// restart recovery's own drain.
+			return
 		}
+		// Peek, apply, then pop: the entry stays visible in the queue while
+		// its log write holds, so a committer propagating during the drain
+		// sees a non-empty queue and parks its apply behind it instead of
+		// overtaking the older queued write with a direct one.
+		a := s.repl.pending[nd.id][0]
+		nd.journal.LogReplicaApply(a.gid, a.block)
+		mustUse(nd, p, func() error { return nd.logDisk.Do(p, disk.LogWrite, 0) })
+		nd.replVersion[a.block] = a.gid
+		nd.replicaApplies.Inc()
+		s.repl.pending[nd.id] = s.repl.pending[nd.id][1:]
 	}
 	delete(s.repl.pending, nd.id)
 }
@@ -160,9 +202,24 @@ func (u *user) propagateReplicas(p *sim.Proc, st *txnState) {
 				nd.replVersion[blk] = st.gid
 				continue
 			}
+			if !sys.reachable(home.id, nd.id) {
+				// The copy is partitioned away from the coordinator: queue
+				// the apply for the heal drain (write-all-available).
+				sys.queueReplicaApply(nd.id, blk, st.gid)
+				continue
+			}
+			if sys.pendingReplApply(nd.id, blk) {
+				// An older write to this block is still queued for this copy
+				// (a catch-up drain is pending or in progress): park behind
+				// it, or the direct apply would be overtaken by the stale
+				// queued one and the copy would finish on an old version.
+				sys.queueReplicaApply(nd.id, blk, st.gid)
+				continue
+			}
 			p.Hold(sys.hop(home.id, nd.id, controlMsgBytes))
-			if nd.down {
-				// The site crashed while the apply message was in flight.
+			if nd.down || !sys.reachable(home.id, nd.id) || sys.pendingReplApply(nd.id, blk) {
+				// The site crashed, the link died, or older applies were
+				// queued for it while the apply message was in flight.
 				sys.queueReplicaApply(nd.id, blk, st.gid)
 				continue
 			}
@@ -185,38 +242,45 @@ func (u *user) failoverRead(p *sim.Proc, st *txnState, owner *node, grans []int)
 	kind := u.spec.Kind
 	home := sys.nodes[st.home]
 	for _, g := range grans {
-		serve := sys.failoverSite(owner.id, g)
+		serve := sys.failoverSite(home.id, owner.id, g)
 		if serve == nil {
-			// Every copy's site is down: the read is unavailable.
+			// Every copy's site is down, unreachable, or minority-side:
+			// the read is unavailable.
+			cause := sys.unavailableCause()
 			if st.cause == nil {
-				st.cause = errSiteCrash
+				st.cause = cause
 			}
 			st.doomed = true
-			return errSiteCrash
+			return cause
 		}
 		st.noteFailover(serve)
 		st.activeNode = serve.id
 		rcosts := sys.cfg.Params.CostsFor(serve.id, kind)
 		p.Hold(sys.hop(home.id, serve.id, requestMsgBytes))
-		if serve.down {
-			// Crashed while the request was in flight.
+		if serve.down || !sys.reachable(home.id, serve.id) {
+			// Crashed — or partitioned away — while the request was in
+			// flight.
+			cause := errSiteCrash
+			if !serve.down {
+				cause = errPartitioned
+			}
 			if st.cause == nil {
-				st.cause = errSiteCrash
+				st.cause = cause
 			}
 			st.doomed = true
-			return errSiteCrash
+			return cause
 		}
 		mustUse(serve, p, func() error { return serve.tmStep(p, rcosts.TMCPU) })
-		mustUse(serve, p, func() error { return serve.cpu.Use(p, rcosts.DMCPU) })
+		mustUse(serve, p, func() error { return serve.cpuUse(p, rcosts.DMCPU) })
 		lid := sys.replBlock(owner.id, g)
-		mustUse(serve, p, func() error { return serve.cpu.Use(p, rcosts.LRCPU) })
+		mustUse(serve, p, func() error { return serve.cpuUse(p, rcosts.LRCPU) })
 		if err := u.ccAccess(p, st, serve, lid, lock.Shared); err != nil {
 			return err
 		}
 		if st.doomed {
 			return errDeadlockVictim
 		}
-		mustUse(serve, p, func() error { return serve.cpu.Use(p, rcosts.DMIOCPU) })
+		mustUse(serve, p, func() error { return serve.cpuUse(p, rcosts.DMIOCPU) })
 		if err := u.granuleIO(p, st, serve, g, kind); err != nil {
 			return err
 		}
@@ -252,12 +316,12 @@ func (u *user) quorumRead(p *sim.Proc, st *txnState, serve *node, owner NodeID, 
 			break
 		}
 		nd := sys.nodes[sid]
-		if nd == serve || nd.down {
+		if nd == serve || nd.down || !sys.reachable(serve.id, nd.id) {
 			continue
 		}
 		rcosts := sys.cfg.Params.CostsFor(nd.id, u.spec.Kind)
 		p.Hold(sys.hop(serve.id, nd.id, controlMsgBytes))
-		if nd.down {
+		if nd.down || !sys.reachable(serve.id, nd.id) {
 			continue
 		}
 		mustUse(nd, p, func() error { return nd.tmStep(p, rcosts.TMCPU) })
@@ -267,13 +331,23 @@ func (u *user) quorumRead(p *sim.Proc, st *txnState, serve *node, owner NodeID, 
 	}
 	if need > 0 {
 		// Fewer than a quorum of copies are reachable.
+		cause := sys.unavailableCause()
 		if st.cause == nil {
-			st.cause = errSiteCrash
+			st.cause = cause
 		}
 		st.doomed = true
-		return errSiteCrash
+		return cause
 	}
 	return nil
+}
+
+// unavailableCause attributes an unavailability abort: to the partition
+// while one is in effect, to a crash otherwise.
+func (s *System) unavailableCause() error {
+	if s.faults != nil && s.faults.part.Active() {
+		return errPartitioned
+	}
+	return errSiteCrash
 }
 
 // releaseReplicaReads releases the shared locks failed-over reads took at
@@ -290,12 +364,22 @@ func (u *user) releaseReplicaReads(p *sim.Proc, st *txnState) {
 		if fs.down {
 			continue
 		}
+		if !sys.reachable(home.id, fs.id) {
+			// The release cannot be delivered: the serving site drops the
+			// read locks itself at the heal.
+			sys.queueTermination(fs.id, st.gid, true)
+			continue
+		}
 		costs := sys.cfg.Params.CostsFor(fs.id, u.spec.Kind)
 		p.Hold(sys.hop(home.id, fs.id, controlMsgBytes))
 		if fs.down {
 			continue
 		}
-		mustUse(fs, p, func() error { return fs.cpu.Use(p, costs.UnlockCPU) })
+		if !sys.reachable(home.id, fs.id) {
+			sys.queueTermination(fs.id, st.gid, true)
+			continue
+		}
+		mustUse(fs, p, func() error { return fs.cpuUse(p, costs.UnlockCPU) })
 		fs.releaseTxn(st.gid)
 		sys.trace(st.gid, u.spec.Kind, fs.id, EvRelease, -1)
 	}

@@ -42,7 +42,10 @@ func (c AbortCause) String() string {
 // going through killTxn).
 func abortCauseOf(err error) AbortCause {
 	switch err {
-	case errSiteCrash:
+	case errSiteCrash, errPartitioned:
+		// A partition is an availability fault like a crash: both retry and
+		// abandonment accounting pool them under CauseCrash. The dedicated
+		// PartitionAborts counter keeps the split visible.
 		return CauseCrash
 	case errLockTimeout, errPrepareTimeout:
 		return CauseTimeout

@@ -103,6 +103,24 @@ type NodeResults struct {
 	ProbesLost   int64
 	ProbesResent int64
 
+	// Partition and gray-failure measurements (all zero — and omitted from
+	// JSON, keeping fault-free serializations byte-identical — unless the
+	// fault plan configures partitions or gray failures).
+
+	// PartitionAborts counts aborted submissions of transactions homed here
+	// whose cause was an unreachable (partitioned-away) participant. They
+	// are also classified under CauseCrash in Retried/Abandoned.
+	PartitionAborts int64 `json:",omitempty"`
+	// PartitionShed counts submissions blocked before they began because a
+	// participant was unreachable or suspected by the failure detector.
+	PartitionShed int64 `json:",omitempty"`
+	// SuspectEvents counts suspicion transitions raised by this site's
+	// failure detector (recoveries are not counted).
+	SuspectEvents int64 `json:",omitempty"`
+	// GrayMS is the time this site spent inside a gray-failure degradation
+	// window within the measurement window, in ms.
+	GrayMS float64 `json:",omitempty"`
+
 	// Replication measurements (all zero unless Config.Replication is
 	// active).
 
@@ -144,6 +162,11 @@ type Results struct {
 	// DegradedMS is the time within the window during which at least one
 	// site was down (zero without an active fault plan).
 	DegradedMS float64
+	// Partitions counts network partitions that took effect within the
+	// window; PartitionMS is the time a partition was in effect. Both are
+	// zero — and omitted from JSON — unless partitions are configured.
+	Partitions  int64   `json:",omitempty"`
+	PartitionMS float64 `json:",omitempty"`
 }
 
 // collect snapshots every node's statistics at time t, the end of the
@@ -211,6 +234,13 @@ func (s *System) collect(t float64) Results {
 			nr.Retried[c] = n.retried[c].N()
 			nr.Abandoned[c] = n.abandoned[c].N()
 		}
+		nr.PartitionAborts = n.partitionAborts.N()
+		nr.PartitionShed = n.partitionShed.N()
+		nr.SuspectEvents = n.suspectEvents.N()
+		nr.GrayMS = n.grayMS
+		if n.grayActive {
+			nr.GrayMS += t - n.graySince
+		}
 		nr.ShedArrivals = n.shedArrivals.N()
 		nr.DelayedArrivals = n.delayedArrivals.N()
 		nr.MeanAdmitWaitMS = n.admitWait.Mean()
@@ -244,6 +274,13 @@ func (s *System) collect(t float64) Results {
 	res.DegradedMS = s.degradedMS
 	if s.downCount > 0 {
 		res.DegradedMS += t - s.degradedSince
+	}
+	if f := s.faults; f != nil {
+		res.Partitions = f.partitions
+		res.PartitionMS = f.partitionMS
+		if f.part.Active() {
+			res.PartitionMS += t - f.partitionSince
+		}
 	}
 	return res
 }

@@ -158,6 +158,13 @@ func (s *System) resetStats(t float64) {
 	if s.downCount > 0 {
 		s.degradedSince = t
 	}
+	if f := s.faults; f != nil {
+		f.partitions = 0
+		f.partitionMS = 0
+		if f.part.Active() {
+			f.partitionSince = t
+		}
+	}
 }
 
 // nextTxnID allocates a global transaction id.
@@ -196,8 +203,17 @@ func (s *System) hop(from, to NodeID, bytes int) float64 {
 func (s *System) sendProbes(from NodeID, probes []probe.Probe) {
 	for _, pr := range probes {
 		pr := pr
-		if s.faults != nil && NodeID(pr.Dest) != from && s.dropProbe(from) {
-			continue
+		if s.faults != nil && NodeID(pr.Dest) != from {
+			// The partition check comes first so a severed link consumes no
+			// probe-loss draws: the loss stream stays aligned with the
+			// no-partition run.
+			if !s.reachable(from, NodeID(pr.Dest)) {
+				s.nodes[from].probesLost.Inc()
+				continue
+			}
+			if s.dropProbe(from) {
+				continue
+			}
 		}
 		d := s.hop(from, NodeID(pr.Dest), probeMsgBytes)
 		deliver := func() {

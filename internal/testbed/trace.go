@@ -64,30 +64,48 @@ const (
 	// (open arrivals; no submission exists yet, so Txn is the negated
 	// arrival sequence number).
 	EvArrival
+	// EvPartition marks a network partition taking effect: one event per
+	// affected site (fault injection; Txn is -1, Node is the site, Granule
+	// is its partition-group index).
+	EvPartition
+	// EvPartitionHeal marks the partition healing (fault injection; Txn is
+	// -1, Node and Granule are -1).
+	EvPartitionHeal
+	// EvSuspect marks the failure detector at one site starting to suspect
+	// another (health; Txn is -1, Node is the observer, Granule is the
+	// suspected site).
+	EvSuspect
+	// EvTrust marks the failure detector at one site trusting another again
+	// (health; Txn is -1, Node is the observer, Granule is the trusted site).
+	EvTrust
 )
 
 var traceNames = map[TraceKind]string{
-	EvBegin:        "begin",
-	EvLockWait:     "lock-wait",
-	EvLockGrant:    "lock-grant",
-	EvDeadlock:     "deadlock-victim",
-	EvRollback:     "rollback",
-	EvPrepareAck:   "prepare-ack",
-	EvForceCommit:  "force-commit-record",
-	EvSlaveCommit:  "slave-commit",
-	EvRelease:      "release-locks",
-	EvCommitted:    "committed",
-	EvAborted:      "aborted",
-	EvCrash:        "crash",
-	EvRestart:      "restart",
-	EvTimeoutAbort: "timeout-abort",
-	EvAbandon:      "abandon",
-	EvShed:         "admission-shed",
-	EvReprobe:      "probe-retransmit",
-	EvRetryBackoff: "retry-backoff",
-	EvFailoverRead: "failover-read",
-	EvReplicaApply: "replica-apply",
-	EvArrival:      "arrival",
+	EvBegin:         "begin",
+	EvLockWait:      "lock-wait",
+	EvLockGrant:     "lock-grant",
+	EvDeadlock:      "deadlock-victim",
+	EvRollback:      "rollback",
+	EvPrepareAck:    "prepare-ack",
+	EvForceCommit:   "force-commit-record",
+	EvSlaveCommit:   "slave-commit",
+	EvRelease:       "release-locks",
+	EvCommitted:     "committed",
+	EvAborted:       "aborted",
+	EvCrash:         "crash",
+	EvRestart:       "restart",
+	EvTimeoutAbort:  "timeout-abort",
+	EvAbandon:       "abandon",
+	EvShed:          "admission-shed",
+	EvReprobe:       "probe-retransmit",
+	EvRetryBackoff:  "retry-backoff",
+	EvFailoverRead:  "failover-read",
+	EvReplicaApply:  "replica-apply",
+	EvArrival:       "arrival",
+	EvPartition:     "partition",
+	EvPartitionHeal: "partition-heal",
+	EvSuspect:       "suspect",
+	EvTrust:         "trust",
 }
 
 // String names the event.

@@ -159,7 +159,16 @@ func (u *user) attempt(p *sim.Proc) attemptOutcome {
 		for _, r := range remotes {
 			// Reads of replicated granules need not wait out a slave outage:
 			// they fail over to surviving replicas below.
-			if r.down && !sys.replReadFailover(kind) {
+			if r.down && !sys.replReadFailover(home.id, kind) {
+				return attemptBlockedDown
+			}
+			if (!sys.reachable(home.id, r.id) || sys.suspected(home.id, r.id)) &&
+				!sys.replReadFailover(home.id, kind) {
+				// The slave is partitioned away — or the failure detector
+				// suspects it — and no failover path exists: shed the
+				// submission before it begins rather than let it time out
+				// mid-protocol.
+				home.partitionShed.Inc()
 				return attemptBlockedDown
 			}
 		}
@@ -207,10 +216,22 @@ func (u *user) attempt(p *sim.Proc) attemptOutcome {
 	mustAcquire(home.dmPool, p)
 	mustUse(home, p, func() error { return home.tmStep(p, costs.InitCPU) })
 	for i, remote := range remotes {
-		if remote.down && sys.replReadFailover(kind) {
-			// Failed-over read: the down site takes no part in this
-			// submission; its granules are served at surviving replicas.
+		if (remote.down || !sys.reachable(home.id, remote.id) || sys.suspected(home.id, remote.id)) &&
+			sys.replReadFailover(home.id, kind) {
+			// Failed-over read: the down (or unreachable, or suspected) site
+			// takes no part in this submission; its granules are served at
+			// surviving replicas.
 			foRemote[i] = true
+			continue
+		}
+		if !sys.reachable(home.id, remote.id) {
+			// Partitioned away since the pre-submission check and no
+			// failover path: the INIT message cannot be delivered. The doom
+			// is noticed at the next phase boundary, like a crash.
+			if st.cause == nil {
+				st.cause = errPartitioned
+			}
+			st.doomed = true
 			continue
 		}
 		rcosts := cfg.Params.CostsFor(remote.id, kind)
@@ -235,7 +256,7 @@ func (u *user) attempt(p *sim.Proc) attemptOutcome {
 	for _, dest := range schedule {
 		// U phase: the user application prepares the request.
 		st.activeNode = home.id
-		mustUse(home, p, func() error { return home.cpu.Use(p, costs.UCPU) })
+		mustUse(home, p, func() error { return home.cpuUse(p, costs.UCPU) })
 		// TM phase: the coordinator TM routes the TDO.
 		mustUse(home, p, func() error { return home.tmStep(p, costs.TMCPU) })
 
@@ -247,6 +268,15 @@ func (u *user) attempt(p *sim.Proc) attemptOutcome {
 				// The slave was down at INIT: skip its TM entirely and let
 				// dmRequest serve the granules at surviving replicas.
 				failover = true
+			} else if !sys.reachable(home.id, exec.id) {
+				// Partitioned away mid-submission: the REMDO cannot be
+				// delivered.
+				if st.cause == nil {
+					st.cause = errPartitioned
+				}
+				st.doomed = true
+				aborted = true
+				break
 			} else {
 				rcosts := cfg.Params.CostsFor(exec.id, kind)
 				p.Hold(sys.hop(home.id, exec.id, requestMsgBytes))
@@ -317,6 +347,8 @@ func (u *user) noteAbort(home *node, st *txnState) {
 	switch st.cause {
 	case errSiteCrash:
 		home.crashAborts.Inc()
+	case errPartitioned:
+		home.partitionAborts.Inc()
 	case errLockTimeout, errPrepareTimeout:
 		home.timeoutAborts.Inc()
 	}
@@ -384,12 +416,15 @@ func (u *user) dmRequest(p *sim.Proc, st *txnState, nd *node, failover bool) err
 	kind := u.spec.Kind
 	costs := cfg.Params.CostsFor(nd.id, kind)
 	st.activeNode = nd.id
-	if sys.faults != nil && nd.down && !failover {
+	if sys.faults != nil && !failover && (nd.down || !sys.reachable(st.home, nd.id)) {
 		if st.cause == nil {
 			st.cause = errSiteCrash
+			if !nd.down {
+				st.cause = errPartitioned
+			}
 		}
 		st.doomed = true
-		return errSiteCrash
+		return st.cause
 	}
 
 	recs := u.pickRecords(cfg.Layout, cfg.RecordsPerRequest)
@@ -406,13 +441,13 @@ func (u *user) dmRequest(p *sim.Proc, st *txnState, nd *node, failover bool) err
 	}
 
 	// DM phase: processing before the first lock request.
-	mustUse(nd, p, func() error { return nd.cpu.Use(p, costs.DMCPU) })
+	mustUse(nd, p, func() error { return nd.cpuUse(p, costs.DMCPU) })
 
 	for _, g := range grans {
 		// LR phase: concurrency-control request processing (lock request
 		// with local deadlock detection under 2PL, timestamp check under
 		// TO); its CPU cost is LRCPU, per the paper.
-		mustUse(nd, p, func() error { return nd.cpu.Use(p, costs.LRCPU) })
+		mustUse(nd, p, func() error { return nd.cpuUse(p, costs.LRCPU) })
 		if err := u.ccAccess(p, st, nd, g, mode); err != nil {
 			return err
 		}
@@ -421,7 +456,7 @@ func (u *user) dmRequest(p *sim.Proc, st *txnState, nd *node, failover bool) err
 		}
 
 		// DMIO phase: the block I/O burst for this granule.
-		mustUse(nd, p, func() error { return nd.cpu.Use(p, costs.DMIOCPU) })
+		mustUse(nd, p, func() error { return nd.cpuUse(p, costs.DMIOCPU) })
 		if err := u.granuleIO(p, st, nd, g, kind); err != nil {
 			return err
 		}
@@ -432,7 +467,7 @@ func (u *user) dmRequest(p *sim.Proc, st *txnState, nd *node, failover bool) err
 		}
 
 		// DM phase: processing between lock requests.
-		mustUse(nd, p, func() error { return nd.cpu.Use(p, costs.DMCPU) })
+		mustUse(nd, p, func() error { return nd.cpuUse(p, costs.DMCPU) })
 		if st.doomed {
 			return errDeadlockVictim
 		}
@@ -448,14 +483,18 @@ func (u *user) dmRequest(p *sim.Proc, st *txnState, nd *node, failover bool) err
 func (u *user) ccAccess(p *sim.Proc, st *txnState, nd *node, g int, mode lock.Mode) error {
 	sys := u.sys
 	kind := u.spec.Kind
-	if sys.faults != nil && nd.down {
-		// The site crashed since the request started: its lock table is
-		// gone; never insert state into the fresh one.
+	if sys.faults != nil && (nd.down || !sys.reachable(st.home, nd.id)) {
+		// The site crashed since the request started (its lock table is
+		// gone; never insert state into the fresh one) — or it was
+		// partitioned away from the coordinator mid-request.
 		if st.cause == nil {
 			st.cause = errSiteCrash
+			if !nd.down {
+				st.cause = errPartitioned
+			}
 		}
 		st.doomed = true
-		return errSiteCrash
+		return st.cause
 	}
 	if sys.cfg.Concurrency == CCTimestamp {
 		// Basic TO: no blocking; the attempt's gid is its timestamp, so a
@@ -570,14 +609,18 @@ func (u *user) lockWait(p *sim.Proc, st *txnState, nd *node) error {
 // A configured buffer pool can absorb the read.
 func (u *user) granuleIO(p *sim.Proc, st *txnState, nd *node, g int, kind TxnKind) error {
 	cfg := &u.sys.cfg
-	if u.sys.faults != nil && nd.down {
-		// Never write journal records at a crashed site: restart recovery
-		// must see exactly the state the crash froze.
+	if u.sys.faults != nil && (nd.down || !u.sys.reachable(st.home, nd.id)) {
+		// Never write journal records at a crashed site (restart recovery
+		// must see exactly the state the crash froze), and never perform
+		// work a partition made undeliverable.
 		if st.cause == nil {
 			st.cause = errSiteCrash
+			if !nd.down {
+				st.cause = errPartitioned
+			}
 		}
 		st.doomed = true
-		return errSiteCrash
+		return st.cause
 	}
 	bufferHit := cfg.BufferHitRatio > 0 && u.rnd.Bool(cfg.BufferHitRatio)
 	if !bufferHit {
@@ -608,6 +651,14 @@ func (u *user) rollback(p *sim.Proc, st *txnState, participants []*node) {
 			// this transaction's updates from the journal instead.
 			continue
 		}
+		if i > 0 && !sys.reachable(home.id, nd.id) {
+			// The abort message cannot be delivered: the participant
+			// terminates its branch cooperatively at the heal (presumed
+			// abort — unless the coordinator's durable commit record says
+			// otherwise, which it cannot on this path).
+			sys.queueTermination(nd.id, st.gid, false)
+			continue
+		}
 		costs := sys.cfg.Params.CostsFor(nd.id, u.spec.Kind)
 		if i > 0 {
 			p.Hold(sys.hop(home.id, nd.id, controlMsgBytes))
@@ -615,14 +666,14 @@ func (u *user) rollback(p *sim.Proc, st *txnState, participants []*node) {
 		}
 		st.activeNode = nd.id
 		sys.trace(st.gid, u.spec.Kind, nd.id, EvRollback, -1)
-		mustUse(nd, p, func() error { return nd.cpu.Use(p, costs.AbortCPU) })
+		mustUse(nd, p, func() error { return nd.cpuUse(p, costs.AbortCPU) })
 		undo := nd.journal.Rollback(st.gid, nd.store)
 		for _, g := range undo {
 			g := g
-			mustUse(nd, p, func() error { return nd.cpu.Use(p, costs.DMIOCPU) })
+			mustUse(nd, p, func() error { return nd.cpuUse(p, costs.DMIOCPU) })
 			mustUse(nd, p, func() error { return nd.dbDiskFor(g).Do(p, disk.Write, g) })
 		}
-		mustUse(nd, p, func() error { return nd.cpu.Use(p, costs.UnlockCPU) })
+		mustUse(nd, p, func() error { return nd.cpuUse(p, costs.UnlockCPU) })
 		nd.releaseTxn(st.gid)
 		sys.trace(st.gid, u.spec.Kind, nd.id, EvRelease, -1)
 		nd.detector.ClearTxn(probe.TxnID(st.gid))
@@ -641,7 +692,7 @@ func (u *user) commitLocal(p *sim.Proc, st *txnState, home *node, costs PhaseCos
 	if st.doomed || home.down {
 		return false
 	}
-	mustUse(home, p, func() error { return home.cpu.Use(p, costs.CommitCPU) })
+	mustUse(home, p, func() error { return home.cpuUse(p, costs.CommitCPU) })
 	for i := 0; i < costs.CommitIOs; i++ {
 		mustUse(home, p, func() error { return home.logDisk.Do(p, disk.ForceWrite, 0) })
 	}
@@ -652,7 +703,7 @@ func (u *user) commitLocal(p *sim.Proc, st *txnState, home *node, costs PhaseCos
 	home.journal.Force(rec.LSN)
 	u.sys.trace(st.gid, u.spec.Kind, home.id, EvForceCommit, -1)
 	u.propagateReplicas(p, st)
-	mustUse(home, p, func() error { return home.cpu.Use(p, costs.UnlockCPU) })
+	mustUse(home, p, func() error { return home.cpuUse(p, costs.UnlockCPU) })
 	home.releaseTxn(st.gid)
 	u.sys.trace(st.gid, u.spec.Kind, home.id, EvRelease, -1)
 	return true
@@ -675,7 +726,7 @@ func (u *user) twoPhaseCommit(p *sim.Proc, st *txnState, home *node, slaves []*n
 	costs := sys.cfg.Params.CostsFor(home.id, kind)
 
 	// TC: coordinator builds and sends PREPARE.
-	mustUse(home, p, func() error { return home.cpu.Use(p, costs.CommitCPU) })
+	mustUse(home, p, func() error { return home.cpuUse(p, costs.CommitCPU) })
 
 	// Phase 1: PREPARE processed in parallel at the slaves.
 	if err := u.fanOutPrepare(p, st, home, slaves); err != nil {
@@ -709,7 +760,7 @@ func (u *user) twoPhaseCommit(p *sim.Proc, st *txnState, home *node, slaves []*n
 	u.fanOutCommit(p, st, home, slaves)
 
 	// UL at the coordinator.
-	mustUse(home, p, func() error { return home.cpu.Use(p, costs.UnlockCPU) })
+	mustUse(home, p, func() error { return home.cpuUse(p, costs.UnlockCPU) })
 	home.releaseTxn(st.gid)
 	sys.trace(st.gid, kind, home.id, EvRelease, -1)
 	return true
@@ -734,10 +785,23 @@ func (u *user) fanOutPrepare(p *sim.Proc, st *txnState, home *node, slaves []*no
 				done[i].Trigger(errSiteCrash)
 				return
 			}
+			if !sys.reachable(home.id, nd.id) {
+				// The PREPARE cannot be delivered; the slave never votes.
+				done[i].Trigger(errPartitioned)
+				return
+			}
 			mustUse(nd, hp, func() error { return nd.tmStep(hp, rcosts.TMCPU) })
-			mustUse(nd, hp, func() error { return nd.cpu.Use(hp, rcosts.CommitCPU) })
+			mustUse(nd, hp, func() error { return nd.cpuUse(hp, rcosts.CommitCPU) })
 			if nd.down || st.doomed {
 				done[i].Trigger(errSiteCrash)
+				return
+			}
+			if !sys.reachable(home.id, nd.id) {
+				// Partitioned away before voting: no prepared record was
+				// written, so presumed abort covers the branch; the slave
+				// terminates it cooperatively at the heal.
+				sys.queueTermination(nd.id, st.gid, false)
+				done[i].Trigger(errPartitioned)
 				return
 			}
 			if sys.cfg.Params.SlaveCommitIOs[kind] > 0 {
@@ -751,6 +815,15 @@ func (u *user) fanOutPrepare(p *sim.Proc, st *txnState, home *node, slaves []*no
 			}
 			if nd.down {
 				done[i].Trigger(errSiteCrash)
+				return
+			}
+			if !sys.reachable(nd.id, home.id) {
+				// The vote is durable but the YES ack cannot reach the
+				// coordinator: the branch is in doubt. The coordinator
+				// aborts (presumed abort), and the slave resolves against
+				// the coordinator's durable log at the heal.
+				sys.queueTermination(nd.id, st.gid, false)
+				done[i].Trigger(errPartitioned)
 				return
 			}
 			sys.trace(st.gid, kind, nd.id, EvPrepareAck, -1)
@@ -816,6 +889,15 @@ func (u *user) fanOutCommit(p *sim.Proc, st *txnState, home *node, slaves []*nod
 				done[i].Trigger(nil)
 				return
 			}
+			if !sys.reachable(home.id, nd.id) {
+				// The COMMIT cannot be delivered: the slave's prepared
+				// branch stays in doubt until it terminates cooperatively at
+				// the heal, where the coordinator's durable commit record
+				// resolves it to commit.
+				sys.queueTermination(nd.id, st.gid, false)
+				done[i].Trigger(nil)
+				return
+			}
 			mustUse(nd, hp, func() error { return nd.tmStep(hp, rcosts.TMCPU) })
 			if nd.down {
 				done[i].Trigger(nil)
@@ -823,7 +905,7 @@ func (u *user) fanOutCommit(p *sim.Proc, st *txnState, home *node, slaves []*nod
 			}
 			sys.trace(st.gid, kind, nd.id, EvSlaveCommit, -1)
 			nd.journal.Commit(st.gid)
-			mustUse(nd, hp, func() error { return nd.cpu.Use(hp, rcosts.UnlockCPU) })
+			mustUse(nd, hp, func() error { return nd.cpuUse(hp, rcosts.UnlockCPU) })
 			nd.releaseTxn(st.gid)
 			sys.trace(st.gid, kind, nd.id, EvRelease, -1)
 			hp.Hold(sys.hop(nd.id, home.id, controlMsgBytes))
