@@ -25,6 +25,7 @@ import (
 	"strconv"
 	"strings"
 
+	"carat/internal/cc"
 	"carat/internal/core"
 	"carat/internal/disk"
 	"carat/internal/experiment"
@@ -224,28 +225,69 @@ func (w Workload) WithDatabaseSize(granules int) Workload {
 type ConcurrencyControl string
 
 // The available protocols: the paper's dynamic 2PL with deadlock
-// detection, the two classical timestamp-prevention variants, and basic
+// detection, the two classical timestamp-prevention variants, basic
 // timestamp ordering (the alternative Galler's study — cited by the
-// paper — favored).
+// paper — favored), optimistic execution with backward validation at
+// commit, and QueCC-style deterministic queue-ordered execution.
 const (
 	TwoPhaseLocking   ConcurrencyControl = "2PL"
 	WaitDie           ConcurrencyControl = "wait-die"
 	WoundWait         ConcurrencyControl = "wound-wait"
 	TimestampOrdering ConcurrencyControl = "timestamp-ordering"
+	OptimisticCC      ConcurrencyControl = "occ"
+	QueCC             ConcurrencyControl = "quecc"
 )
 
-// WithConcurrencyControl selects the simulator's protocol.
-func (w Workload) WithConcurrencyControl(cc ConcurrencyControl) Workload {
-	switch cc {
-	case WaitDie:
-		w.w.Concurrency = testbed.CCWaitDie
-	case WoundWait:
-		w.w.Concurrency = testbed.CCWoundWait
-	case TimestampOrdering:
-		w.w.Concurrency = testbed.CCTimestamp
-	default:
-		w.w.Concurrency = testbed.CC2PL
+// ParseConcurrencyControl resolves a user-supplied protocol name —
+// case-insensitively, accepting the canonical names and common aliases
+// ("optimistic", "deterministic", "to", …). Unknown names return an error
+// listing the valid modes; it is the strict front door the CLIs use for
+// their -cc flags.
+func ParseConcurrencyControl(name string) (ConcurrencyControl, error) {
+	p, err := cc.Parse(name)
+	if err != nil {
+		return "", err
 	}
+	switch p {
+	case cc.TwoPhaseWaitDie:
+		return WaitDie, nil
+	case cc.TwoPhaseWoundWait:
+		return WoundWait, nil
+	case cc.TimestampOrdering:
+		return TimestampOrdering, nil
+	case cc.Optimistic:
+		return OptimisticCC, nil
+	case cc.QueueOrdered:
+		return QueCC, nil
+	default:
+		return TwoPhaseLocking, nil
+	}
+}
+
+// protocol maps the facade name to the testbed's protocol enum.
+// Unrecognized values fall back to the paper's 2PL default.
+func (c ConcurrencyControl) protocol() testbed.CCProtocol {
+	switch c {
+	case WaitDie:
+		return testbed.CCWaitDie
+	case WoundWait:
+		return testbed.CCWoundWait
+	case TimestampOrdering:
+		return testbed.CCTimestamp
+	case OptimisticCC:
+		return testbed.CCOCC
+	case QueCC:
+		return testbed.CCQueCC
+	default:
+		return testbed.CC2PL
+	}
+}
+
+// WithConcurrencyControl selects the simulator's protocol. Unrecognized
+// values fall back to the paper's 2PL default; use ParseConcurrencyControl
+// to validate names first.
+func (w Workload) WithConcurrencyControl(ccName ConcurrencyControl) Workload {
+	w.w.Concurrency = ccName.protocol()
 	return w
 }
 
@@ -1270,6 +1312,10 @@ type NodeMetrics struct {
 	// this site; ProbesResent counts probe rounds re-initiated here.
 	ProbesLost   int64
 	ProbesResent int64
+	// ValidationAborts counts transactions this site's optimistic
+	// validator rejected at commit (OCC runs only; always zero under
+	// other protocols, whose conflicts surface as deadlocks or restarts).
+	ValidationAborts int64
 
 	// Replication metrics (simulation only; zero without WithReplication).
 
@@ -1449,6 +1495,7 @@ func measurementFrom(res testbed.Results) *Measurement {
 			PeakMPL:              n.PeakMPL,
 			ProbesLost:           n.ProbesLost,
 			ProbesResent:         n.ProbesResent,
+			ValidationAborts:     n.ValidationAborts,
 			FailoverReads:        n.FailoverReads,
 			ReplicaApplies:       n.ReplicaApplies,
 			QuorumReads:          n.QuorumReads,
@@ -1628,6 +1675,68 @@ func CapacitySweep(w Workload, lambdasPerSec []float64, opts SimOptions) (*Capac
 	}
 	for _, p := range cr.Points {
 		out.Points = append(out.Points, CapacityPoint(p))
+	}
+	return out, nil
+}
+
+// CCComparisonPoint is the measurement at one (protocol, contention, MPL)
+// cell of the concurrency-control comparison lab.
+type CCComparisonPoint struct {
+	// Protocol and Contention name the cell; Users is the closed
+	// multiprogramming level across both sites.
+	Protocol   string
+	Contention string
+	Users      int
+	// CommittedTPS is system-wide goodput; AbortRate the aborted fraction
+	// of submissions; MeanResponseMS the commit-weighted mean response.
+	CommittedTPS   float64
+	AbortRate      float64
+	MeanResponseMS float64
+	// Paradigm-specific counters: deadlock victims and probe rounds exist
+	// only under locking, validation aborts only under OCC, and lock waits
+	// never under OCC or TO.
+	Deadlocks        int64
+	ProbesResent     int64
+	ValidationAborts int64
+	LockWaits        int64
+}
+
+// CCComparisonReport is the full protocol × contention × MPL grid.
+type CCComparisonReport struct {
+	Protocols   []string
+	Contentions []string
+	MPLs        []int
+	// Points is protocol-major, then contention, then MPL.
+	Points []CCComparisonPoint
+}
+
+// CompareConcurrencyControls runs the contention-sweep lab: every protocol
+// crossed with the standard contention levels (uniform, 80/20 hotspot,
+// zipf-0.99) and every MPL multiplier in mpls (the MB4 mix replicated m
+// times per site — 8m users), measuring throughput, abort rate and the
+// paradigm-specific counters under identical assumptions. A nil or empty
+// protocols list compares the default trio: 2PL with deadlock detection,
+// QueCC and OCC. Simulation-only (the analytical model covers 2PL alone);
+// results are bit-identical for any opts.Workers.
+func CompareConcurrencyControls(protocols []ConcurrencyControl, mpls []int, opts SimOptions) (*CCComparisonReport, error) {
+	var prots []testbed.CCProtocol
+	if len(protocols) == 0 {
+		prots = experiment.DefaultCCProtocols()
+	} else {
+		for _, p := range protocols {
+			prots = append(prots, p.protocol())
+		}
+	}
+	res, err := experiment.CCSweep(prots, experiment.DefaultCCContentions(), mpls, opts.fill())
+	if err != nil {
+		return nil, err
+	}
+	out := &CCComparisonReport{Contentions: res.Contentions, MPLs: res.MPLs}
+	for _, p := range res.Protocols {
+		out.Protocols = append(out.Protocols, p.String())
+	}
+	for _, p := range res.Points {
+		out.Points = append(out.Points, CCComparisonPoint(p))
 	}
 	return out, nil
 }

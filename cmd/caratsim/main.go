@@ -10,6 +10,18 @@
 //	caratsim -workload MB4 -chaos 20   # randomized fault audit, 20 runs
 //	caratsim -workload MB8 -open -lambda 0.8            # open Poisson arrivals
 //	caratsim -workload MB8 -lambdas 0.5,0.8,1.0,1.4 -resilience mpl=8  # capacity sweep
+//	caratsim -cc quecc -workload MB4 -n 8                # deterministic execution
+//	caratsim -ccsweep 1,2,4 -minutes 10                  # 2PL vs QueCC vs OCC lab
+//
+// The -cc flag selects the concurrency-control paradigm
+// (case-insensitive): 2PL (deadlock detection, the paper's scheme),
+// wait-die, wound-wait, timestamp-ordering, occ (optimistic, backward
+// validation at commit) or quecc (deterministic queue-ordered execution).
+// Unknown names are rejected with the valid list. With -ccsweep M1,M2,...
+// the tool instead runs the comparison lab: the default protocol trio
+// (2PL, QueCC, OCC) crossed with three contention levels (uniform, 80/20
+// hotspot, zipf-0.99) and the given MPL multipliers (8m users per cell),
+// reporting throughput, abort rate and paradigm-specific counters.
 //
 // With -open the simulator runs an open workload: transactions arrive in
 // per-site Poisson streams at -lambda arrivals/s system-wide instead of
@@ -129,7 +141,8 @@ func main() {
 		boff    = flag.Float64("burstoff", 0, "open mode: mean gap between bursts in ms")
 		ramp    = flag.String("ramp", "", "open mode: piecewise-linear schedule 'AT:RATE,AT:RATE' (ms:arrivals/s)")
 		lambdas = flag.String("lambdas", "", "capacity sweep: comma-separated offered rates in transactions/s")
-		cc      = flag.String("cc", "2PL", "concurrency control: 2PL, wait-die, wound-wait, timestamp-ordering")
+		cc      = flag.String("cc", "2PL", "concurrency control: 2PL, wait-die, wound-wait, timestamp-ordering, occ or quecc")
+		ccsweep = flag.String("ccsweep", "", "CC comparison lab: comma-separated MPL multipliers, e.g. '1,2,4' (8m users per cell)")
 		reps    = flag.Int("reps", 1, "independent replications per point; >1 reports mean ±95% CI")
 		workers = flag.Int("workers", 0, "parallel simulation workers for -reps (0 = GOMAXPROCS)")
 		faults  = flag.String("faults", "", "fault plan, e.g. 'crash=1@60000+10000,lockto=5000' (see doc comment)")
@@ -142,6 +155,12 @@ func main() {
 		asJSON  = flag.Bool("json", false, "emit measurements as JSON")
 	)
 	flag.Parse()
+
+	ccMode, err := carat.ParseConcurrencyControl(*cc)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
 
 	var faultPlan *carat.FaultPlan
 	if *faults != "" {
@@ -222,6 +241,7 @@ func main() {
 		if replication != nil {
 			wl = wl.WithReplication(*replication)
 		}
+		wl = wl.WithConcurrencyControl(ccMode)
 		runChaos(wl, *chaos, *seed, *chParts, *asJSON)
 		return
 	}
@@ -237,6 +257,15 @@ func main() {
 		DurationMS:   warmup + *minutes*60_000,
 		Replications: *reps,
 		Workers:      *workers,
+	}
+	if *ccsweep != "" {
+		mpls, err := parseMPLs(*ccsweep)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		runCCSweep(mpls, opts, *asJSON)
+		return
 	}
 	for _, size := range ns {
 		wl, err := carat.WorkloadByName(*name, size)
@@ -277,7 +306,7 @@ func main() {
 			}
 			wl = wl.WithPattern(p)
 		}
-		wl = wl.WithConcurrencyControl(carat.ConcurrencyControl(*cc))
+		wl = wl.WithConcurrencyControl(ccMode)
 		if faultPlan != nil {
 			wl = wl.WithFaults(*faultPlan)
 		}
@@ -394,6 +423,57 @@ func parseGrid(s string) ([]float64, error) {
 		grid = append(grid, x)
 	}
 	return grid, nil
+}
+
+// parseMPLs parses the -ccsweep comma-separated MPL multiplier list.
+func parseMPLs(s string) ([]int, error) {
+	var mpls []int
+	for _, part := range strings.Split(s, ",") {
+		m, err := strconv.Atoi(strings.TrimSpace(part))
+		if err != nil {
+			return nil, fmt.Errorf("ccsweep: %q: %w", part, err)
+		}
+		if m < 1 {
+			return nil, fmt.Errorf("ccsweep: MPL multiplier %d < 1", m)
+		}
+		mpls = append(mpls, m)
+	}
+	return mpls, nil
+}
+
+// runCCSweep runs the concurrency-control comparison lab over the default
+// protocol trio (2PL-detect, QueCC, OCC) and prints the full grid.
+func runCCSweep(mpls []int, opts carat.SimOptions, asJSON bool) {
+	opts.Progress = func(done, total int) {
+		fmt.Fprintf(os.Stderr, "\rCC sweep: %d/%d cells", done, total)
+		if done == total {
+			fmt.Fprintln(os.Stderr)
+		}
+	}
+	report, err := carat.CompareConcurrencyControls(nil, mpls, opts)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	if asJSON {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(report); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		return
+	}
+	fmt.Printf("CC comparison  seed=%d  protocols %s  contentions %s\n",
+		opts.Seed, strings.Join(report.Protocols, ", "), strings.Join(report.Contentions, ", "))
+	fmt.Printf("  %-14s %-14s %6s %9s %7s %8s %10s %8s %8s %10s\n",
+		"protocol", "contention", "users", "TPS", "abort", "resp ms",
+		"deadlocks", "probes", "v-aborts", "lock waits")
+	for _, p := range report.Points {
+		fmt.Printf("  %-14s %-14s %6d %9.2f %7.3f %8.0f %10d %8d %8d %10d\n",
+			p.Protocol, p.Contention, p.Users, p.CommittedTPS, p.AbortRate,
+			p.MeanResponseMS, p.Deadlocks, p.ProbesResent, p.ValidationAborts, p.LockWaits)
+	}
 }
 
 // parseRamp parses the -ramp 'AT:RATE,AT:RATE' schedule (ms:arrivals/s).

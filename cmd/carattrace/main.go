@@ -40,7 +40,7 @@ func main() {
 		seconds = flag.Float64("seconds", 30, "simulated seconds to trace")
 		seed    = flag.Uint64("seed", 1, "random seed")
 		txn     = flag.Int64("txn", 0, "print only this transaction id (0 = all)")
-		cc      = flag.String("cc", "2PL", "concurrency control: 2PL, wait-die, wound-wait, timestamp-ordering")
+		cc      = flag.String("cc", "2PL", "concurrency control: 2PL, wait-die, wound-wait, timestamp-ordering, occ or quecc")
 		dbsize  = flag.Int("dbsize", 0, "database blocks per site (0 = paper's 3000)")
 		faults  = flag.String("faults", "", "fault plan, e.g. 'crash=1@10000+5000,lockto=8000' (caratsim syntax)")
 		partStr = flag.String("partition", "", "network partitions, e.g. '0|1@10000+8000' (caratsim syntax)")
@@ -51,12 +51,17 @@ func main() {
 	)
 	flag.Parse()
 
+	ccMode, err := carat.ParseConcurrencyControl(*cc)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
 	wl, err := carat.WorkloadByName(*name, *n)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
 	}
-	wl = wl.WithConcurrencyControl(carat.ConcurrencyControl(*cc))
+	wl = wl.WithConcurrencyControl(ccMode)
 	if *dbsize > 0 {
 		wl = wl.WithDatabaseSize(*dbsize)
 	}

@@ -6,9 +6,12 @@
 // fixed — same workload, same disks, same CPU costs, same recovery and
 // commit protocols — the comparison can be made cleanly.
 //
-// The testbed runs the paper's 2PL-with-deadlock-detection plus three
-// classical baselines: wait-die, wound-wait (Rosenkrantz's prevention
-// schemes) and basic timestamp ordering.
+// The testbed runs the paper's 2PL-with-deadlock-detection plus five
+// alternatives: wait-die, wound-wait (Rosenkrantz's prevention schemes),
+// basic timestamp ordering, optimistic execution with backward validation
+// (OCC), and QueCC-style deterministic queue-ordered execution. For the
+// full contention-sweep lab (three access patterns × MPL grid) see
+// carat.CompareConcurrencyControls or `caratsim -ccsweep`.
 package main
 
 import (
@@ -21,6 +24,7 @@ import (
 func main() {
 	protocols := []carat.ConcurrencyControl{
 		carat.TwoPhaseLocking, carat.WaitDie, carat.WoundWait, carat.TimestampOrdering,
+		carat.OptimisticCC, carat.QueCC,
 	}
 	opts := carat.SimOptions{Seed: 5, WarmupMS: 60_000, DurationMS: 1_860_000}
 
@@ -39,7 +43,7 @@ func main() {
 			for _, node := range meas.Nodes {
 				xput += node.TxnPerSec
 				du += node.TxnPerSecByType[carat.DistributedUpdate]
-				aborts += node.Deadlocks
+				aborts += node.Deadlocks + node.ValidationAborts
 			}
 			fmt.Printf("  %-20s %12.3f %12.3f %14d %12.0f\n",
 				string(cc), xput, du, aborts, meas.Nodes[0].MeanResponseMS[carat.LocalUpdate])

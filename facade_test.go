@@ -179,3 +179,105 @@ func TestSimulateReplicatedFacade(t *testing.T) {
 			rm.Runs[0].Nodes[0].TxnPerSec, single.Nodes[0].TxnPerSec)
 	}
 }
+
+// TestParseConcurrencyControl pins the strict -cc front door: every
+// canonical name and the documented aliases resolve case-insensitively,
+// and unknown names are rejected with an error listing the valid modes.
+func TestParseConcurrencyControl(t *testing.T) {
+	cases := map[string]ConcurrencyControl{
+		"2PL":                TwoPhaseLocking,
+		"2pl-detect":         TwoPhaseLocking,
+		"wait-die":           WaitDie,
+		"WOUND-WAIT":         WoundWait,
+		"timestamp-ordering": TimestampOrdering,
+		"to":                 TimestampOrdering,
+		"occ":                OptimisticCC,
+		"Optimistic":         OptimisticCC,
+		"QueCC":              QueCC,
+		"deterministic":      QueCC,
+		" quecc ":            QueCC,
+	}
+	for name, want := range cases {
+		got, err := ParseConcurrencyControl(name)
+		if err != nil {
+			t.Fatalf("ParseConcurrencyControl(%q): %v", name, err)
+		}
+		if got != want {
+			t.Fatalf("ParseConcurrencyControl(%q) = %q, want %q", name, got, want)
+		}
+	}
+	for _, bad := range []string{"", "2pc", "mvcc", "locking"} {
+		_, err := ParseConcurrencyControl(bad)
+		if err == nil {
+			t.Fatalf("ParseConcurrencyControl(%q) accepted", bad)
+		}
+		for _, mode := range []string{"2PL-detect", "OCC", "QueCC"} {
+			if !strings.Contains(err.Error(), mode) {
+				t.Fatalf("error %q does not list valid mode %s", err, mode)
+			}
+		}
+	}
+}
+
+// TestSimulateOCCAndQueCCFacade drives the two new paradigms end to end
+// through the public facade: both make progress, OCC reports its
+// validation aborts (with retry accounting under the "validation" cause),
+// and QueCC reports none.
+func TestSimulateOCCAndQueCCFacade(t *testing.T) {
+	opts := SimOptions{Seed: 3, WarmupMS: 20_000, DurationMS: 320_000}
+	wl := WorkloadMB4(8).WithDatabaseSize(400)
+	occ, err := Simulate(wl.WithConcurrencyControl(OptimisticCC), opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var vAborts, retried int64
+	for i, node := range occ.Nodes {
+		if node.TxnPerSec <= 0 {
+			t.Fatalf("node %d stalled under OCC", i)
+		}
+		vAborts += node.ValidationAborts
+		retried += node.Retried["validation"]
+	}
+	if vAborts == 0 || retried == 0 {
+		t.Fatalf("OCC on a contended database: %d validation aborts, %d retried — want both > 0",
+			vAborts, retried)
+	}
+	qc, err := Simulate(wl.WithConcurrencyControl(QueCC), opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, node := range qc.Nodes {
+		if node.TxnPerSec <= 0 {
+			t.Fatalf("node %d stalled under QueCC", i)
+		}
+		if node.Deadlocks != 0 || node.ValidationAborts != 0 {
+			t.Fatalf("node %d: QueCC reports %d deadlocks, %d validation aborts — want zero",
+				i, node.Deadlocks, node.ValidationAborts)
+		}
+	}
+}
+
+// TestCompareConcurrencyControlsFacade smoke-tests the comparison lab's
+// facade entry: the default trio over two MPLs, full grid out.
+func TestCompareConcurrencyControlsFacade(t *testing.T) {
+	report, err := CompareConcurrencyControls(nil, []int{1, 2},
+		SimOptions{Seed: 99, WarmupMS: 20_000, DurationMS: 140_000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(report.Protocols) != 3 || len(report.Contentions) != 3 {
+		t.Fatalf("default grid is %v × %v, want 3 protocols × 3 contentions",
+			report.Protocols, report.Contentions)
+	}
+	if want := 3 * 3 * 2; len(report.Points) != want {
+		t.Fatalf("got %d points, want %d", len(report.Points), want)
+	}
+	for _, p := range report.Points {
+		if p.CommittedTPS <= 0 {
+			t.Fatalf("%s/%s/%d: no throughput", p.Protocol, p.Contention, p.Users)
+		}
+	}
+	if _, err := CompareConcurrencyControls(nil, nil, SimOptions{}); err == nil {
+		t.Fatal("empty MPL list accepted")
+	}
+}

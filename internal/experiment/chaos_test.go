@@ -49,6 +49,44 @@ func TestChaosAuditClean(t *testing.T) {
 	}
 }
 
+// ccChaos runs the standard crash+loss chaos batch with the MB4 mix under
+// the given concurrency-control paradigm.
+func ccChaos(t *testing.T, prot testbed.CCProtocol) *ChaosReport {
+	t.Helper()
+	wl := workload.MB4(8)
+	wl.Concurrency = prot
+	report, err := RunChaos(wl, chaosOpts(20))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if report.BaselineTPS <= 0 {
+		t.Fatalf("%v fault-free baseline goodput = %v txn/s, want > 0", prot, report.BaselineTPS)
+	}
+	if len(report.Runs) != 20 {
+		t.Fatalf("ran %d chaos runs, want 20", len(report.Runs))
+	}
+	if bad := report.Violations(); len(bad) != 0 {
+		t.Fatalf("%v chaos audit found %d violation(s):\n%s", prot, len(bad), bad)
+	}
+	return report
+}
+
+// TestQueCCChaosAuditClean extends the chaos audit to the deterministic
+// paradigm: twenty randomized crash+loss plans under QueCC must preserve
+// every atomicity, durability and goodput invariant. The drawn resilience
+// policies always arm probe retransmission, so this also exercises the
+// probe gating (QueCC allocates no detector to retransmit from).
+func TestQueCCChaosAuditClean(t *testing.T) {
+	ccChaos(t, testbed.CCQueCC)
+}
+
+// TestOCCChaosAuditClean is the same audit under optimistic execution:
+// commit-time validation aborts must compose with crashes, message loss and
+// prepare timeouts without half-commits or lost transactions.
+func TestOCCChaosAuditClean(t *testing.T) {
+	ccChaos(t, testbed.CCOCC)
+}
+
 // TestChaosDeterministic pins that the whole audit is a pure function of
 // (workload, options): same seed, same report.
 func TestChaosDeterministic(t *testing.T) {

@@ -26,7 +26,7 @@ func runCC(t *testing.T, cc CCProtocol, n int, seed uint64) Results {
 }
 
 func TestAllProtocolsMakeProgress(t *testing.T) {
-	for _, cc := range []CCProtocol{CC2PL, CCWaitDie, CCWoundWait, CCTimestamp} {
+	for _, cc := range []CCProtocol{CC2PL, CCWaitDie, CCWoundWait, CCTimestamp, CCOCC, CCQueCC} {
 		cc := cc
 		t.Run(cc.String(), func(t *testing.T) {
 			cfg := ccConfig(cc, 8, 31)
@@ -157,7 +157,7 @@ func TestWoundWaitWoundsRunningTransactions(t *testing.T) {
 }
 
 func TestCCProtocolsDeterministic(t *testing.T) {
-	for _, cc := range []CCProtocol{CCWaitDie, CCWoundWait, CCTimestamp} {
+	for _, cc := range []CCProtocol{CCWaitDie, CCWoundWait, CCTimestamp, CCOCC, CCQueCC} {
 		a := runCC(t, cc, 8, 17)
 		b := runCC(t, cc, 8, 17)
 		for i := range a.Nodes {
@@ -172,12 +172,155 @@ func TestCCProtocolString(t *testing.T) {
 	if CC2PL.String() != "2PL-detect" || CCTimestamp.String() != "basic-TO" {
 		t.Fatal("protocol names wrong")
 	}
+	if CCOCC.String() != "OCC" || CCQueCC.String() != "QueCC" {
+		t.Fatal("OCC/QueCC protocol names wrong")
+	}
+}
+
+// TestNoProbeStateOutsideDetection is the regression for the probe-gating
+// satellite: the Chandy–Misra detector (and with it every probe message)
+// exists only under 2PL with deadlock detection, the one paradigm whose
+// waits-for graph can cycle. Prevention, TO, OCC and QueCC allocate no
+// probe state at all.
+func TestNoProbeStateOutsideDetection(t *testing.T) {
+	for _, ccp := range []CCProtocol{CCWaitDie, CCWoundWait, CCTimestamp, CCOCC, CCQueCC} {
+		cfg := ccConfig(ccp, 4, 5)
+		cfg.Duration = 100_000
+		sys, err := New(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i, n := range sys.nodes {
+			if n.detector != nil {
+				t.Fatalf("%v: node %d allocated a probe detector", ccp, i)
+			}
+		}
+		sys.Run()
+	}
+	sys, err := New(ccConfig(CC2PL, 4, 5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, n := range sys.nodes {
+		if n.detector == nil {
+			t.Fatalf("2PL-detect: node %d missing its probe detector", i)
+		}
+	}
+	sys.Run()
+}
+
+// TestQueCCNoDeadlocksNoProbeTraffic checks the deterministic paradigm's
+// headline property end to end: claims enter every queue in global gid
+// order at planning time, so no deadlock can form and no probe machinery
+// runs — even with probe retransmission configured, which is armed only
+// for paradigms that can deadlock.
+func TestQueCCNoDeadlocksNoProbeTraffic(t *testing.T) {
+	cfg := ccConfig(CCQueCC, 16, 23)
+	cfg.Resilience.ProbeRetryMS = 50
+	var reprobes, deadlockEvs int
+	cfg.Trace = func(ev TraceEvent) {
+		switch ev.Ev {
+		case EvReprobe:
+			reprobes++
+		case EvDeadlock:
+			deadlockEvs++
+		}
+	}
+	sys, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := sys.Run()
+	for i, nr := range res.Nodes {
+		if nr.LocalDeadlocks != 0 || nr.GlobalDeadlocks != 0 {
+			t.Fatalf("node %d: deadlocks under QueCC (local %d, global %d)",
+				i, nr.LocalDeadlocks, nr.GlobalDeadlocks)
+		}
+		if nr.ProbesResent != 0 {
+			t.Fatalf("node %d: %d probe rounds resent under QueCC", i, nr.ProbesResent)
+		}
+		if nr.TotalTxnThroughput <= 0 {
+			t.Fatalf("node %d stalled under QueCC", i)
+		}
+	}
+	if reprobes != 0 || deadlockEvs != 0 {
+		t.Fatalf("QueCC trace shows %d reprobes, %d deadlock events", reprobes, deadlockEvs)
+	}
+}
+
+// TestQueCCHighMPLNoStall regresses the execution-slot gate: with more
+// users than DM servers, a parked claim-waiter holding its DM servers used
+// to starve the older transaction its claims wait for out of the DM pool —
+// a cross-layer cycle that wedged the whole system within seconds. Bounded
+// execution slots (System.ccSlots) keep admitted transactions ≤ the DM
+// pool, so the run must commit steadily through the entire window.
+func TestQueCCHighMPLNoStall(t *testing.T) {
+	users := make([]UserSpec, 0, 32)
+	base := mb4Users()
+	for i := 0; i < 4; i++ {
+		users = append(users, base...)
+	}
+	cfg := twoNodeConfig(users, 8, 9245) // 32 users vs 16 DM servers per site
+	cfg.Concurrency = CCQueCC
+	cfg.Layout = storage.Layout{Granules: 400, RecordsPerGran: 6}
+	cfg.Warmup = 0
+	cfg.Duration = 1_920_000
+	sys, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := sys.Run()
+	if res.Window < cfg.Duration {
+		t.Fatalf("run wedged: event queue drained at %.0f ms of %.0f", res.Window, cfg.Duration)
+	}
+	var commits int64
+	for _, nr := range res.Nodes {
+		for _, k := range []TxnKind{LRO, LU, DRO, DU} {
+			commits += nr.Commits[k]
+		}
+	}
+	if commits < 100 {
+		t.Fatalf("only %d commits across a 32-minute window at MPL 32", commits)
+	}
+}
+
+// TestOCCNeverBlocksAndValidates exercises optimistic execution under
+// contention: accesses never block (no lock waits), conflicts surface as
+// commit-time validation aborts counted under CauseValidation, and the
+// system keeps committing.
+func TestOCCNeverBlocksAndValidates(t *testing.T) {
+	res := runCC(t, CCOCC, 16, 29)
+	var vAborts, commits, retriedV int64
+	for i, nr := range res.Nodes {
+		if nr.LockWaits != 0 {
+			t.Fatalf("node %d: %d lock waits under OCC — OCC must not block", i, nr.LockWaits)
+		}
+		if nr.LocalDeadlocks != 0 || nr.GlobalDeadlocks != 0 {
+			t.Fatalf("node %d: deadlock counters nonzero under OCC", i)
+		}
+		vAborts += nr.ValidationAborts
+		retriedV += nr.Retried[CauseValidation]
+		for _, k := range []TxnKind{LRO, LU, DRO, DU} {
+			commits += nr.Commits[k]
+		}
+	}
+	if commits == 0 {
+		t.Fatal("no commits under OCC")
+	}
+	if vAborts == 0 {
+		t.Fatal("no validation conflicts at n=16 on a 400-granule database")
+	}
+	if retriedV == 0 {
+		t.Fatal("validation aborts not classified under CauseValidation in retry accounting")
+	}
 }
 
 // TestCCTraceInvariantsHoldForPrevention re-runs the strict-2PL and
-// termination trace properties under the prevention disciplines.
+// termination trace properties under the prevention disciplines and the
+// new paradigms: no access grant after the commit/abort decision, no
+// release before it.
 func TestCCTraceInvariantsHoldForPrevention(t *testing.T) {
-	for _, cc := range []CCProtocol{CCWaitDie, CCWoundWait} {
+	for _, cc := range []CCProtocol{CCWaitDie, CCWoundWait, CCOCC, CCQueCC} {
 		cc := cc
 		t.Run(cc.String(), func(t *testing.T) {
 			var all []TraceEvent

@@ -18,6 +18,7 @@ package testbed
 import (
 	"fmt"
 
+	"carat/internal/cc"
 	"carat/internal/comm"
 	"carat/internal/disk"
 	"carat/internal/repl"
@@ -215,7 +216,9 @@ func DefaultParams(nodes int) Params {
 // CARAT's scheme — and the only one the analytical model covers — is
 // CC2PL; the others are the classical baselines the contemporaneous
 // modeling literature compares against (Rosenkrantz's prevention schemes,
-// Galler's basic timestamp ordering).
+// Galler's basic timestamp ordering) plus the modern OCC and
+// deterministic paradigms. The values mirror cc.Paradigm one-to-one; the
+// engine dispatch lives in internal/cc.
 type CCProtocol int
 
 const (
@@ -231,7 +234,18 @@ const (
 	// CCTimestamp is basic timestamp ordering: no locks, no blocking;
 	// late accesses abort and restart with a fresh timestamp.
 	CCTimestamp
+	// CCOCC is optimistic concurrency control: execute without blocking,
+	// track read/write sets, backward-validate at commit; validation
+	// conflicts abort under CauseValidation.
+	CCOCC
+	// CCQueCC is QueCC-style deterministic execution: accesses are planned
+	// into per-site priority queues at submission and drained in priority
+	// order — no locks, no deadlocks, no probe traffic by construction.
+	CCQueCC
 )
+
+// paradigm converts to the cc subsystem's paradigm enum (same values).
+func (c CCProtocol) paradigm() cc.Paradigm { return cc.Paradigm(c) }
 
 // String names the protocol.
 func (c CCProtocol) String() string {
@@ -244,6 +258,10 @@ func (c CCProtocol) String() string {
 		return "2PL-wound-wait"
 	case CCTimestamp:
 		return "basic-TO"
+	case CCOCC:
+		return "OCC"
+	case CCQueCC:
+		return "QueCC"
 	default:
 		return fmt.Sprintf("CCProtocol(%d)", int(c))
 	}

@@ -3,6 +3,9 @@ package testbed
 import (
 	"fmt"
 
+	"carat/internal/cc"
+	"carat/internal/cc/occ"
+	"carat/internal/cc/quecc"
 	"carat/internal/disk"
 	"carat/internal/lock"
 	"carat/internal/probe"
@@ -29,16 +32,25 @@ type node struct {
 	dbDisks []*disk.Device
 	logDisk *disk.Device // == dbDisks[0] when the log shares the database disk
 
-	locks    *lock.Manager
-	tso      *tso.Manager
+	// ccp is the site's concurrency-control engine behind the cc.Protocol
+	// interface; the typed fields below expose the one concrete engine the
+	// configured paradigm uses (the others stay nil). locks also feeds the
+	// probe detector's waits-for edges; detector — and with it every probe
+	// message — exists only under 2PL with deadlock detection, the one
+	// paradigm whose waits can cycle.
+	ccp      cc.Protocol
+	locks    *lock.Manager    // 2PL family
+	tso      *tso.Manager     // basic TO
+	occv     *occ.Manager     // OCC
+	qcc      *quecc.Scheduler // QueCC
 	journal  *wal.Log
 	store    *storage.Store
 	detector *probe.Detector
 
-	// grantEv maps a transaction blocked in lock wait at this site to the
-	// event its process parks on; the lock manager's grant callback
-	// triggers it.
-	grantEv map[lock.TxnID]*sim.Event
+	// grantEv maps a transaction blocked in a concurrency-control wait at
+	// this site to the event its process parks on; the engine's grant
+	// callback triggers it.
+	grantEv map[int64]*sim.Event
 
 	// Fault state: down is true from a crash until its restart recovery
 	// completes; upEv (non-nil only while down) releases users parked on
@@ -90,6 +102,7 @@ type node struct {
 	admitWait       stats.Tally                   // queueing delay at the admission gate (ms)
 	probesLost      stats.Counter                 // deadlock probes dropped leaving this node
 	probesResent    stats.Counter                 // probe rounds re-initiated for blocked txns
+	validationFails stats.Counter                 // OCC validation conflicts detected here
 
 	// Replication state (replication runs only): replVersion maps a replica
 	// block (see replBlock) held at this site to the last committed writer
@@ -124,7 +137,7 @@ func newNode(sys *System, id NodeID, cfg NodeConfig, layout storage.Layout, r *r
 		dmPool:      sim.NewResource(sys.env, fmt.Sprintf("dm-%d", id), cfg.DMServers),
 		store:       storage.NewStore(layout),
 		journal:     wal.NewLog(),
-		grantEv:     make(map[lock.TxnID]*sim.Event),
+		grantEv:     make(map[int64]*sim.Event),
 		commits:     make(map[TxnKind]*stats.Counter),
 		recordsDone: make(map[TxnKind]*stats.Counter),
 		respTime:    make(map[TxnKind]*stats.Tally),
@@ -141,9 +154,7 @@ func newNode(sys *System, id NodeID, cfg NodeConfig, layout storage.Layout, r *r
 	} else {
 		n.logDisk = n.dbDisks[0]
 	}
-	n.locks = lock.NewManagerWithDiscipline(sys.lockDiscipline(), lock.VictimRequester, n.onGrant)
-	n.tso = tso.NewManager()
-	n.detector = probe.NewDetector(probe.SiteID(id), (*probeHost)(n))
+	n.initCC()
 	for _, k := range []TxnKind{LRO, LU, DRO, DU} {
 		n.commits[k] = &stats.Counter{}
 		n.recordsDone[k] = &stats.Counter{}
@@ -167,21 +178,52 @@ func (s *System) lockDiscipline() lock.Discipline {
 	}
 }
 
+// initCC builds the site's concurrency-control engine for the configured
+// paradigm. Only the machinery the paradigm needs exists: the Chandy–Misra
+// probe detector is allocated solely under 2PL with deadlock detection —
+// the one paradigm whose waits-for graph can cycle — so prevention, TO,
+// OCC and QueCC runs carry no probe state at all.
+func (n *node) initCC() {
+	n.ccp, n.locks, n.tso, n.occv, n.qcc, n.detector = nil, nil, nil, nil, nil, nil
+	switch n.sys.cfg.Concurrency {
+	case CCTimestamp:
+		n.tso = tso.NewManager()
+		n.ccp = cc.ForTimestampManager(n.tso)
+	case CCOCC:
+		n.occv = occ.NewManager()
+		n.ccp = n.occv
+	case CCQueCC:
+		n.qcc = quecc.NewScheduler(func(txn cc.TxnID) { n.wake(int64(txn)) })
+		n.ccp = n.qcc
+	default:
+		n.locks = lock.NewManagerWithDiscipline(n.sys.lockDiscipline(), lock.VictimRequester, n.onGrant)
+		n.ccp = cc.ForLockManager(n.locks, n.sys.cfg.Concurrency.paradigm())
+		if n.sys.cfg.Concurrency == CC2PL {
+			n.detector = probe.NewDetector(probe.SiteID(n.id), (*probeHost)(n))
+		}
+	}
+}
+
 // wipeVolatile models the loss of the site's volatile memory at a crash:
-// the lock table, timestamp bookkeeping, probe detector state and pending
-// lock grants are gone. The journal and store survive (stable storage).
+// the concurrency-control engine (lock table, timestamp bookkeeping,
+// validation sets or execution queues), probe detector state and pending
+// grants are gone. The journal and store survive (stable storage).
 func (n *node) wipeVolatile() {
-	n.locks = lock.NewManagerWithDiscipline(n.sys.lockDiscipline(), lock.VictimRequester, n.onGrant)
-	n.tso = tso.NewManager()
-	n.detector = probe.NewDetector(probe.SiteID(n.id), (*probeHost)(n))
-	n.grantEv = make(map[lock.TxnID]*sim.Event)
+	n.initCC()
+	n.grantEv = make(map[int64]*sim.Event)
 	n.replVersion = make(map[int]int64)
 }
 
-// onGrant wakes the process parked on a lock wait at this site.
+// onGrant adapts the lock manager's grant callback to wake.
 func (n *node) onGrant(txn lock.TxnID, _ lock.GranuleID) {
-	if ev, ok := n.grantEv[txn]; ok {
-		delete(n.grantEv, txn)
+	n.wake(int64(txn))
+}
+
+// wake releases the process parked on a concurrency-control wait at this
+// site, if one is still parked.
+func (n *node) wake(gid int64) {
+	if ev, ok := n.grantEv[gid]; ok {
+		delete(n.grantEv, gid)
 		ev.Trigger(nil)
 	}
 }
@@ -225,10 +267,10 @@ func (n *node) dbDiskFor(g int) *disk.Device {
 }
 
 // releaseTxn drops the transaction's concurrency-control state at this
-// site: all locks (2PL family) and the TO bookkeeping.
+// site: locks (2PL family), TO bookkeeping, OCC read/write sets or QueCC
+// queue claims, depending on the configured engine.
 func (n *node) releaseTxn(gid int64) {
-	n.locks.ReleaseAll(lock.TxnID(gid))
-	n.tso.Forget(tso.TxnID(gid))
+	n.ccp.Finish(cc.TxnID(gid))
 }
 
 // separateLog reports whether the log has its own device.
@@ -304,6 +346,7 @@ func (n *node) resetStats(t float64) {
 	n.admitWait.Reset()
 	n.probesLost.ResetAt(t)
 	n.probesResent.ResetAt(t)
+	n.validationFails.ResetAt(t)
 	n.failoverReads.ResetAt(t)
 	n.replicaApplies.ResetAt(t)
 	n.quorumReads.ResetAt(t)

@@ -19,6 +19,10 @@ const (
 	CauseCrash
 	// CauseTimeout covers lock-wait and 2PC prepare timeouts.
 	CauseTimeout
+	// CauseValidation covers OCC commit-time validation conflicts. Only
+	// CCOCC runs produce it (and only CCOCC runs serialize it — see
+	// Results.collect).
+	CauseValidation
 
 	numAbortCauses
 )
@@ -32,6 +36,8 @@ func (c AbortCause) String() string {
 		return "crash"
 	case CauseTimeout:
 		return "timeout"
+	case CauseValidation:
+		return "validation"
 	default:
 		return fmt.Sprintf("AbortCause(%d)", int(c))
 	}
@@ -49,6 +55,8 @@ func abortCauseOf(err error) AbortCause {
 		return CauseCrash
 	case errLockTimeout, errPrepareTimeout:
 		return CauseTimeout
+	case errValidation:
+		return CauseValidation
 	default:
 		return CauseDeadlock
 	}

@@ -103,6 +103,11 @@ type NodeResults struct {
 	ProbesLost   int64
 	ProbesResent int64
 
+	// ValidationAborts counts OCC backward-validation conflicts detected
+	// at this site. Zero — and omitted from JSON, keeping non-OCC
+	// serializations byte-identical — except under CCOCC.
+	ValidationAborts int64 `json:",omitempty"`
+
 	// Partition and gray-failure measurements (all zero — and omitted from
 	// JSON, keeping fault-free serializations byte-identical — unless the
 	// fault plan configures partitions or gray failures).
@@ -231,9 +236,17 @@ func (s *System) collect(t float64) Results {
 		nr.Retried = make(map[AbortCause]int64)
 		nr.Abandoned = make(map[AbortCause]int64)
 		for c := AbortCause(0); c < numAbortCauses; c++ {
+			if c == CauseValidation && s.cfg.Concurrency != CCOCC {
+				// Only OCC produces validation aborts; keeping the key out
+				// of the maps everywhere else keeps the serialized shape —
+				// and the kernel-equivalence pins — of every pre-existing
+				// configuration byte-identical.
+				continue
+			}
 			nr.Retried[c] = n.retried[c].N()
 			nr.Abandoned[c] = n.abandoned[c].N()
 		}
+		nr.ValidationAborts = n.validationFails.N()
 		nr.PartitionAborts = n.partitionAborts.N()
 		nr.PartitionShed = n.partitionShed.N()
 		nr.SuspectEvents = n.suspectEvents.N()

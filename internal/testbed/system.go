@@ -4,6 +4,7 @@ import (
 	"errors"
 	"fmt"
 
+	"carat/internal/cc"
 	"carat/internal/comm"
 	"carat/internal/probe"
 	"carat/internal/rng"
@@ -13,6 +14,11 @@ import (
 // errDeadlockVictim is the interrupt cause delivered to a transaction
 // chosen as a (local or global) deadlock victim while it waits for a lock.
 var errDeadlockVictim = errors.New("testbed: deadlock victim")
+
+// errValidation dooms a transaction that failed OCC backward validation
+// at commit (CCOCC runs only); it rolls back and resubmits under
+// CauseValidation.
+var errValidation = errors.New("testbed: validation conflict")
 
 // txnState is the system-wide registry entry for one in-flight transaction,
 // used by global deadlock detection to locate and kill victims.
@@ -60,10 +66,24 @@ type replWrite struct {
 
 // System is a complete simulated CARAT installation.
 type System struct {
-	cfg   Config
-	env   *sim.Env
-	nodes []*node
-	rnd   *rng.Rand
+	cfg    Config
+	env    *sim.Env
+	nodes  []*node
+	rnd    *rng.Rand
+	ccCaps cc.Capabilities // capability flags of the configured CC paradigm
+	// ccSlots bounds concurrent submissions under deterministic execution
+	// (nil otherwise). A QueCC claim-wait parks while holding its DM
+	// servers, so unbounded admission can wedge: every DM server held by a
+	// parked younger transaction while the older transaction its claims
+	// wait for starves in the DM queue — a cycle through the DM pool the
+	// claim layer's gid-order acyclicity cannot see. Capping admitted
+	// transactions at the smallest site's DM pool guarantees an admitted
+	// transaction always obtains its DM servers, so every wait is a claim
+	// wait and the younger-waits-for-older argument covers the whole
+	// system. This is QueCC's plan-then-execute shape: the planner hands
+	// batches to a fixed set of execution queues, never more work in
+	// flight than executors.
+	ccSlots *sim.Resource
 
 	txnSeq   int64
 	reg      map[int64]*txnState
@@ -89,13 +109,23 @@ func New(cfg Config) (*System, error) {
 		return nil, err
 	}
 	sys := &System{
-		cfg: cfg,
-		env: sim.NewEnv(),
-		rnd: rng.New(cfg.Seed),
-		reg: make(map[int64]*txnState),
+		cfg:    cfg,
+		env:    sim.NewEnv(),
+		rnd:    rng.New(cfg.Seed),
+		reg:    make(map[int64]*txnState),
+		ccCaps: cfg.Concurrency.paradigm().Capabilities(),
 	}
 	for i := range cfg.Nodes {
 		sys.nodes = append(sys.nodes, newNode(sys, NodeID(i), cfg.Nodes[i], cfg.Layout, sys.rnd.Split(uint64(i))))
+	}
+	if sys.ccCaps.Deterministic {
+		slots := cfg.Nodes[0].DMServers
+		for _, nc := range cfg.Nodes[1:] {
+			if nc.DMServers < slots {
+				slots = nc.DMServers
+			}
+		}
+		sys.ccSlots = sim.NewResource(sys.env, "cc-slots", slots)
 	}
 	if cfg.Faults.Active() {
 		sys.initFaults(*cfg.Faults)

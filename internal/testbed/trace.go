@@ -78,34 +78,39 @@ const (
 	// EvTrust marks the failure detector at one site trusting another again
 	// (health; Txn is -1, Node is the observer, Granule is the trusted site).
 	EvTrust
+	// EvValidationAbort marks a transaction failing OCC backward validation
+	// at the named site (CCOCC only). New kinds append here: the numeric
+	// values feed the kernel-equivalence trace hashes.
+	EvValidationAbort
 )
 
 var traceNames = map[TraceKind]string{
-	EvBegin:         "begin",
-	EvLockWait:      "lock-wait",
-	EvLockGrant:     "lock-grant",
-	EvDeadlock:      "deadlock-victim",
-	EvRollback:      "rollback",
-	EvPrepareAck:    "prepare-ack",
-	EvForceCommit:   "force-commit-record",
-	EvSlaveCommit:   "slave-commit",
-	EvRelease:       "release-locks",
-	EvCommitted:     "committed",
-	EvAborted:       "aborted",
-	EvCrash:         "crash",
-	EvRestart:       "restart",
-	EvTimeoutAbort:  "timeout-abort",
-	EvAbandon:       "abandon",
-	EvShed:          "admission-shed",
-	EvReprobe:       "probe-retransmit",
-	EvRetryBackoff:  "retry-backoff",
-	EvFailoverRead:  "failover-read",
-	EvReplicaApply:  "replica-apply",
-	EvArrival:       "arrival",
-	EvPartition:     "partition",
-	EvPartitionHeal: "partition-heal",
-	EvSuspect:       "suspect",
-	EvTrust:         "trust",
+	EvBegin:           "begin",
+	EvLockWait:        "lock-wait",
+	EvLockGrant:       "lock-grant",
+	EvDeadlock:        "deadlock-victim",
+	EvRollback:        "rollback",
+	EvPrepareAck:      "prepare-ack",
+	EvForceCommit:     "force-commit-record",
+	EvSlaveCommit:     "slave-commit",
+	EvRelease:         "release-locks",
+	EvCommitted:       "committed",
+	EvAborted:         "aborted",
+	EvCrash:           "crash",
+	EvRestart:         "restart",
+	EvTimeoutAbort:    "timeout-abort",
+	EvAbandon:         "abandon",
+	EvShed:            "admission-shed",
+	EvReprobe:         "probe-retransmit",
+	EvRetryBackoff:    "retry-backoff",
+	EvFailoverRead:    "failover-read",
+	EvReplicaApply:    "replica-apply",
+	EvArrival:         "arrival",
+	EvPartition:       "partition",
+	EvPartitionHeal:   "partition-heal",
+	EvSuspect:         "suspect",
+	EvTrust:           "trust",
+	EvValidationAbort: "validation-abort",
 }
 
 // String names the event.

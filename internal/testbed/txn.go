@@ -3,13 +3,13 @@ package testbed
 import (
 	"fmt"
 
+	"carat/internal/cc"
 	"carat/internal/disk"
 	"carat/internal/lock"
 	"carat/internal/probe"
 	"carat/internal/rng"
 	"carat/internal/sim"
 	"carat/internal/storage"
-	"carat/internal/tso"
 )
 
 // user is one TR application process: it submits transactions of one kind
@@ -41,6 +41,12 @@ type user struct {
 	schedBuf []int
 	permBuf  []int
 	shufBuf  []int
+	// QueCC planning scratch: planBuf holds the pre-drawn granules of each
+	// request (schedule order); ccSkipBuf marks the remotes whose granules
+	// this submission serves at replicas instead (read failover, decided at
+	// plan time so the claim plan and the execution agree).
+	planBuf   [][]int
+	ccSkipBuf []bool
 	// Open-class overrides (see OpenClass): zero values inherit the
 	// Config-wide transaction size, remote fraction and access pattern.
 	// Closed users always leave them zero.
@@ -141,6 +147,18 @@ func (u *user) execOne(p *sim.Proc) {
 // by a down participant site.
 func (u *user) attempt(p *sim.Proc) attemptOutcome {
 	sys := u.sys
+	if sys.ccSlots != nil {
+		// Deterministic execution admits one submission per execution slot
+		// (see System.ccSlots). Acquired before the pre-submission checks so
+		// that the check, the gid draw and the plan still share one kernel
+		// step once the slot is granted.
+		mustAcquire(sys.ccSlots, p)
+		defer func() {
+			if !sys.env.Terminated() {
+				sys.ccSlots.Release()
+			}
+		}()
+	}
 	cfg := &sys.cfg
 	kind := u.spec.Kind
 	home := sys.nodes[u.spec.Home]
@@ -198,11 +216,35 @@ func (u *user) attempt(p *sim.Proc) attemptOutcome {
 	if u.curTS == 0 {
 		u.curTS = gid
 	}
-	if cfg.Concurrency == CCWaitDie || cfg.Concurrency == CCWoundWait {
-		home.locks.RegisterTxn(lock.TxnID(gid), u.curTS)
-		for _, remote := range remotes {
-			remote.locks.RegisterTxn(lock.TxnID(gid), u.curTS)
+	// Open the concurrency-control state at every participant. Begin is a
+	// no-op under 2PL with detection, registers the prevention timestamp
+	// under wait-die/wound-wait, and opens the validation window under OCC.
+	// A remote the pre-submission check only let through because read
+	// failover covers it (down, unreachable or suspected — ccSkip) takes no
+	// part in the submission, so no state is opened there; no simulation
+	// time has passed since that check, so the conditions still hold.
+	ccSkip := u.ccSkipBuf[:0]
+	for range remotes {
+		ccSkip = append(ccSkip, false)
+	}
+	u.ccSkipBuf = ccSkip
+	home.ccp.Begin(cc.TxnID(gid), u.curTS)
+	for i, remote := range remotes {
+		if sys.faults != nil && (remote.down || !sys.reachable(home.id, remote.id) ||
+			sys.suspected(home.id, remote.id)) {
+			ccSkip[i] = true
+			continue
 		}
+		remote.ccp.Begin(cc.TxnID(gid), u.curTS)
+	}
+	var schedule []int
+	var plan [][]int
+	if sys.ccCaps.Deterministic {
+		// QueCC plans the whole submission now, in the same kernel step as
+		// the gid draw: every queue receives its claims in global gid order,
+		// so the "grant iff no conflicting older claim ahead" admission rule
+		// can never form a wait cycle — no deadlocks by construction.
+		schedule, plan = u.planQueCC(st, home, remotes, ccSkip)
 	}
 
 	// --- INIT phase: TBEGIN and DBOPEN processing; DM allocation. ---
@@ -216,12 +258,20 @@ func (u *user) attempt(p *sim.Proc) attemptOutcome {
 	mustAcquire(home.dmPool, p)
 	mustUse(home, p, func() error { return home.tmStep(p, costs.InitCPU) })
 	for i, remote := range remotes {
+		if sys.ccCaps.Deterministic && ccSkip[i] {
+			// The failover decision was made at plan time (no claims were
+			// planted at this site); it is binding even if the site has
+			// recovered since, so the execution matches the plan.
+			foRemote[i] = true
+			continue
+		}
 		if (remote.down || !sys.reachable(home.id, remote.id) || sys.suspected(home.id, remote.id)) &&
 			sys.replReadFailover(home.id, kind) {
 			// Failed-over read: the down (or unreachable, or suspected) site
 			// takes no part in this submission; its granules are served at
 			// surviving replicas.
 			foRemote[i] = true
+			u.dropSkippedCC(st, remote)
 			continue
 		}
 		if !sys.reachable(home.id, remote.id) {
@@ -232,6 +282,7 @@ func (u *user) attempt(p *sim.Proc) attemptOutcome {
 				st.cause = errPartitioned
 			}
 			st.doomed = true
+			u.dropSkippedCC(st, remote)
 			continue
 		}
 		rcosts := cfg.Params.CostsFor(remote.id, kind)
@@ -250,10 +301,14 @@ func (u *user) attempt(p *sim.Proc) attemptOutcome {
 		}
 	}
 
-	// --- Request sequence: n requests, a shuffled mix of local and remote. ---
-	schedule := u.requestSchedule(len(remotes))
+	// --- Request sequence: n requests, a shuffled mix of local and remote.
+	// Under QueCC the schedule (and every request's granules) was already
+	// drawn at planning time; everywhere else it is drawn here. ---
+	if schedule == nil {
+		schedule = u.requestSchedule(len(remotes))
+	}
 	aborted := false
-	for _, dest := range schedule {
+	for ri, dest := range schedule {
 		// U phase: the user application prepares the request.
 		st.activeNode = home.id
 		mustUse(home, p, func() error { return home.cpuUse(p, costs.UCPU) })
@@ -285,7 +340,11 @@ func (u *user) attempt(p *sim.Proc) attemptOutcome {
 			}
 		}
 
-		if err := u.dmRequest(p, st, exec, failover); err != nil {
+		var planned []int
+		if plan != nil {
+			planned = plan[ri]
+		}
+		if err := u.dmRequest(p, st, exec, failover, planned); err != nil {
 			aborted = true
 		}
 
@@ -309,16 +368,19 @@ func (u *user) attempt(p *sim.Proc) attemptOutcome {
 	}
 
 	if !aborted {
-		// --- Commit: TEND through the TM, then the commit protocol. ---
+		// --- Commit: TEND through the TM, then validation (OCC only) and
+		// the commit protocol. ---
 		st.committing = true
 		mustUse(home, p, func() error { return home.tmStep(p, costs.TMCPU) })
-		var committed bool
+		committed := false
 		// Two-phase commit coordinates the slaves actually holding work —
 		// under read failover a down remote never joined dmHeld.
-		if len(dmHeld) == 1 {
-			committed = u.commitLocal(p, st, home, costs)
-		} else {
-			committed = u.twoPhaseCommit(p, st, home, dmHeld[1:])
+		if !sys.ccCaps.ValidatesAtCommit || u.ccValidate(st, dmHeld) {
+			if len(dmHeld) == 1 {
+				committed = u.commitLocal(p, st, home, costs)
+			} else {
+				committed = u.twoPhaseCommit(p, st, home, dmHeld[1:])
+			}
 		}
 		if committed {
 			u.releaseReplicaReads(p, st)
@@ -405,12 +467,96 @@ func (u *user) pickRecords(l storage.Layout, k int) []int {
 	return u.recsBuf
 }
 
+// planQueCC builds the submission's deterministic execution plan in the
+// same kernel step as the gid draw: the full request schedule and every
+// request's granules are drawn now, and each granule is registered as a
+// priority-queue claim at its executing site. Registration order therefore
+// equals gid order at every site, which keeps the per-granule queues
+// acyclic — a claim only ever waits on strictly older claims, so waits
+// can never cycle. Remotes flagged in skip serve their granules at
+// replicas (read failover), so no claims are planted there.
+func (u *user) planQueCC(st *txnState, home *node, remotes []*node, skip []bool) ([]int, [][]int) {
+	cfg := &u.sys.cfg
+	write := u.spec.Kind.Update()
+	schedule := u.requestSchedule(len(remotes))
+	if cap(u.planBuf) < len(schedule) {
+		grown := make([][]int, len(schedule))
+		copy(grown, u.planBuf[:cap(u.planBuf)])
+		u.planBuf = grown
+	}
+	plan := u.planBuf[:len(schedule)]
+	for ri, dest := range schedule {
+		recs := u.pickRecords(cfg.Layout, cfg.RecordsPerRequest)
+		plan[ri] = storage.GranulesOfAppend(plan[ri][:0], cfg.Layout, recs)
+		if dest >= 0 && skip[dest] {
+			continue
+		}
+		nd := home
+		if dest >= 0 {
+			nd = remotes[dest]
+		}
+		for _, g := range plan[ri] {
+			nd.qcc.Plan(cc.TxnID(st.gid), cc.GranuleID(g), write)
+		}
+	}
+	return schedule, plan
+}
+
+// dropSkippedCC clears the concurrency-control state opened at Begin (and,
+// under QueCC, the planned queue claims) at a remote skipped for the rest
+// of this submission. A crashed site lost the state with its volatile
+// memory; an unreachable site cleans up cooperatively when the partition
+// heals; a reachable-but-suspected site drops it now. The 2PL/TO engines
+// keep the original do-nothing behavior: their per-transaction Begin state
+// is inert, and those paths are byte-pinned.
+func (u *user) dropSkippedCC(st *txnState, nd *node) {
+	sys := u.sys
+	if !sys.ccCaps.Deterministic && !sys.ccCaps.ValidatesAtCommit {
+		return
+	}
+	if nd.down {
+		return
+	}
+	if !sys.reachable(st.home, nd.id) {
+		sys.queueTermination(nd.id, st.gid, true)
+		return
+	}
+	nd.ccp.Finish(cc.TxnID(st.gid))
+}
+
+// ccValidate runs OCC backward validation at every participant, home
+// first. Success at a site atomically publishes its write set; a conflict
+// at any site dooms the transaction under CauseValidation and the normal
+// rollback path undoes its writes. (Sites validated before the failing one
+// keep their published entries — a conservative over-approximation that
+// can only add spurious conflicts, never miss real ones.)
+func (u *user) ccValidate(st *txnState, participants []*node) bool {
+	sys := u.sys
+	for _, nd := range participants {
+		if nd.down {
+			// The site's validation state died with it; the commit protocol
+			// below aborts the transaction for the crash.
+			continue
+		}
+		if !nd.ccp.Validate(cc.TxnID(st.gid)) {
+			nd.validationFails.Inc()
+			sys.trace(st.gid, u.spec.Kind, nd.id, EvValidationAbort, -1)
+			if st.cause == nil {
+				st.cause = errValidation
+			}
+			return false
+		}
+	}
+	return true
+}
+
 // dmRequest executes one database request at node nd: the DM/LR/DMIO phase
 // loop over the request's granules, acquiring locks and performing block
 // I/O. With failover set (replicated read against a down site) the granules
-// are served at surviving replicas instead. It returns errDeadlockVictim if
-// the transaction must abort.
-func (u *user) dmRequest(p *sim.Proc, st *txnState, nd *node, failover bool) error {
+// are served at surviving replicas instead. planned is the request's
+// pre-drawn granules under QueCC (nil everywhere else: the draw happens
+// here). It returns errDeadlockVictim if the transaction must abort.
+func (u *user) dmRequest(p *sim.Proc, st *txnState, nd *node, failover bool, planned []int) error {
 	sys := u.sys
 	cfg := &sys.cfg
 	kind := u.spec.Kind
@@ -427,9 +573,12 @@ func (u *user) dmRequest(p *sim.Proc, st *txnState, nd *node, failover bool) err
 		return st.cause
 	}
 
-	recs := u.pickRecords(cfg.Layout, cfg.RecordsPerRequest)
-	u.gransBuf = storage.GranulesOfAppend(u.gransBuf[:0], cfg.Layout, recs)
-	grans := u.gransBuf
+	grans := planned
+	if grans == nil {
+		recs := u.pickRecords(cfg.Layout, cfg.RecordsPerRequest)
+		u.gransBuf = storage.GranulesOfAppend(u.gransBuf[:0], cfg.Layout, recs)
+		grans = u.gransBuf
+	}
 
 	if failover {
 		return u.failoverRead(p, st, nd, grans)
@@ -475,17 +624,18 @@ func (u *user) dmRequest(p *sim.Proc, st *txnState, nd *node, failover bool) err
 	return nil
 }
 
-// ccAccess admits one granule access under the configured concurrency
-// control protocol: a lock request under the 2PL family (with detection or
-// prevention per the lock manager's discipline) or a timestamp check under
-// basic TO. It returns errDeadlockVictim when the protocol aborts the
-// requester.
+// ccAccess admits one granule access through the site's cc.Protocol
+// engine: a lock request under the 2PL family (with detection or
+// prevention per the lock manager's discipline), a timestamp check under
+// basic TO, read/write-set tracking under OCC, or a queue-claim admission
+// check under QueCC. It returns errDeadlockVictim when the protocol
+// restarts the requester.
 func (u *user) ccAccess(p *sim.Proc, st *txnState, nd *node, g int, mode lock.Mode) error {
 	sys := u.sys
 	kind := u.spec.Kind
 	if sys.faults != nil && (nd.down || !sys.reachable(st.home, nd.id)) {
-		// The site crashed since the request started (its lock table is
-		// gone; never insert state into the fresh one) — or it was
+		// The site crashed since the request started (its CC state is
+		// gone; never insert state into the fresh engine) — or it was
 		// partitioned away from the coordinator mid-request.
 		if st.cause == nil {
 			st.cause = errSiteCrash
@@ -496,41 +646,23 @@ func (u *user) ccAccess(p *sim.Proc, st *txnState, nd *node, g int, mode lock.Mo
 		st.doomed = true
 		return st.cause
 	}
-	if sys.cfg.Concurrency == CCTimestamp {
-		// Basic TO: no blocking; the attempt's gid is its timestamp, so a
-		// restart naturally carries a fresh, larger timestamp.
-		if nd.tso.Read(tso.TxnID(st.gid), st.gid, tso.GranuleID(g)) == tso.Reject {
-			nd.deadlocks.Inc()
-			sys.trace(st.gid, kind, nd.id, EvDeadlock, g)
-			return errDeadlockVictim
-		}
-		if mode == lock.Exclusive {
-			if out, _ := nd.tso.Write(tso.TxnID(st.gid), st.gid, tso.GranuleID(g)); out == tso.Reject {
-				nd.deadlocks.Inc()
-				sys.trace(st.gid, kind, nd.id, EvDeadlock, g)
-				return errDeadlockVictim
-			}
-		}
-		sys.trace(st.gid, kind, nd.id, EvLockGrant, g)
-		return nil
-	}
 
-	out, victims := nd.locks.Request(lock.TxnID(st.gid), lock.GranuleID(g), mode)
-	for _, v := range victims {
-		if sys.cfg.Concurrency == CCWoundWait {
+	d := nd.ccp.Access(cc.TxnID(st.gid), cc.GranuleID(g), mode == lock.Exclusive)
+	for _, v := range d.Victims {
+		if sys.ccCaps.Wounds {
 			sys.woundTxn(int64(v))
 		} else {
 			sys.killTxn(int64(v))
 		}
 	}
-	switch out {
-	case lock.Granted:
+	switch d.Outcome {
+	case cc.Grant:
 		sys.trace(st.gid, kind, nd.id, EvLockGrant, g)
-	case lock.Deadlock:
+	case cc.Restart:
 		nd.deadlocks.Inc()
 		sys.trace(st.gid, kind, nd.id, EvDeadlock, g)
 		return errDeadlockVictim
-	case lock.Wait:
+	case cc.Block:
 		sys.trace(st.gid, kind, nd.id, EvLockWait, g)
 		if err := u.lockWait(p, st, nd); err != nil {
 			switch err {
@@ -548,14 +680,16 @@ func (u *user) ccAccess(p *sim.Proc, st *txnState, nd *node, g int, mode lock.Mo
 	return nil
 }
 
-// lockWait parks the process until the site lock manager grants the queued
-// request, initiating global deadlock probes first. It returns
-// errDeadlockVictim if the transaction is killed while waiting.
+// lockWait parks the process until the site engine grants the queued
+// request, initiating global deadlock probes first — but only where a
+// probe detector exists: the detector (and with it all probe traffic) is
+// armed solely for paradigms whose waits can form cycles, i.e. 2PL with
+// deadlock detection. It returns errDeadlockVictim if the transaction is
+// killed while waiting.
 func (u *user) lockWait(p *sim.Proc, st *txnState, nd *node) error {
 	sys := u.sys
-	ltxn := lock.TxnID(st.gid)
 	ev := sim.NewEvent(sys.env, fmt.Sprintf("grant-%d", st.gid))
-	nd.grantEv[ltxn] = ev
+	nd.grantEv[st.gid] = ev
 	st.parked = true
 	if f := sys.faults; f != nil && f.plan.LockWaitTimeoutMS > 0 {
 		sys.env.After(f.plan.LockWaitTimeoutMS, func() {
@@ -569,31 +703,35 @@ func (u *user) lockWait(p *sim.Proc, st *txnState, nd *node) error {
 			st.proc.Interrupt(errLockTimeout)
 		})
 	}
-	sys.sendProbes(nd.id, nd.detector.Initiate(probe.TxnID(st.gid)))
-	if rp := sys.cfg.Resilience.ProbeRetryMS; rp > 0 {
-		// Periodic re-initiation for as long as this wait lasts: each round
-		// carries a fresh probe sequence, so sites along the cycle forward
-		// it again even if an earlier round was lost in transit.
-		var rearm func()
-		rearm = func() {
-			if ev.Triggered() || st.finished || st.doomed || !st.parked || nd.down {
-				return
+	if nd.detector != nil {
+		sys.sendProbes(nd.id, nd.detector.Initiate(probe.TxnID(st.gid)))
+		if rp := sys.cfg.Resilience.ProbeRetryMS; rp > 0 {
+			// Periodic re-initiation for as long as this wait lasts: each
+			// round carries a fresh probe sequence, so sites along the cycle
+			// forward it again even if an earlier round was lost in transit.
+			var rearm func()
+			rearm = func() {
+				if ev.Triggered() || st.finished || st.doomed || !st.parked || nd.down {
+					return
+				}
+				nd.probesResent.Inc()
+				sys.trace(st.gid, st.kind, nd.id, EvReprobe, -1)
+				sys.sendProbes(nd.id, nd.detector.Reprobe(probe.TxnID(st.gid)))
+				sys.env.After(rp, rearm)
 			}
-			nd.probesResent.Inc()
-			sys.trace(st.gid, st.kind, nd.id, EvReprobe, -1)
-			sys.sendProbes(nd.id, nd.detector.Reprobe(probe.TxnID(st.gid)))
 			sys.env.After(rp, rearm)
 		}
-		sys.env.After(rp, rearm)
 	}
 
 	t0 := p.Now()
 	err := ev.Wait(p)
 	st.parked = false
 	nd.lockWaits.Add(p.Now() - t0)
-	nd.detector.ClearTxn(probe.TxnID(st.gid))
+	if nd.detector != nil {
+		nd.detector.ClearTxn(probe.TxnID(st.gid))
+	}
 	if err != nil {
-		delete(nd.grantEv, ltxn)
+		delete(nd.grantEv, st.gid)
 		if cause, ok := interruptCause(err); ok && (cause == errLockTimeout || cause == errSiteCrash) {
 			return cause
 		}
@@ -676,7 +814,9 @@ func (u *user) rollback(p *sim.Proc, st *txnState, participants []*node) {
 		mustUse(nd, p, func() error { return nd.cpuUse(p, costs.UnlockCPU) })
 		nd.releaseTxn(st.gid)
 		sys.trace(st.gid, u.spec.Kind, nd.id, EvRelease, -1)
-		nd.detector.ClearTxn(probe.TxnID(st.gid))
+		if nd.detector != nil {
+			nd.detector.ClearTxn(probe.TxnID(st.gid))
+		}
 		if i > 0 {
 			p.Hold(sys.hop(nd.id, home.id, controlMsgBytes))
 		}

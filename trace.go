@@ -21,7 +21,8 @@ type TraceEvent struct {
 	// rollback, prepare-ack, force-commit-record, slave-commit,
 	// release-locks, committed, aborted, crash, restart, timeout-abort,
 	// abandon, admission-shed, probe-retransmit, retry-backoff,
-	// failover-read, replica-apply.
+	// failover-read, replica-apply, validation-abort (OCC commit-time
+	// validation failures).
 	Event   string
 	Granule int // lock events only; -1 otherwise
 }
