@@ -30,6 +30,7 @@ import (
 	"carat/internal/disk"
 	"carat/internal/experiment"
 	"carat/internal/openload"
+	"carat/internal/placement"
 	"carat/internal/repl"
 	"carat/internal/stats"
 	"carat/internal/storage"
@@ -1383,6 +1384,24 @@ type Measurement struct {
 	// window; PartitionMS is the time a partition was in effect.
 	Partitions  int64
 	PartitionMS float64
+
+	// Shared-fabric metrics (all zero — and omitted from JSON, keeping
+	// pre-existing serializations byte-identical — unless the workload
+	// routes messages through the contended Ethernet fabric: scale
+	// configurations built with NewScaleConfig).
+
+	// NetMessages and NetBytes count inter-site messages and payload bytes
+	// on the shared wire within the window.
+	NetMessages int64 `json:",omitempty"`
+	NetBytes    int64 `json:",omitempty"`
+	// NetUtilization is the wire's offered utilization (raw transmission
+	// time over the window); values above 1 mean the offered traffic
+	// exceeds the channel's raw capacity.
+	NetUtilization float64 `json:",omitempty"`
+	// NetMeanInflationMS and NetMeanQueueMS are the per-message CSMA/CD
+	// contention inflation and queueing delay, in ms.
+	NetMeanInflationMS float64 `json:",omitempty"`
+	NetMeanQueueMS     float64 `json:",omitempty"`
 }
 
 // Comparison pairs the two for one workload.
@@ -1458,10 +1477,15 @@ func Simulate(w Workload, opts SimOptions) (*Measurement, error) {
 
 func measurementFrom(res testbed.Results) *Measurement {
 	m := &Measurement{
-		WindowMS:    res.Window,
-		DegradedMS:  res.DegradedMS,
-		Partitions:  res.Partitions,
-		PartitionMS: res.PartitionMS,
+		WindowMS:           res.Window,
+		DegradedMS:         res.DegradedMS,
+		Partitions:         res.Partitions,
+		PartitionMS:        res.PartitionMS,
+		NetMessages:        res.NetMessages,
+		NetBytes:           res.NetBytes,
+		NetUtilization:     res.NetUtilization,
+		NetMeanInflationMS: res.NetMeanInflationMS,
+		NetMeanQueueMS:     res.NetMeanQueueMS,
 	}
 	for _, n := range res.Nodes {
 		nm := NodeMetrics{
@@ -1737,6 +1761,121 @@ func CompareConcurrencyControls(protocols []ConcurrencyControl, mpls []int, opts
 	}
 	for _, p := range res.Points {
 		out.Points = append(out.Points, CCComparisonPoint(p))
+	}
+	return out, nil
+}
+
+// PlacementStrategy names a data-directory placement strategy for the
+// scale-out configurations: how the fleet's granule space maps onto home
+// sites. Validate names with ParsePlacement.
+type PlacementStrategy string
+
+// The available strategies: uniform striping (granule g lives at site
+// g mod N), contiguous range shards, and range shards with a home-site
+// affinity fraction (each transaction keeps that share of its accesses in
+// its home shard and scatters the rest).
+const (
+	HashPlacement     PlacementStrategy = "hash"
+	RangePlacement    PlacementStrategy = "range"
+	LocalityPlacement PlacementStrategy = "locality"
+)
+
+// ParsePlacement resolves a user-supplied strategy name —
+// case-insensitively, accepting the canonical names and common aliases
+// ("striped", "shard", "affinity", …). Unknown names return an error
+// listing the valid strategies; it is the strict front door the CLIs use
+// for their -placement flags.
+func ParsePlacement(name string) (PlacementStrategy, error) {
+	s, err := placement.Parse(name)
+	if err != nil {
+		return "", err
+	}
+	return PlacementStrategy(s.String()), nil
+}
+
+// NewScaleConfig builds an N-site scale-out workload: a homogeneous fleet
+// whose granule space is mapped onto the sites by the placement directory,
+// every inter-site message riding a shared contended Ethernet fabric, and
+// open Poisson arrivals of lambdaPerSite transactions per second at each
+// site. Locality is the affinity fraction for LocalityPlacement (ignored
+// by the other strategies). Sites must be in [2, 512]; the 16/64/128-site
+// grid of the scale sweep is the intended range.
+func NewScaleConfig(sites int, strategy PlacementStrategy, locality, lambdaPerSite float64) (Workload, error) {
+	if sites < 2 || sites > 512 {
+		return Workload{}, fmt.Errorf("carat: scale config needs between 2 and 512 sites, got %d", sites)
+	}
+	s, err := placement.Parse(string(strategy))
+	if err != nil {
+		return Workload{}, err
+	}
+	if locality < 0 || locality > 1 {
+		return Workload{}, fmt.Errorf("carat: locality must be in [0, 1], got %v", locality)
+	}
+	if lambdaPerSite <= 0 {
+		return Workload{}, fmt.Errorf("carat: per-site arrival rate must be positive, got %v", lambdaPerSite)
+	}
+	return Workload{experiment.ScaleWorkload(s, sites, locality, lambdaPerSite)}, nil
+}
+
+// ScalePoint is the measurement at one (sites, locality, λ) cell of a
+// scale sweep: throughput, and the per-center utilizations that locate
+// the cell's bottleneck.
+type ScalePoint struct {
+	Sites         int
+	Locality      float64
+	LambdaPerSite float64
+	// CommittedTPS is system-wide goodput; AbortRate the aborted fraction
+	// of submissions; MeanResponseMS the commit-weighted mean response.
+	CommittedTPS   float64
+	AbortRate      float64
+	MeanResponseMS float64
+	// The candidate bottleneck centers: maximum CPU, disk and TM
+	// utilization over all sites, and the shared wire's utilization with
+	// its per-message contention and queueing delays.
+	MaxCPUUtil         float64
+	MaxDiskUtil        float64
+	MaxTMUtil          float64
+	WireUtil           float64
+	NetMeanInflationMS float64
+	NetMeanQueueMS     float64
+	// Bottleneck names the max-utilization center: cpu, disk, tm or wire.
+	Bottleneck string
+}
+
+// ScaleReport is the full sites × locality × λ grid of one scale sweep.
+type ScaleReport struct {
+	Strategy   string
+	Sites      []int
+	Localities []float64
+	// LambdasPerSite is the per-site offered-rate grid, txn/s.
+	LambdasPerSite []float64
+	// Points is sites-major, then locality, then λ.
+	Points []ScalePoint
+}
+
+// ScaleSweep runs the scale-out study: NewScaleConfig fleets at every
+// site count crossed with every locality level and per-site arrival rate,
+// measuring where the bottleneck sits in each cell — the experiment that
+// shows the binding resource migrating from the sites' CPUs onto the
+// shared wire as the fleet grows and locality drops. Simulation-only;
+// results are bit-identical for any opts.Workers.
+func ScaleSweep(strategy PlacementStrategy, sites []int, localities, lambdasPerSite []float64, opts SimOptions) (*ScaleReport, error) {
+	s, err := placement.Parse(string(strategy))
+	if err != nil {
+		return nil, err
+	}
+	res, err := experiment.ScaleSweep(s, sites, localities, lambdasPerSite, opts.fill())
+	if err != nil {
+		return nil, err
+	}
+	out := &ScaleReport{
+		Strategy:       res.Strategy.String(),
+		Sites:          res.Sites,
+		Localities:     res.Localities,
+		LambdasPerSite: res.Lambdas,
+	}
+	for _, p := range res.Points {
+		out.Points = append(out.Points, ScalePoint(p))
 	}
 	return out, nil
 }

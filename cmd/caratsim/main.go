@@ -12,6 +12,23 @@
 //	caratsim -workload MB8 -lambdas 0.5,0.8,1.0,1.4 -resilience mpl=8  # capacity sweep
 //	caratsim -cc quecc -workload MB4 -n 8                # deterministic execution
 //	caratsim -ccsweep 1,2,4 -minutes 10                  # 2PL vs QueCC vs OCC lab
+//	caratsim -sites 64 -placement hash -lambda 0.5       # one 64-site scale run
+//	caratsim -scalesweep 0.5,1.0 -minutes 10             # 16/64/128-site scale-out study
+//
+// The -sites, -placement and -locality flags select a generated N-site
+// scale configuration (carat.NewScaleConfig) instead of a named workload:
+// a homogeneous fleet whose granule space is mapped onto home sites by the
+// placement directory (hash = uniform striping, range = contiguous shards,
+// locality = range shards with a home-shard affinity fraction from
+// -locality), every inter-site message riding a shared contended Ethernet
+// fabric, and open arrivals at -lambda transactions/s per site. Unknown
+// strategies and site counts outside [2, 512] are rejected with the valid
+// values. With -scalesweep L1,L2,... the tool instead runs the full
+// scale-out study — every -sites count crossed with every -locality level
+// and every per-site rate — and prints the bottleneck-migration table:
+// per-cell throughput, the maximum CPU/disk/TM utilization over the sites,
+// the shared wire's utilization with its per-message contention inflation
+// and queueing delay, and which center binds.
 //
 // The -cc flag selects the concurrency-control paradigm
 // (case-insensitive): 2PL (deadlock detection, the paper's scheme),
@@ -143,6 +160,10 @@ func main() {
 		lambdas = flag.String("lambdas", "", "capacity sweep: comma-separated offered rates in transactions/s")
 		cc      = flag.String("cc", "2PL", "concurrency control: 2PL, wait-die, wound-wait, timestamp-ordering, occ or quecc")
 		ccsweep = flag.String("ccsweep", "", "CC comparison lab: comma-separated MPL multipliers, e.g. '1,2,4' (8m users per cell)")
+		scsweep = flag.String("scalesweep", "", "scale-out study: comma-separated per-site arrival rates in txn/s, e.g. '0.5,1.0'")
+		sites   = flag.String("sites", "16,64,128", "scale mode: comma-separated site counts in [2,512]")
+		placemt = flag.String("placement", "locality", "scale mode: placement strategy: hash, range or locality")
+		localty = flag.String("locality", "0.9,0.5,0.1", "scale mode: comma-separated home-shard affinity fractions in [0,1]")
 		reps    = flag.Int("reps", 1, "independent replications per point; >1 reports mean ±95% CI")
 		workers = flag.Int("workers", 0, "parallel simulation workers for -reps (0 = GOMAXPROCS)")
 		faults  = flag.String("faults", "", "fault plan, e.g. 'crash=1@60000+10000,lockto=5000' (see doc comment)")
@@ -265,6 +286,41 @@ func main() {
 			os.Exit(1)
 		}
 		runCCSweep(mpls, opts, *asJSON)
+		return
+	}
+	scaleMode := *scsweep != ""
+	flag.Visit(func(f *flag.Flag) {
+		switch f.Name {
+		case "sites", "placement", "locality":
+			scaleMode = true
+		}
+	})
+	if scaleMode {
+		strategy, err := carat.ParsePlacement(*placemt)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		siteCounts, err := parseSites(*sites)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		localities, err := parseLocalities(*localty)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		if *scsweep != "" {
+			lams, err := parseGrid(*scsweep)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(1)
+			}
+			runScaleSweep(strategy, siteCounts, localities, lams, opts, *asJSON)
+			return
+		}
+		runScale(strategy, siteCounts[0], localities[0], *lambda, opts, *asJSON)
 		return
 	}
 	for _, size := range ns {
@@ -439,6 +495,126 @@ func parseMPLs(s string) ([]int, error) {
 		mpls = append(mpls, m)
 	}
 	return mpls, nil
+}
+
+// parseSites parses the -sites comma-separated site-count list, rejecting
+// counts outside the scale configurations' [2, 512] range.
+func parseSites(s string) ([]int, error) {
+	var counts []int
+	for _, part := range strings.Split(s, ",") {
+		c, err := strconv.Atoi(strings.TrimSpace(part))
+		if err != nil {
+			return nil, fmt.Errorf("sites: %q: %w", part, err)
+		}
+		if c < 2 || c > 512 {
+			return nil, fmt.Errorf("sites: %d out of range (valid site counts: 2 through 512)", c)
+		}
+		counts = append(counts, c)
+	}
+	if len(counts) == 0 {
+		return nil, fmt.Errorf("sites: empty site-count list")
+	}
+	return counts, nil
+}
+
+// parseLocalities parses the -locality comma-separated affinity list.
+func parseLocalities(s string) ([]float64, error) {
+	locs, err := parseGrid(s)
+	if err != nil {
+		return nil, fmt.Errorf("locality: %w", err)
+	}
+	if len(locs) == 0 {
+		return nil, fmt.Errorf("locality: empty affinity list")
+	}
+	for _, l := range locs {
+		if l < 0 || l > 1 {
+			return nil, fmt.Errorf("locality: affinity %v out of range (valid affinities: 0 through 1)", l)
+		}
+	}
+	return locs, nil
+}
+
+// runScale runs a single generated N-site configuration through the
+// standard measurement path and prints the fleet summary with the shared
+// wire's metrics.
+func runScale(strategy carat.PlacementStrategy, sites int, locality, lambdaPerSite float64, opts carat.SimOptions, asJSON bool) {
+	wl, err := carat.NewScaleConfig(sites, strategy, locality, lambdaPerSite)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	meas, err := carat.Simulate(wl, opts)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	if asJSON {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(struct {
+			Workload      string
+			Sites         int
+			Placement     string
+			Locality      float64
+			LambdaPerSite float64
+			Seed          uint64
+			*carat.Measurement
+		}{wl.Name(), sites, string(strategy), locality, lambdaPerSite, opts.Seed, meas}); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		return
+	}
+	var tps, maxCPU, maxDisk float64
+	for _, node := range meas.Nodes {
+		tps += node.TxnPerSec
+		if node.CPUUtilization > maxCPU {
+			maxCPU = node.CPUUtilization
+		}
+		if node.DiskUtilization > maxDisk {
+			maxDisk = node.DiskUtilization
+		}
+	}
+	fmt.Printf("%s  sites=%d  placement=%s  locality=%.2f  λ/site=%.2f/s  seed=%d  window=%.0f min\n",
+		wl.Name(), sites, strategy, locality, lambdaPerSite, opts.Seed, meas.WindowMS/60000)
+	fmt.Printf("  fleet: committed %.2f txn/s  max CPU util %.3f  max disk util %.3f\n", tps, maxCPU, maxDisk)
+	fmt.Printf("  wire: %d msgs (%d bytes)  util %.3f  inflation %.3f ms/msg  queue %.3f ms/msg\n",
+		meas.NetMessages, meas.NetBytes, meas.NetUtilization, meas.NetMeanInflationMS, meas.NetMeanQueueMS)
+}
+
+// runScaleSweep runs the full scale-out study and prints the
+// bottleneck-migration table.
+func runScaleSweep(strategy carat.PlacementStrategy, sites []int, localities, lambdas []float64, opts carat.SimOptions, asJSON bool) {
+	opts.Progress = func(done, total int) {
+		fmt.Fprintf(os.Stderr, "\rscale sweep: %d/%d cells", done, total)
+		if done == total {
+			fmt.Fprintln(os.Stderr)
+		}
+	}
+	report, err := carat.ScaleSweep(strategy, sites, localities, lambdas, opts)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	if asJSON {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(report); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		return
+	}
+	fmt.Printf("Scale sweep  placement=%s  seed=%d  %d cells\n", report.Strategy, opts.Seed, len(report.Points))
+	fmt.Printf("  %5s %8s %7s %9s %7s %9s %8s %9s %7s %9s %9s %9s  %s\n",
+		"sites", "locality", "λ/site", "TPS", "abort", "resp ms",
+		"CPU", "disk", "TM", "wire", "infl ms", "queue ms", "bottleneck")
+	for _, p := range report.Points {
+		fmt.Printf("  %5d %8.2f %7.2f %9.1f %7.3f %9.0f %8.2f %9.2f %7.2f %9.2f %9.3f %9.3f  %s\n",
+			p.Sites, p.Locality, p.LambdaPerSite, p.CommittedTPS, p.AbortRate, p.MeanResponseMS,
+			p.MaxCPUUtil, p.MaxDiskUtil, p.MaxTMUtil, p.WireUtil,
+			p.NetMeanInflationMS, p.NetMeanQueueMS, p.Bottleneck)
+	}
 }
 
 // runCCSweep runs the concurrency-control comparison lab over the default

@@ -10,6 +10,16 @@
 //	carattrace [-workload MB4] [-n 8] [-seconds 30] [-txn 17] [-cc 2PL]
 //	carattrace -faults 'crash=1@10000+5000,lockto=8000' -seconds 30
 //	carattrace -open -lambda 1 -resilience 'mpl=4,shed=1' -seconds 30
+//	carattrace -sites 16 -placement locality -locality 0.5 -seconds 10
+//
+// With -sites or -placement the tool traces a generated N-site scale
+// configuration (carat.NewScaleConfig; the same directory-driven fleets
+// caratsim's scale mode runs) instead of a named workload: -placement
+// selects the strategy (hash, range or locality), -locality the home-shard
+// affinity fraction, and -lambda the per-site arrival rate. Every message
+// on the shared Ethernet fabric prints a `net-hop` event (Node is the
+// sender, Granule the destination site). Unknown strategies and site
+// counts outside [2, 512] are rejected with the valid values.
 //
 // With -txn only that transaction's events print. With -faults (same
 // syntax as caratsim; see carat.ParseFaultPlan) the stream also carries
@@ -47,7 +57,10 @@ func main() {
 		grayStr = flag.String("graysites", "", "gray failures, e.g. '1@10000+8000*3' (caratsim syntax)")
 		resil   = flag.String("resilience", "", "resilience policy, e.g. 'mpl=4,shed=1' (caratsim syntax)")
 		open    = flag.Bool("open", false, "replace closed terminals with open Poisson arrivals")
-		lambda  = flag.Float64("lambda", 1.0, "open mode: system-wide arrival rate, txn/s")
+		lambda  = flag.Float64("lambda", 1.0, "open mode: system-wide arrival rate, txn/s (scale mode: per-site)")
+		sites   = flag.Int("sites", 16, "scale mode: site count in [2,512]")
+		placemt = flag.String("placement", "", "scale mode: placement strategy: hash, range or locality")
+		localty = flag.Float64("locality", 0.9, "scale mode: home-shard affinity fraction in [0,1]")
 	)
 	flag.Parse()
 
@@ -56,8 +69,27 @@ func main() {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
 	}
-	wl, err := carat.WorkloadByName(*name, *n)
-	if err != nil {
+	scaleMode := *placemt != ""
+	flag.Visit(func(f *flag.Flag) {
+		switch f.Name {
+		case "sites", "locality":
+			scaleMode = true
+		}
+	})
+	var wl carat.Workload
+	if scaleMode {
+		strategy := carat.LocalityPlacement
+		if *placemt != "" {
+			if strategy, err = carat.ParsePlacement(*placemt); err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(1)
+			}
+		}
+		if wl, err = carat.NewScaleConfig(*sites, strategy, *localty, *lambda); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+	} else if wl, err = carat.WorkloadByName(*name, *n); err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
 	}

@@ -11,6 +11,7 @@ package comm
 
 import (
 	"fmt"
+	"math"
 
 	"carat/internal/sim"
 	"carat/internal/stats"
@@ -58,6 +59,16 @@ type Ethernet struct {
 	BandwidthBitsPerMS float64 // channel capacity, bits per millisecond
 	SlotTime           float64 // collision slot (2x end-to-end propagation)
 	Propagation        float64 // one-way propagation delay
+
+	// Hosts is the number of stations contending for the shared channel.
+	// 0 keeps the historical saturation constant (≈ e slot times wasted
+	// per packet regardless of fleet size — the byte-pinned default).
+	// 1 models a dedicated point-to-point link: no contention interval and
+	// no channel queueing, so delay degenerates to transmission plus
+	// propagation. Q ≥ 2 uses the Almes–Lazowska contention coefficient
+	// (1−A)/A with A = (1−1/Q)^(Q−1), which grows from 1.0 at Q=2 toward
+	// e−1 as Q→∞ — inflation monotone in the host count.
+	Hosts int
 }
 
 // DefaultEthernet returns the 10 Mb/s Ethernet of the testbed: 10^4 bits/ms,
@@ -75,21 +86,47 @@ func (e Ethernet) transmission(bytes int) float64 {
 	return bits / e.BandwidthBitsPerMS
 }
 
-// MeanDelay implements DelayModel: service time inflated by contention plus
-// M/D/1 queueing delay plus propagation.
-func (e Ethernet) MeanDelay(bytes int, u float64) float64 {
-	t := e.transmission(bytes)
-	// Contention overhead grows with utilization: at saturation roughly
-	// e ≈ 2.718 slot times are wasted per successful packet.
-	svc := t + 2.718*e.SlotTime*u
+// contentionCoeff returns the slot-time multiplier of the contention
+// interval: the historical saturation constant when Hosts is unset, the
+// host-count-dependent Almes–Lazowska coefficient otherwise.
+func (e Ethernet) contentionCoeff() float64 {
+	if e.Hosts <= 0 {
+		// At saturation roughly e ≈ 2.718 slot times are wasted per
+		// successful packet.
+		return 2.718
+	}
+	q := float64(e.Hosts)
+	a := math.Pow(1-1/q, q-1)
+	return (1 - a) / a
+}
+
+// Breakdown decomposes the channel's mean delay at utilization u into its
+// queueing-center components: raw transmission time, contention-interval
+// inflation, and M/D/1 queueing delay for the shared channel. Propagation
+// is excluded; MeanDelay is the sum of all three plus Propagation.
+func (e Ethernet) Breakdown(bytes int, u float64) (raw, inflation, queue float64) {
+	raw = e.transmission(bytes)
+	if e.Hosts == 1 {
+		// A dedicated link: nothing contends, nothing queues.
+		return raw, 0, 0
+	}
+	inflation = e.contentionCoeff() * e.SlotTime * u
+	svc := raw + inflation
 	if u < 0 {
 		u = 0
 	}
 	if u > 0.95 {
 		u = 0.95
 	}
-	wq := u * svc / (2 * (1 - u))
-	return svc + wq + e.Propagation
+	queue = u * svc / (2 * (1 - u))
+	return raw, inflation, queue
+}
+
+// MeanDelay implements DelayModel: service time inflated by contention plus
+// M/D/1 queueing delay plus propagation.
+func (e Ethernet) MeanDelay(bytes int, u float64) float64 {
+	raw, inflation, queue := e.Breakdown(bytes, u)
+	return raw + inflation + queue + e.Propagation
 }
 
 // Delay implements DelayModel. The model is deterministic given load.

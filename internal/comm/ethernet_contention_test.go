@@ -1,0 +1,110 @@
+package comm
+
+import "testing"
+
+// The Ethernet channel as a queueing center: these tests pin the contract
+// the scale-out study leans on — contention inflation monotone in host
+// count and offered load, minimum-frame padding, and the dedicated-link
+// degenerate case.
+
+// TestEthernetInflationMonotoneInHosts checks the contention coefficient
+// grows with the number of contending stations: more hosts, more collision
+// overhead per packet at the same utilization.
+func TestEthernetInflationMonotoneInHosts(t *testing.T) {
+	const u = 0.5
+	prev := -1.0
+	for hosts := 1; hosts <= 256; hosts *= 2 {
+		e := DefaultEthernet()
+		e.Hosts = hosts
+		_, inflation, _ := e.Breakdown(256, u)
+		if inflation < prev {
+			t.Fatalf("inflation fell from %.6f to %.6f going to %d hosts", prev, inflation, hosts)
+		}
+		if hosts > 1 && inflation <= prev {
+			t.Fatalf("inflation did not grow from %.6f at %d hosts", prev, hosts)
+		}
+		prev = inflation
+	}
+	// The host-aware coefficient stays below the legacy saturation
+	// constant, which assumed the worst case regardless of fleet size.
+	legacy := DefaultEthernet()
+	_, legacyInfl, _ := legacy.Breakdown(256, u)
+	if prev >= legacyInfl {
+		t.Fatalf("256-host inflation %.6f not below legacy saturation %.6f", prev, legacyInfl)
+	}
+}
+
+// TestEthernetInflationMonotoneInLoad checks both inflation and queueing
+// delay grow with offered load at a fixed host count.
+func TestEthernetInflationMonotoneInLoad(t *testing.T) {
+	e := DefaultEthernet()
+	e.Hosts = 16
+	prevInfl, prevQ := -1.0, -1.0
+	for _, u := range []float64{0, 0.1, 0.3, 0.5, 0.7, 0.9} {
+		_, inflation, queue := e.Breakdown(512, u)
+		if inflation <= prevInfl && u > 0 {
+			t.Fatalf("inflation not increasing at u=%.1f: %.6f after %.6f", u, inflation, prevInfl)
+		}
+		if queue <= prevQ && u > 0 {
+			t.Fatalf("queueing delay not increasing at u=%.1f: %.6f after %.6f", u, queue, prevQ)
+		}
+		prevInfl, prevQ = inflation, queue
+	}
+}
+
+// TestEthernetMinimumFramePadding checks messages below the 512-bit
+// minimum frame all cost the same wire time, and the first message above
+// it costs more.
+func TestEthernetMinimumFramePadding(t *testing.T) {
+	e := DefaultEthernet()
+	e.Hosts = 8
+	// 32 and 64 bytes are both ≤ 512 bits: identical padded transmission.
+	raw32, _, _ := e.Breakdown(32, 0.4)
+	raw64, _, _ := e.Breakdown(64, 0.4)
+	if raw32 != raw64 {
+		t.Fatalf("padded frames differ: 32B=%.6f 64B=%.6f", raw32, raw64)
+	}
+	if want := 512 / e.BandwidthBitsPerMS; raw64 != want {
+		t.Fatalf("minimum frame transmission %.6f, want %.6f", raw64, want)
+	}
+	// 65 bytes = 520 bits crosses the minimum.
+	raw65, _, _ := e.Breakdown(65, 0.4)
+	if raw65 <= raw64 {
+		t.Fatalf("65-byte frame %.6f not above the 512-bit minimum %.6f", raw65, raw64)
+	}
+}
+
+// TestEthernetSingleHostDegenerates checks a 1-host channel is a dedicated
+// link: delay is exactly raw transmission plus propagation at any load.
+func TestEthernetSingleHostDegenerates(t *testing.T) {
+	e := DefaultEthernet()
+	e.Hosts = 1
+	for _, u := range []float64{0, 0.5, 0.9} {
+		for _, bytes := range []int{32, 256, 4096} {
+			want := e.transmission(bytes) + e.Propagation
+			if got := e.MeanDelay(bytes, u); got != want {
+				t.Fatalf("1-host delay(%dB, u=%.1f) = %.6f, want %.6f", bytes, u, got, want)
+			}
+		}
+	}
+}
+
+// TestEthernetLegacyPathUnchanged pins the Hosts==0 delay to the exact
+// historical formula — the byte-identity contract of the default build.
+func TestEthernetLegacyPathUnchanged(t *testing.T) {
+	e := DefaultEthernet()
+	for _, u := range []float64{0, 0.3, 0.7, 0.95} {
+		for _, bytes := range []int{64, 256, 512} {
+			tr := e.transmission(bytes)
+			svc := tr + 2.718*e.SlotTime*u
+			uc := u
+			if uc > 0.95 {
+				uc = 0.95
+			}
+			want := svc + uc*svc/(2*(1-uc)) + e.Propagation
+			if got := e.MeanDelay(bytes, u); got != want {
+				t.Fatalf("legacy delay(%dB, u=%.2f) = %v, want %v", bytes, u, got, want)
+			}
+		}
+	}
+}

@@ -1,0 +1,125 @@
+package placement
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestParseCanonicalAndAliases(t *testing.T) {
+	cases := map[string]Strategy{
+		"hash": Hash, "HASH": Hash, " striped ": Hash, "stripe": Hash,
+		"range": Range, "shard": Range, "Sharded": Range,
+		"locality": Locality, "affinity": Locality, "LOCAL": Locality,
+	}
+	for in, want := range cases {
+		got, err := Parse(in)
+		if err != nil {
+			t.Fatalf("Parse(%q): %v", in, err)
+		}
+		if got != want {
+			t.Fatalf("Parse(%q) = %v, want %v", in, got, want)
+		}
+	}
+}
+
+func TestParseUnknownListsValidStrategies(t *testing.T) {
+	_, err := Parse("round-robin")
+	if err == nil {
+		t.Fatal("Parse accepted an unknown strategy")
+	}
+	for _, name := range Names() {
+		if !strings.Contains(err.Error(), name) {
+			t.Fatalf("error %q does not list strategy %q", err, name)
+		}
+	}
+}
+
+func TestRegistryCoversEveryStrategy(t *testing.T) {
+	reg := Registry()
+	if len(reg) != len(Names()) {
+		t.Fatalf("registry has %d entries, want %d", len(reg), len(Names()))
+	}
+	for i, info := range reg {
+		if info.Name != Strategy(i).String() {
+			t.Fatalf("registry[%d] = %q, want %q", i, info.Name, Strategy(i))
+		}
+		if info.Summary == "" {
+			t.Fatalf("registry entry %q has no summary", info.Name)
+		}
+	}
+}
+
+func TestNewDirectoryValidation(t *testing.T) {
+	if _, err := NewDirectory(Strategy(99), 4, 10); err == nil {
+		t.Fatal("accepted an invalid strategy")
+	}
+	if _, err := NewDirectory(Hash, 1, 10); err == nil {
+		t.Fatal("accepted a single-site directory")
+	}
+	if _, err := NewDirectory(Hash, 4, 0); err == nil {
+		t.Fatal("accepted an empty shard")
+	}
+}
+
+// TestHashStripes checks the hash mapping stripes consecutive granules
+// round-robin across sites and that Local ids stay within the shard.
+func TestHashStripes(t *testing.T) {
+	d, err := NewDirectory(Hash, 4, 25)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for g := 0; g < d.Granules(); g++ {
+		if got, want := d.Site(g), g%4; got != want {
+			t.Fatalf("Site(%d) = %d, want %d", g, got, want)
+		}
+		if l := d.Local(g); l < 0 || l >= 25 {
+			t.Fatalf("Local(%d) = %d outside shard [0,25)", g, l)
+		}
+	}
+}
+
+// TestRangeShards checks range (and locality, which shares the mapping)
+// assigns contiguous shards and round-trips Site/Local.
+func TestRangeShards(t *testing.T) {
+	for _, strat := range []Strategy{Range, Locality} {
+		d, err := NewDirectory(strat, 4, 25)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for g := 0; g < d.Granules(); g++ {
+			if got, want := d.Site(g), g/25; got != want {
+				t.Fatalf("%v: Site(%d) = %d, want %d", strat, g, got, want)
+			}
+			if got, want := d.Local(g), g%25; got != want {
+				t.Fatalf("%v: Local(%d) = %d, want %d", strat, g, got, want)
+			}
+		}
+	}
+}
+
+// TestDirectoryBalanced checks every strategy assigns exactly
+// granulesPerSite granules to every site.
+func TestDirectoryBalanced(t *testing.T) {
+	for s := Strategy(0); s < numStrategies; s++ {
+		d, err := NewDirectory(s, 8, 30)
+		if err != nil {
+			t.Fatal(err)
+		}
+		counts := make([]int, 8)
+		for g := 0; g < d.Granules(); g++ {
+			counts[d.Site(g)]++
+		}
+		for site, c := range counts {
+			if c != 30 {
+				t.Fatalf("%v: site %d owns %d granules, want 30", s, site, c)
+			}
+		}
+	}
+}
+
+func TestSiteWrapsOutOfRangeGranules(t *testing.T) {
+	d, _ := NewDirectory(Hash, 4, 25)
+	if got, want := d.Site(d.Granules()+3), d.Site(3); got != want {
+		t.Fatalf("wrapped Site = %d, want %d", got, want)
+	}
+}

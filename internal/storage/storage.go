@@ -33,6 +33,13 @@ func (l Layout) Records() int { return l.Granules * l.RecordsPerGran }
 // GranuleOf returns the block holding record id.
 func (l Layout) GranuleOf(record int) int { return record / l.RecordsPerGran }
 
+// Scale returns the global layout of an n-site fleet in which every site
+// holds a copy of l's shape: n times the granules, same packing. The
+// placement directory draws anchor records over this global space.
+func (l Layout) Scale(n int) Layout {
+	return Layout{Granules: l.Granules * n, RecordsPerGran: l.RecordsPerGran}
+}
+
 // Pattern selects the records a request touches.
 type Pattern interface {
 	// Pick returns k distinct record ids from a site with the layout.

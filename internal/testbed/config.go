@@ -21,6 +21,7 @@ import (
 	"carat/internal/cc"
 	"carat/internal/comm"
 	"carat/internal/disk"
+	"carat/internal/placement"
 	"carat/internal/repl"
 	"carat/internal/storage"
 )
@@ -267,6 +268,27 @@ func (c CCProtocol) String() string {
 	}
 }
 
+// PlacementConfig activates the data-directory placement subsystem: the
+// granule space of the whole fleet (Layout scaled by the node count) is
+// mapped onto home sites by a placement.Directory, and every distributed
+// transaction resolves its remote sites through the directory instead of
+// the hand-wired UserSpec.Remote/Remotes path. Nil keeps the historical
+// two-site routing — and the byte-pinned default traces — untouched.
+type PlacementConfig struct {
+	// Strategy selects the granule→site mapping (see placement.Parse).
+	Strategy placement.Strategy
+	// Affinity, for the locality strategy, is the fraction of a
+	// distributed transaction's requests pinned to the submitting site's
+	// own shard; the rest scatter through the directory's anchor draw.
+	// Ignored by hash and range. Must be in [0,1].
+	Affinity float64
+	// Pattern draws each scattered request's anchor record over the
+	// global record space (defaults to a fresh copy of Config.Pattern).
+	// storage.Zipf caches its CDF for a single layout, so the anchor
+	// needs its own instance rather than sharing Config.Pattern's.
+	Pattern storage.Pattern
+}
+
 // NodeConfig describes one site's hardware.
 type NodeConfig struct {
 	// DBDisk is the database disk service model (Table 2 folds positioning
@@ -351,6 +373,13 @@ type Config struct {
 	// system.
 	Replication repl.Policy
 
+	// Placement, when non-nil, activates the data-directory subsystem:
+	// distributed transactions resolve their executing sites through a
+	// placement.Directory over the fleet's global granule space instead of
+	// the per-user Remote/Remotes wiring (see PlacementConfig). Nil leaves
+	// routing — and the byte-pinned default traces — untouched.
+	Placement *PlacementConfig
+
 	// Open, when non-nil and active, drives the testbed with open arrivals
 	// (see OpenConfig): per-site Poisson processes on dedicated RNG
 	// substreams, optionally burst-modulated and ramped, submitting
@@ -372,17 +401,24 @@ func (c *Config) Validate() error {
 		if int(u.Home) < 0 || int(u.Home) >= len(c.Nodes) {
 			return fmt.Errorf("testbed: user %d home node %d out of range", i, u.Home)
 		}
-		if u.Kind.Distributed() {
+		// Under directory-driven placement the per-user Remote/Remotes
+		// wiring is ignored, so generated N-site configs need not fill it.
+		if u.Kind.Distributed() && c.Placement == nil {
 			seen := map[NodeID]bool{}
 			for _, r := range u.RemoteSites() {
-				if int(r) < 0 || int(r) >= len(c.Nodes) {
-					return fmt.Errorf("testbed: user %d remote node %d out of range", i, r)
-				}
-				if r == u.Home {
-					return fmt.Errorf("testbed: user %d remote node equals home", i)
-				}
-				if seen[r] {
-					return fmt.Errorf("testbed: user %d lists remote node %d twice", i, r)
+				switch {
+				case int(r) < 0 || int(r) >= len(c.Nodes):
+					return fmt.Errorf(
+						"testbed: user %d (%v homed at site %d) lists unreachable remote site %d: remotes must name existing sites in [0, %d]",
+						i, u.Kind, u.Home, r, len(c.Nodes)-1)
+				case r == u.Home:
+					return fmt.Errorf(
+						"testbed: user %d (%v homed at site %d) lists its own home as a remote: remotes must name other sites",
+						i, u.Kind, u.Home)
+				case seen[r]:
+					return fmt.Errorf(
+						"testbed: user %d (%v homed at site %d) lists remote site %d twice: remotes must be distinct",
+						i, u.Kind, u.Home, r)
 				}
 				seen[r] = true
 			}
@@ -456,6 +492,31 @@ func (c *Config) Validate() error {
 		if err := c.Open.validate(len(c.Nodes)); err != nil {
 			return err
 		}
+	}
+	if c.Placement != nil {
+		// Like fault plans, placement configs are shared across a sweep's
+		// concurrent cells: validation fills defaults on a private copy.
+		pc := *c.Placement
+		if !pc.Strategy.Valid() {
+			return fmt.Errorf("testbed: placement strategy %d unknown (valid strategies: %v)",
+				int(pc.Strategy), placement.Names())
+		}
+		if len(c.Nodes) < 2 {
+			return fmt.Errorf("testbed: placement needs at least 2 sites, got %d", len(c.Nodes))
+		}
+		if pc.Affinity < 0 || pc.Affinity > 1 {
+			return fmt.Errorf("testbed: placement affinity %v out of [0,1]", pc.Affinity)
+		}
+		if pc.Pattern == nil {
+			if z, ok := c.Pattern.(*storage.Zipf); ok {
+				// Zipf caches its CDF for one layout; the anchor draws
+				// over the global layout, so it gets its own instance.
+				pc.Pattern = storage.NewZipf(z.Theta)
+			} else {
+				pc.Pattern = c.Pattern
+			}
+		}
+		c.Placement = &pc
 	}
 	return nil
 }

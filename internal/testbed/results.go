@@ -172,6 +172,28 @@ type Results struct {
 	// zero — and omitted from JSON — unless partitions are configured.
 	Partitions  int64   `json:",omitempty"`
 	PartitionMS float64 `json:",omitempty"`
+
+	// Shared-fabric network measurements: the Ethernet of the scale-out
+	// configurations treated as a first-class queueing center. All zero —
+	// and omitted from JSON, keeping pre-existing serializations
+	// byte-identical — unless the network is a comm.Ethernet with
+	// Hosts > 0.
+
+	// NetMessages and NetBytes count the inter-site messages (and their
+	// payload bytes) routed through the shared fabric in the window.
+	NetMessages int64 `json:",omitempty"`
+	NetBytes    int64 `json:",omitempty"`
+	// NetUtilization is the wire's offered utilization: summed raw
+	// transmission time over the window. The fabric is an analytic delay
+	// model, not a serializing server, so values above 1 are possible and
+	// mean the offered traffic exceeds the channel's raw capacity — a
+	// regime where a real CSMA/CD segment would be unstable (the queueing
+	// estimate inside the delay model saturates at 0.95 occupancy).
+	NetUtilization float64 `json:",omitempty"`
+	// NetMeanInflationMS and NetMeanQueueMS are the mean per-message
+	// contention-interval inflation and M/D/1 channel queueing delay, ms.
+	NetMeanInflationMS float64 `json:",omitempty"`
+	NetMeanQueueMS     float64 `json:",omitempty"`
 }
 
 // collect snapshots every node's statistics at time t, the end of the
@@ -293,6 +315,17 @@ func (s *System) collect(t float64) Results {
 		res.PartitionMS = f.partitionMS
 		if f.part.Active() {
 			res.PartitionMS += t - f.partitionSince
+		}
+	}
+	if fb := s.fabric; fb != nil {
+		res.NetMessages = fb.msgs
+		res.NetBytes = fb.bytes
+		if res.Window > 0 {
+			res.NetUtilization = fb.busyMS / res.Window
+		}
+		if fb.msgs > 0 {
+			res.NetMeanInflationMS = fb.inflateMS / float64(fb.msgs)
+			res.NetMeanQueueMS = fb.queueMS / float64(fb.msgs)
 		}
 	}
 	return res

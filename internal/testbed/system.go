@@ -6,9 +6,11 @@ import (
 
 	"carat/internal/cc"
 	"carat/internal/comm"
+	"carat/internal/placement"
 	"carat/internal/probe"
 	"carat/internal/rng"
 	"carat/internal/sim"
+	"carat/internal/storage"
 )
 
 // errDeadlockVictim is the interrupt cause delivered to a transaction
@@ -90,6 +92,13 @@ type System struct {
 	users    []*user
 	netBytes int64 // inter-site payload bytes, for load-aware delay models
 
+	// Data-directory placement state (nil unless Config.Placement is set).
+	placement *placementState
+
+	// Shared-fabric accounting (nil unless the network is an Ethernet with
+	// Hosts > 0, i.e. a scale-out fabric rather than the legacy model).
+	fabric *fabricStats
+
 	// Replication state (nil unless Config.Replication is active).
 	repl *replState
 
@@ -103,6 +112,37 @@ type System struct {
 	degradedMS    float64 // accumulated time with at least one site down
 }
 
+// placementState is the resolved data directory of one run: the directory
+// itself, the fleet's global record space, and the anchor machinery that
+// scatters requests across it.
+type placementState struct {
+	dir      placement.Directory
+	global   storage.Layout  // per-site layout scaled by the site count
+	affinity float64         // locality strategy: fraction pinned to the home shard
+	pat      storage.Pattern // anchor-record pattern over the global space
+}
+
+// fabricStats accumulates the shared Ethernet fabric's queueing-center
+// measurements over the measurement window.
+type fabricStats struct {
+	eth       comm.Ethernet
+	msgs      int64   // inter-site messages routed through the fabric
+	bytes     int64   // payload bytes carried
+	busyMS    float64 // wire occupancy: summed raw transmission time
+	inflateMS float64 // summed contention-interval inflation
+	queueMS   float64 // summed M/D/1 channel queueing delay
+}
+
+// account charges one inter-site message against the fabric.
+func (f *fabricStats) account(bytes int, util float64) {
+	raw, infl, queue := f.eth.Breakdown(bytes, util)
+	f.msgs++
+	f.bytes += int64(bytes)
+	f.busyMS += raw
+	f.inflateMS += infl
+	f.queueMS += queue
+}
+
 // New builds a system from the configuration (validating it first).
 func New(cfg Config) (*System, error) {
 	if err := cfg.Validate(); err != nil {
@@ -114,6 +154,21 @@ func New(cfg Config) (*System, error) {
 		rnd:    rng.New(cfg.Seed),
 		reg:    make(map[int64]*txnState),
 		ccCaps: cfg.Concurrency.paradigm().Capabilities(),
+	}
+	if pc := cfg.Placement; pc != nil {
+		dir, err := placement.NewDirectory(pc.Strategy, len(cfg.Nodes), cfg.Layout.Granules)
+		if err != nil {
+			return nil, fmt.Errorf("testbed: %w", err)
+		}
+		sys.placement = &placementState{
+			dir:      dir,
+			global:   cfg.Layout.Scale(len(cfg.Nodes)),
+			affinity: pc.Affinity,
+			pat:      pc.Pattern,
+		}
+	}
+	if e, ok := cfg.Network.(comm.Ethernet); ok && e.Hosts > 0 {
+		sys.fabric = &fabricStats{eth: e}
 	}
 	for i := range cfg.Nodes {
 		sys.nodes = append(sys.nodes, newNode(sys, NodeID(i), cfg.Nodes[i], cfg.Layout, sys.rnd.Split(uint64(i))))
@@ -188,6 +243,9 @@ func (s *System) resetStats(t float64) {
 	if s.downCount > 0 {
 		s.degradedSince = t
 	}
+	if f := s.fabric; f != nil {
+		*f = fabricStats{eth: f.eth}
+	}
 	if f := s.faults; f != nil {
 		f.partitions = 0
 		f.partitionMS = 0
@@ -222,6 +280,10 @@ func (s *System) hop(from, to NodeID, bytes int) float64 {
 		}
 	}
 	d := s.cfg.Network.Delay(bytes, util)
+	if s.fabric != nil {
+		s.fabric.account(bytes, util)
+		s.trace(-1, KindNone, from, EvNetHop, int(to))
+	}
 	if s.faults != nil {
 		d += s.msgPenalty(from)
 	}

@@ -79,9 +79,13 @@ const (
 	// (health; Txn is -1, Node is the observer, Granule is the trusted site).
 	EvTrust
 	// EvValidationAbort marks a transaction failing OCC backward validation
-	// at the named site (CCOCC only). New kinds append here: the numeric
-	// values feed the kernel-equivalence trace hashes.
+	// at the named site (CCOCC only).
 	EvValidationAbort
+	// EvNetHop marks one inter-site message routed through the shared
+	// Ethernet fabric (scale-out fabric runs only; Txn is -1, Node is the
+	// sender, Granule is the destination site). New kinds append here: the
+	// numeric values feed the kernel-equivalence trace hashes.
+	EvNetHop
 )
 
 var traceNames = map[TraceKind]string{
@@ -111,6 +115,7 @@ var traceNames = map[TraceKind]string{
 	EvSuspect:         "suspect",
 	EvTrust:           "trust",
 	EvValidationAbort: "validation-abort",
+	EvNetHop:          "net-hop",
 }
 
 // String names the event.

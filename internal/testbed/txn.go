@@ -6,6 +6,7 @@ import (
 	"carat/internal/cc"
 	"carat/internal/disk"
 	"carat/internal/lock"
+	"carat/internal/placement"
 	"carat/internal/probe"
 	"carat/internal/rng"
 	"carat/internal/sim"
@@ -41,6 +42,11 @@ type user struct {
 	schedBuf []int
 	permBuf  []int
 	shufBuf  []int
+	// Placement scratch: anchorBuf holds the one-record anchor draw that
+	// picks a request's executing site; remBuf the submission's distinct
+	// remote sites in first-touch order (placement runs only).
+	anchorBuf []int
+	remBuf    []*node
 	// QueCC planning scratch: planBuf holds the pre-drawn granules of each
 	// request (schedule order); ccSkipBuf marks the remotes whose granules
 	// this submission serves at replicas instead (read failover, decided at
@@ -163,8 +169,17 @@ func (u *user) attempt(p *sim.Proc) attemptOutcome {
 	kind := u.spec.Kind
 	home := sys.nodes[u.spec.Home]
 	var remotes []*node
-	for _, r := range u.spec.RemoteSites() {
-		remotes = append(remotes, sys.nodes[r])
+	var schedule []int
+	if sys.placement != nil && kind.Distributed() {
+		// Directory-driven routing: the request schedule and the distinct
+		// remote sites it touches are resolved through the data directory,
+		// replacing the hand-wired RemoteSites list. Drawn before the
+		// participant checks because the fault layer needs the remote set.
+		schedule, remotes = u.placementSchedule()
+	} else {
+		for _, r := range u.spec.RemoteSites() {
+			remotes = append(remotes, sys.nodes[r])
+		}
 	}
 	costs := cfg.Params.CostsFor(home.id, kind)
 
@@ -237,14 +252,13 @@ func (u *user) attempt(p *sim.Proc) attemptOutcome {
 		}
 		remote.ccp.Begin(cc.TxnID(gid), u.curTS)
 	}
-	var schedule []int
 	var plan [][]int
 	if sys.ccCaps.Deterministic {
 		// QueCC plans the whole submission now, in the same kernel step as
 		// the gid draw: every queue receives its claims in global gid order,
 		// so the "grant iff no conflicting older claim ahead" admission rule
 		// can never form a wait cycle — no deadlocks by construction.
-		schedule, plan = u.planQueCC(st, home, remotes, ccSkip)
+		schedule, plan = u.planQueCC(st, home, remotes, ccSkip, schedule)
 	}
 
 	// --- INIT phase: TBEGIN and DBOPEN processing; DM allocation. ---
@@ -455,6 +469,65 @@ func (u *user) requestSchedule(remotes int) []int {
 	return shuffled
 }
 
+// placementSchedule draws one submission's request schedule through the
+// data directory: every request's executing site comes from an anchor
+// record drawn over the fleet's global record space and resolved by the
+// directory (the locality strategy first makes the affinity draw, pinning
+// the request to the home shard). It returns the schedule (-1 = home,
+// otherwise an index into the returned remotes) and the distinct remote
+// sites in first-touch order.
+func (u *user) placementSchedule() ([]int, []*node) {
+	sys := u.sys
+	pl := sys.placement
+	home := u.spec.Home
+	n := u.reqsPerTxn()
+	schedule := u.schedBuf[:0]
+	remotes := u.remBuf[:0]
+	for i := 0; i < n; i++ {
+		site := u.drawSite(pl, home)
+		if site == home {
+			schedule = append(schedule, -1)
+			continue
+		}
+		idx := -1
+		for j, nd := range remotes {
+			if nd.id == site {
+				idx = j
+				break
+			}
+		}
+		if idx < 0 {
+			remotes = append(remotes, sys.nodes[site])
+			idx = len(remotes) - 1
+		}
+		schedule = append(schedule, idx)
+	}
+	u.schedBuf = schedule
+	u.remBuf = remotes
+	return schedule, remotes
+}
+
+// drawSite picks the executing site of one request. Under the locality
+// strategy an affinity draw first keeps the request in the home shard;
+// otherwise (and always under hash and range) a single anchor record drawn
+// over the global record space names the granule whose directory entry is
+// the executing site — so a skewed anchor pattern concentrates load on the
+// sites owning the hot granules under range placement and stripes it under
+// hash placement.
+func (u *user) drawSite(pl *placementState, home NodeID) NodeID {
+	if pl.dir.Strategy() == placement.Locality && u.rnd.Bool(pl.affinity) {
+		return home
+	}
+	var rec int
+	if ap, ok := pl.pat.(storage.AppendPattern); ok {
+		u.anchorBuf = ap.PickAppend(u.anchorBuf[:0], u.rnd, pl.global, 1)
+		rec = u.anchorBuf[0]
+	} else {
+		rec = pl.pat.Pick(u.rnd, pl.global, 1)[0]
+	}
+	return NodeID(pl.dir.Site(pl.global.GranuleOf(rec)))
+}
+
 // pickRecords draws the records for one request into the user's scratch
 // buffer, using the pattern's allocation-free path when it has one.
 func (u *user) pickRecords(l storage.Layout, k int) []int {
@@ -474,11 +547,15 @@ func (u *user) pickRecords(l storage.Layout, k int) []int {
 // equals gid order at every site, which keeps the per-granule queues
 // acyclic — a claim only ever waits on strictly older claims, so waits
 // can never cycle. Remotes flagged in skip serve their granules at
-// replicas (read failover), so no claims are planted there.
-func (u *user) planQueCC(st *txnState, home *node, remotes []*node, skip []bool) ([]int, [][]int) {
+// replicas (read failover), so no claims are planted there. A non-nil
+// schedule (directory-driven placement) is planned as given; nil draws the
+// classic RemoteFrac schedule here.
+func (u *user) planQueCC(st *txnState, home *node, remotes []*node, skip []bool, schedule []int) ([]int, [][]int) {
 	cfg := &u.sys.cfg
 	write := u.spec.Kind.Update()
-	schedule := u.requestSchedule(len(remotes))
+	if schedule == nil {
+		schedule = u.requestSchedule(len(remotes))
+	}
 	if cap(u.planBuf) < len(schedule) {
 		grown := make([][]int, len(schedule))
 		copy(grown, u.planBuf[:cap(u.planBuf)])

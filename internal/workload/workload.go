@@ -106,6 +106,36 @@ type Workload struct {
 	// capacity sweep compares measured open capacity against the closed
 	// model's bottleneck bound. Nil leaves the simulation unchanged.
 	Open *testbed.OpenConfig
+
+	// Placement activates the data-directory placement subsystem in the
+	// simulator (see testbed.PlacementConfig): distributed transactions
+	// resolve their executing sites through a placement.Directory over the
+	// fleet's granule space instead of the per-user Remote wiring. The
+	// analytical model ignores it. Nil leaves the simulation unchanged.
+	Placement *testbed.PlacementConfig
+
+	// FabricHosts, when positive, routes inter-site messages through a
+	// shared Ethernet fabric with this many contending hosts (see
+	// comm.Ethernet.Hosts): delay grows with the fleet's offered network
+	// load, and the wire's utilization, inflation and queueing delay are
+	// reported in Results. Zero keeps the Alpha/EthernetAlpha behavior.
+	FabricHosts int
+
+	// FabricBandwidthBitsPerMS overrides the fabric's raw bandwidth when
+	// FabricHosts is positive (zero keeps comm.DefaultEthernet's 10 Mb/s).
+	// The scale-out study uses the original 2.94 Mb/s experimental
+	// Ethernet rate so the shared medium can genuinely bind before the
+	// paper's CPU costs do.
+	FabricBandwidthBitsPerMS float64
+
+	// DMServers overrides the per-site DM process-pool size (zero keeps
+	// the testbed's 16). A distributed submission holds one slot at its
+	// home and at every participating remote for its whole lifetime, and
+	// the pool has no deadlock detection: the two-site experiments are
+	// gridlock-proof by arithmetic (2 sites × MPL ≤ 8 ≤ 16 slots), but an
+	// N-site fleet must provision at least sites × MPL slots per site or
+	// cross-site hold-and-wait cycles freeze the whole system.
+	DMServers int
 }
 
 // twoNode fills the standard two-node configuration of the experiments:
@@ -228,7 +258,11 @@ func (w Workload) TestbedConfig(seed uint64, warmup, duration float64) testbed.C
 			// reproducibility.
 			db = detailedModelFor(w.DBDisks[i])
 		}
-		nodes[i] = testbed.NodeConfig{DBDisk: db, DMServers: 16, DBDiskStripes: w.DiskStripes, CPUs: w.CPUs}
+		dm := w.DMServers
+		if dm <= 0 {
+			dm = 16
+		}
+		nodes[i] = testbed.NodeConfig{DBDisk: db, DMServers: dm, DBDiskStripes: w.DiskStripes, CPUs: w.CPUs}
 		if w.LogDisks != nil && w.LogDisks[i] != nil {
 			nodes[i].LogDisk = w.LogDisks[i]
 		}
@@ -240,12 +274,27 @@ func (w Workload) TestbedConfig(seed uint64, warmup, duration float64) testbed.C
 	if w.EthernetAlpha {
 		network = comm.DefaultEthernet()
 	}
+	if w.FabricHosts > 0 {
+		eth := comm.DefaultEthernet()
+		eth.Hosts = w.FabricHosts
+		if w.FabricBandwidthBitsPerMS > 0 {
+			eth.BandwidthBitsPerMS = w.FabricBandwidthBitsPerMS
+		}
+		network = eth
+	}
 	var faults *testbed.FaultPlan
 	if w.Faults != nil {
 		// Each run gets its own copy: validation fills defaults in place,
 		// and parallel replications must not share a mutable plan.
 		fp := *w.Faults
 		faults = &fp
+	}
+	var pl *testbed.PlacementConfig
+	if w.Placement != nil {
+		// Copied like Faults: validation fills the anchor-pattern default
+		// in place, and parallel sweep cells must not share it.
+		pc := *w.Placement
+		pl = &pc
 	}
 	var open *testbed.OpenConfig
 	if w.Open != nil {
@@ -262,6 +311,7 @@ func (w Workload) TestbedConfig(seed uint64, warmup, duration float64) testbed.C
 		Users:             w.Users,
 		Faults:            faults,
 		Open:              open,
+		Placement:         pl,
 		Resilience:        w.Resilience,
 		Replication:       w.Replication,
 		Params:            w.Params,

@@ -22,7 +22,8 @@ type TraceEvent struct {
 	// release-locks, committed, aborted, crash, restart, timeout-abort,
 	// abandon, admission-shed, probe-retransmit, retry-backoff,
 	// failover-read, replica-apply, validation-abort (OCC commit-time
-	// validation failures).
+	// validation failures), net-hop (one message on the shared fabric;
+	// scale configurations only).
 	Event   string
 	Granule int // lock events only; -1 otherwise
 }
